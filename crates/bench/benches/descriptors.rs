@@ -1,0 +1,35 @@
+//! Bench: SIFT vs SURF vs ORB extraction cost — the scalability argument
+//! of §3.3 ("SURF was originally conceived for providing a more scalable
+//! alternative to SIFT"; ORB "an efficient alternative to SIFT or SURF").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use taor_data::shapenet_set1;
+use taor_features::{
+    orb_detect_and_compute, sift_detect_and_compute, surf_detect_and_compute, OrbParams,
+    SiftParams, SurfParams,
+};
+use taor_imgproc::color::rgb_to_gray;
+
+fn bench_descriptors(c: &mut Criterion) {
+    let ds = shapenet_set1(2019);
+    let gray = rgb_to_gray(&ds.images[0].image);
+
+    let mut g = c.benchmark_group("detect_and_compute_96px");
+    g.bench_function("SIFT", |b| {
+        b.iter(|| sift_detect_and_compute(black_box(&gray), &SiftParams::default()).unwrap())
+    });
+    g.bench_function("SURF", |b| {
+        b.iter(|| surf_detect_and_compute(black_box(&gray), &SurfParams::default()).unwrap())
+    });
+    g.bench_function("ORB", |b| {
+        b.iter(|| orb_detect_and_compute(black_box(&gray), &OrbParams::default()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_descriptors
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench: brute-force vs kd-tree (FLANN stand-in) matching.
+//!
+//! §3.3: "Using FLANN-based matching for optimised nearest neighbour
+//! search did not lead to any performance gains, compared to the
+//! brute-force approach, most likely due to the fairly limited size of
+//! the input datasets." This bench shows the crossover: at the paper's
+//! reference-set sizes (~10² descriptors) brute force wins; the tree only
+//! pays off orders of magnitude later.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use taor_features::kdtree::KdTree;
+use taor_features::{knn_match_float, FloatDescriptors};
+
+fn random_descs(n: usize, w: usize, seed: u64) -> FloatDescriptors {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut d = FloatDescriptors::new(w);
+    let mut row = vec![0.0f32; w];
+    for _ in 0..n {
+        for v in &mut row {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        d.push(&row);
+    }
+    d
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let query = random_descs(50, 64, 1);
+    for train_n in [100usize, 1000, 10000] {
+        let train = random_descs(train_n, 64, 2);
+        let mut g = c.benchmark_group(format!("match_50q_vs_{train_n}"));
+        g.bench_function("brute_force", |b| {
+            b.iter(|| knn_match_float(black_box(&query), black_box(&train)).unwrap())
+        });
+        g.bench_function("kdtree_c32", |b| {
+            let tree = KdTree::build(&train, 32).unwrap();
+            b.iter(|| tree.knn_match(black_box(&query)).unwrap())
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matching
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench: the Normalized-X-Corr layer — forward, backward, and the full
+//! network pass, across displacement radii (the layer's cost knob).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use taor_nn::{NetConfig, NormXCorr, NormXCorrNet, Tensor};
+
+fn bench_xcorr(c: &mut Criterion) {
+    let a = Tensor::from_vec(
+        &[1, 8, 10, 10],
+        (0..800).map(|i| (i as f32 * 0.37).sin()).collect(),
+    )
+    .unwrap();
+    let b = Tensor::from_vec(
+        &[1, 8, 10, 10],
+        (0..800).map(|i| (i as f32 * 0.73).cos()).collect(),
+    )
+    .unwrap();
+
+    let mut g = c.benchmark_group("normxcorr_forward_8c_10x10");
+    for radius in [0usize, 1, 2] {
+        let layer = NormXCorr::new(3, radius);
+        g.bench_function(format!("r{radius}"), |bch| {
+            bch.iter(|| layer.forward(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    g.finish();
+
+    let layer = NormXCorr::new(3, 1);
+    let (y, cache) = layer.forward(&a, &b).unwrap();
+    let grad = Tensor::full(y.shape(), 1.0);
+    c.bench_function("normxcorr_backward_r1", |bch| {
+        bch.iter(|| layer.backward(black_box(&cache), black_box(&grad)).unwrap())
+    });
+
+    // Full network pass at the repro harness's quick resolution.
+    let cfg = NetConfig { height: 32, width: 24, c1: 8, c2: 10, c3: 10, dense: 32, ..NetConfig::default() };
+    let net = NormXCorrNet::new(cfg.clone());
+    let x = Tensor::full(&[1, 3, cfg.height, cfg.width], 0.1);
+    c.bench_function("net_forward_32x24", |bch| {
+        bch.iter(|| net.forward(black_box(&x), black_box(&x)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_xcorr
+}
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Regenerate the paper's tables.
+//!
+//! ```text
+//! repro [--table N] [--quick|--medium|--full] [--seed S] [--sweep]
+//!       [--ablate] [--extensions] [--nyu-per-class N] [--json PATH]
+//!       [--verbose]
+//! ```
+//!
+//! Default is `--quick`: NYU subsampled to 50 crops/class and a reduced
+//! Siamese training run — minutes instead of hours, same qualitative
+//! findings. `--medium` keeps Table 1 cardinalities for the matching
+//! tables with a single-CPU Siamese budget; `--full` additionally uses
+//! the paper's full training recipe (hours without a GPU).
+//! `--extensions` appends the E1–E3 future-work experiments; `--ablate`
+//! adds the RANSAC column to Table 3 and the cosine head to Table 4.
+
+use std::io::Write;
+use taor_bench::extensions::{table_e1, table_e2, table_e3};
+use taor_bench::repro::{
+    table1, table2, table2_sweep, table3_ex, table4, table5, table6, table7or8, table9,
+};
+use taor_bench::ReproConfig;
+
+#[derive(PartialEq, Clone, Copy)]
+enum Mode {
+    Quick,
+    Medium,
+    Full,
+}
+
+struct Args {
+    table: Option<usize>,
+    mode: Mode,
+    seed: u64,
+    sweep: bool,
+    ablate: bool,
+    extensions: bool,
+    nyu_per_class: Option<usize>,
+    json: Option<String>,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        table: None,
+        mode: Mode::Quick,
+        seed: 2019,
+        sweep: false,
+        ablate: false,
+        extensions: false,
+        nyu_per_class: None,
+        json: None,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--table" => {
+                let v = it.next().ok_or("--table needs a value")?;
+                args.table = Some(v.parse().map_err(|_| format!("bad table id: {v}"))?);
+            }
+            "--quick" => args.mode = Mode::Quick,
+            "--medium" => args.mode = Mode::Medium,
+            "--full" => args.mode = Mode::Full,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--sweep" => args.sweep = true,
+            "--ablate" => args.ablate = true,
+            "--extensions" => args.extensions = true,
+            "--nyu-per-class" => {
+                let v = it.next().ok_or("--nyu-per-class needs a value")?;
+                args.nyu_per_class =
+                    Some(v.parse().map_err(|_| format!("bad count: {v}"))?);
+            }
+            "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
+            "--verbose" | "-v" => args.verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "repro [--table N] [--quick|--medium|--full] [--seed S] [--sweep] [--ablate] \
+                     [--extensions] [--nyu-per-class N] [--json PATH] [--verbose]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = match args.mode {
+        Mode::Quick => ReproConfig::quick(args.seed),
+        Mode::Medium => ReproConfig::medium(args.seed),
+        Mode::Full => ReproConfig::full(args.seed),
+    };
+    if let Some(n) = args.nyu_per_class {
+        cfg.nyu_per_class = Some(n);
+    }
+
+    let wanted: Vec<usize> = match args.table {
+        Some(t) if (1..=9).contains(&t) => vec![t],
+        Some(t) => {
+            eprintln!("error: table {t} does not exist (the paper has tables 1-9)");
+            std::process::exit(2);
+        }
+        None => (1..=9).collect(),
+    };
+
+    let mut records = Vec::new();
+    for t in wanted {
+        let started = std::time::Instant::now();
+        let out = match t {
+            1 => table1(&cfg),
+            2 => {
+                let mut out = table2(&cfg);
+                if args.sweep {
+                    let sweep = table2_sweep(&cfg);
+                    out.text.push('\n');
+                    out.text.push_str(&sweep.text);
+                }
+                out
+            }
+            3 => table3_ex(&cfg, args.ablate),
+            4 => table4(&cfg, args.ablate, args.verbose),
+            5 => table5(&cfg),
+            6 => table6(&cfg),
+            7 => table7or8(&cfg, 7),
+            8 => table7or8(&cfg, 8),
+            9 => table9(&cfg),
+            _ => unreachable!("validated above"),
+        };
+        println!("{}", out.text);
+        if args.verbose {
+            eprintln!("[table {t} took {:.1?}]", started.elapsed());
+        }
+        records.extend(out.records);
+    }
+
+    if args.extensions {
+        for out in [table_e1(&cfg, 12), table_e2(&cfg, args.verbose), table_e3(&cfg)] {
+            println!("{}", out.text);
+            records.extend(out.records);
+        }
+    }
+
+    if let Some(path) = args.json {
+        let json = serde_json::to_string_pretty(&records).expect("records serialise");
+        let mut f = std::fs::File::create(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        f.write_all(json.as_bytes()).expect("write json");
+        eprintln!("wrote {} records to {path}", records.len());
+    }
+}

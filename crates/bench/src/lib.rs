@@ -1,0 +1,40 @@
+//! # taor-bench
+//!
+//! The reproduction harness: one generator per paper table (the paper has
+//! nine tables and no figures), shared between the `repro` binary and the
+//! integration tests, plus the Criterion microbenches under `benches/`.
+//!
+//! Table index (see DESIGN.md §3):
+//!
+//! * **Table 1** — dataset statistics,
+//! * **Table 2** — cumulative accuracy of the exploratory pipelines
+//!   (baseline, shape-only ×3, colour-only ×4, hybrid ×3) on NYU v SNS1
+//!   and SNS1 v SNS2,
+//! * **Table 3** — cumulative accuracy of SIFT/SURF/ORB on SNS1 v SNS2,
+//! * **Table 4** — Normalized-X-Corr binary metrics on the SNS1 and
+//!   NYU+SNS1 pair sets,
+//! * **Tables 5–7** — class-wise shape / colour / hybrid results on NYU v
+//!   SNS1,
+//! * **Table 8** — class-wise hybrid results on SNS2 v SNS1,
+//! * **Table 9** — class-wise SIFT/SURF/ORB results on SNS1 v SNS2.
+
+pub mod extensions;
+pub mod repro;
+
+pub use repro::{ReproConfig, TableOutput};
+
+use taor_core::prelude::*;
+
+/// RANSAC-verified descriptor classification with the default geometry
+/// parameters (shared by the Table 3 ablation).
+pub(crate) fn repro_verified(
+    queries: &DescriptorIndex,
+    reference: &DescriptorIndex,
+) -> Vec<taor_data::ObjectClass> {
+    classify_descriptors_verified(
+        queries,
+        reference,
+        0.75,
+        &taor_features::RansacParams::default(),
+    )
+}

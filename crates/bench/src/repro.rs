@@ -1,0 +1,519 @@
+//! Table generators for the reproduction harness.
+
+use taor_core::prelude::*;
+use taor_data::{
+    nyu_set, nyu_set_subsampled, nyu_sns1_test_pairs, shapenet_set1, shapenet_set2,
+    sns1_test_pairs, Dataset, ObjectClass,
+};
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct ReproConfig {
+    /// Master seed for all dataset builders and baselines.
+    pub seed: u64,
+    /// `None` = the full 6,934-crop NYUSet; `Some(n)` = n crops per class.
+    pub nyu_per_class: Option<usize>,
+    /// Siamese training configuration (quick vs. paper-scale).
+    pub siamese: SiameseConfig,
+    /// Hybrid weights; the paper reports α = 0.3, β = 0.7.
+    pub alpha: f64,
+    pub beta: f64,
+}
+
+impl ReproConfig {
+    /// Quick mode: subsampled NYU, reduced Siamese training. Finishes in
+    /// minutes on a laptop; preserves every qualitative finding.
+    pub fn quick(seed: u64) -> Self {
+        ReproConfig {
+            seed,
+            nyu_per_class: Some(50),
+            siamese: SiameseConfig::quick(),
+            alpha: 0.3,
+            beta: 0.7,
+        }
+    }
+
+    /// Full mode: Table 1 cardinalities everywhere and the paper's
+    /// training recipe (9,450 pairs; ≤ 100 epochs with early stopping).
+    pub fn full(seed: u64) -> Self {
+        ReproConfig {
+            seed,
+            nyu_per_class: None,
+            siamese: SiameseConfig::default(),
+            alpha: 0.3,
+            beta: 0.7,
+        }
+    }
+
+    /// Medium mode: full NYU cardinalities for the matching tables, but a
+    /// single-CPU-feasible Siamese budget (2,000 pairs, 12 epochs).
+    pub fn medium(seed: u64) -> Self {
+        ReproConfig {
+            seed,
+            nyu_per_class: None,
+            siamese: SiameseConfig::medium(),
+            alpha: 0.3,
+            beta: 0.7,
+        }
+    }
+
+    fn nyu(&self) -> Dataset {
+        match self.nyu_per_class {
+            Some(n) => nyu_set_subsampled(self.seed, n),
+            None => nyu_set(self.seed),
+        }
+    }
+}
+
+/// One generated table: rendered text plus machine-readable records.
+#[derive(Debug, Clone)]
+pub struct TableOutput {
+    pub table: usize,
+    pub text: String,
+    pub records: Vec<ExperimentRecord>,
+}
+
+/// All approaches of Table 2, in row order, as (label, classifier) pairs.
+fn exploratory_rows(
+    cfg: &ReproConfig,
+    queries: &[RefView],
+    views: &[RefView],
+) -> Vec<(String, Vec<ObjectClass>)> {
+    let truth = truth_of(queries);
+    let mut rows = Vec::new();
+    rows.push(("Baseline".to_string(), random_baseline(&truth, cfg.seed ^ 0xBA5E)));
+    for scorer in ShapeScorer::ALL {
+        rows.push((scorer.name(), classify_per_view(queries, views, &scorer)));
+    }
+    for scorer in ColorScorer::ALL {
+        rows.push((scorer.name(), classify_per_view(queries, views, &scorer)));
+    }
+    let hybrid = HybridConfig { alpha: cfg.alpha, beta: cfg.beta, ..Default::default() };
+    for agg in Aggregation::ALL {
+        rows.push((agg.label().to_string(), classify_hybrid(queries, views, &hybrid, agg)));
+    }
+    rows
+}
+
+/// Table 1: dataset statistics.
+pub fn table1(cfg: &ReproConfig) -> TableOutput {
+    let sns1 = shapenet_set1(cfg.seed);
+    let sns2 = shapenet_set2(cfg.seed);
+    let nyu = cfg.nyu();
+    let mut t = TextTable::new(
+        "Table 1: Dataset statistics.",
+        &["Object", "ShapeNetSet1", "ShapeNetSet2", "NYUSet"],
+    );
+    let c1 = sns1.class_counts();
+    let c2 = sns2.class_counts();
+    let cn = nyu.class_counts();
+    for class in ObjectClass::ALL {
+        let i = class.index();
+        t.row(vec![
+            class.name().to_string(),
+            c1[i].to_string(),
+            c2[i].to_string(),
+            cn[i].to_string(),
+        ]);
+    }
+    t.row(vec![
+        "Total".to_string(),
+        sns1.len().to_string(),
+        sns2.len().to_string(),
+        nyu.len().to_string(),
+    ]);
+    TableOutput { table: 1, text: t.render(), records: Vec::new() }
+}
+
+/// Table 2: cumulative accuracies for every exploratory configuration.
+pub fn table2(cfg: &ReproConfig) -> TableOutput {
+    let sns1 = shapenet_set1(cfg.seed);
+    let sns2 = shapenet_set2(cfg.seed);
+    let nyu = cfg.nyu();
+
+    let refs_sns1 = prepare_views(&sns1, Background::White);
+    let refs_sns2 = prepare_views(&sns2, Background::White);
+    let q_nyu = prepare_views(&nyu, Background::Black);
+    let q_sns1 = prepare_views(&sns1, Background::White);
+
+    let nyu_rows = exploratory_rows(cfg, &q_nyu, &refs_sns1);
+    let sns_rows = exploratory_rows(cfg, &q_sns1, &refs_sns2);
+    let t_nyu = truth_of(&q_nyu);
+    let t_sns = truth_of(&q_sns1);
+
+    let mut t = TextTable::new(
+        "Table 2: Cumulative (cross-class) accuracy, exploratory trials.",
+        &["Approach", "NYU v. SNS1", "SNS1 v. SNS2"],
+    );
+    let mut records = Vec::new();
+    for ((label, p_nyu), (_, p_sns)) in nyu_rows.into_iter().zip(sns_rows) {
+        let e_nyu = evaluate(&t_nyu, &p_nyu);
+        let e_sns = evaluate(&t_sns, &p_sns);
+        t.row(vec![
+            label.clone(),
+            fmt_f(e_nyu.cumulative_accuracy, 5),
+            fmt_f(e_sns.cumulative_accuracy, 2),
+        ]);
+        records.push(ExperimentRecord {
+            table: 2,
+            approach: label.clone(),
+            dataset: "NYU v. SNS1".into(),
+            cumulative_accuracy: Some(e_nyu.cumulative_accuracy),
+            evaluation: Some(e_nyu),
+            binary: None,
+        });
+        records.push(ExperimentRecord {
+            table: 2,
+            approach: label,
+            dataset: "SNS1 v. SNS2".into(),
+            cumulative_accuracy: Some(e_sns.cumulative_accuracy),
+            evaluation: Some(e_sns),
+            binary: None,
+        });
+    }
+    TableOutput { table: 2, text: t.render(), records }
+}
+
+/// Hybrid α/β sweep (the ablation the paper motivates by trying (1,1) and
+/// then (0.3, 0.7)).
+pub fn table2_sweep(cfg: &ReproConfig) -> TableOutput {
+    let sns1 = shapenet_set1(cfg.seed);
+    let sns2 = shapenet_set2(cfg.seed);
+    let refs = prepare_views(&sns2, Background::White);
+    let queries = prepare_views(&sns1, Background::White);
+    let truth = truth_of(&queries);
+
+    let mut t = TextTable::new(
+        "Table 2 sweep: hybrid weighted-sum accuracy vs (alpha, beta), SNS1 v. SNS2.",
+        &["alpha", "beta", "Accuracy"],
+    );
+    for &(a, b) in
+        &[(1.0, 0.0), (0.7, 0.3), (0.5, 0.5), (0.3, 0.7), (0.1, 0.9), (0.0, 1.0), (1.0, 1.0)]
+    {
+        let hybrid = HybridConfig { alpha: a, beta: b, ..Default::default() };
+        let preds = classify_hybrid(&queries, &refs, &hybrid, Aggregation::WeightedSum);
+        let e = evaluate(&truth, &preds);
+        t.row(vec![format!("{a:.1}"), format!("{b:.1}"), fmt_f(e.cumulative_accuracy, 3)]);
+    }
+    TableOutput { table: 2, text: t.render(), records: Vec::new() }
+}
+
+/// Table 3: descriptor-matching cumulative accuracies (SNS1 v SNS2), at
+/// both ratio thresholds the paper tried. With `ablate`, adds a column
+/// for RANSAC-verified matching (Lowe's full pipeline, which the paper
+/// stopped short of).
+pub fn table3_ex(cfg: &ReproConfig, ablate: bool) -> TableOutput {
+    let sns1 = shapenet_set1(cfg.seed);
+    let sns2 = shapenet_set2(cfg.seed);
+    let mut headers = vec!["Approach", "Accuracy (ratio 0.5)", "Accuracy (ratio 0.75)"];
+    if ablate {
+        headers.push("RANSAC-verified (0.75)");
+    }
+    let mut t = TextTable::new(
+        "Table 3: Cumulative accuracies, descriptor matching (SNS1 v. SNS2).",
+        &headers,
+    );
+    let truth: Vec<ObjectClass> = sns1.images.iter().map(|i| i.class).collect();
+    let mut records = Vec::new();
+    let mut baseline_row = vec![
+        "Baseline".to_string(),
+        fmt_f(
+            evaluate(&truth, &random_baseline(&truth, cfg.seed ^ 0xBA5E)).cumulative_accuracy,
+            2,
+        ),
+        String::new(),
+    ];
+    if ablate {
+        baseline_row.push(String::new());
+    }
+    t.row(baseline_row);
+    for kind in DescriptorKind::ALL {
+        let q = extract_index(&sns1, kind);
+        let r = extract_index(&sns2, kind);
+        let acc_of = |ratio: f32| {
+            let preds = classify_descriptors(&q, &r, ratio);
+            evaluate(&truth, &preds)
+        };
+        let e05 = acc_of(0.5);
+        let e075 = acc_of(0.75);
+        let mut row = vec![
+            kind.label().to_string(),
+            fmt_f(e05.cumulative_accuracy, 2),
+            fmt_f(e075.cumulative_accuracy, 2),
+        ];
+        if ablate {
+            let preds = crate::repro_verified(&q, &r);
+            row.push(fmt_f(evaluate(&truth, &preds).cumulative_accuracy, 2));
+        }
+        t.row(row);
+        records.push(ExperimentRecord {
+            table: 3,
+            approach: kind.label().to_string(),
+            dataset: "SNS1 v. SNS2".into(),
+            cumulative_accuracy: Some(e05.cumulative_accuracy),
+            evaluation: Some(e05),
+            binary: None,
+        });
+    }
+    TableOutput { table: 3, text: t.render(), records }
+}
+
+/// Backwards-compatible Table 3 without the ablation column.
+pub fn table3(cfg: &ReproConfig) -> TableOutput {
+    table3_ex(cfg, false)
+}
+
+/// Table 4: Normalized-X-Corr binary evaluation on both pair test sets.
+/// With `ablate`, also reports the cosine "exact matching" baseline.
+pub fn table4(cfg: &ReproConfig, ablate: bool, verbose: bool) -> TableOutput {
+    let sns1 = shapenet_set1(cfg.seed);
+    let sns2 = shapenet_set2(cfg.seed);
+    let nyu = cfg.nyu();
+
+    let (net, report) = taor_core::train_siamese(&sns2, &cfg.siamese, |s| {
+        if verbose {
+            eprintln!(
+                "  epoch {:>3}  loss {:.5}  train-acc {:.3}",
+                s.epoch, s.mean_loss, s.accuracy
+            );
+        }
+    });
+    let trained_epochs = report.epochs.len();
+
+    let pairs_sns1 = sns1_test_pairs(&sns1);
+    let pairs_nyu = nyu_sns1_test_pairs(&nyu, &sns1, cfg.seed);
+
+    let eval_sns1 = evaluate_siamese(&net, &pairs_sns1, &cfg.siamese.net);
+    let eval_nyu = evaluate_siamese(&net, &pairs_nyu, &cfg.siamese.net);
+
+    let mut t = TextTable::new(
+        format!(
+            "Table 4: Normalized-X-Corr evaluation (trained {} epochs, early-stop={}).",
+            trained_epochs, report.early_stopped
+        ),
+        &["Dataset", "Measure", "Similar", "Dissimilar"],
+    );
+    let push_block = |t: &mut TextTable, name: &str, e: &BinaryEvaluation| {
+        t.row(vec![name.into(), "Precision".into(), fmt_f(e.similar.precision, 2), fmt_f(e.dissimilar.precision, 2)]);
+        t.row(vec![String::new(), "Recall".into(), fmt_f(e.similar.recall, 2), fmt_f(e.dissimilar.recall, 2)]);
+        t.row(vec![String::new(), "F1-score".into(), fmt_f(e.similar.f1, 2), fmt_f(e.dissimilar.f1, 2)]);
+        t.row(vec![String::new(), "Support".into(), e.similar.support.to_string(), e.dissimilar.support.to_string()]);
+    };
+    push_block(&mut t, "ShapeNetSet1 pairs", &eval_sns1);
+    push_block(&mut t, "NYU+ShapeNetSet1 pairs", &eval_nyu);
+
+    let mut text = t.render();
+    let mut records = vec![
+        ExperimentRecord {
+            table: 4,
+            approach: "Normalized-X-Corr".into(),
+            dataset: "ShapeNetSet1 pairs".into(),
+            cumulative_accuracy: Some(eval_sns1.accuracy),
+            evaluation: None,
+            binary: Some(eval_sns1),
+        },
+        ExperimentRecord {
+            table: 4,
+            approach: "Normalized-X-Corr".into(),
+            dataset: "NYU+ShapeNetSet1 pairs".into(),
+            cumulative_accuracy: Some(eval_nyu.accuracy),
+            evaluation: None,
+            binary: Some(eval_nyu),
+        },
+    ];
+
+    if ablate {
+        // Cosine exact-matching baseline trained on the same pairs.
+        let train_pairs = taor_data::training_pairs(&sns2, cfg.siamese.n_train_pairs, cfg.seed);
+        let cosine = CosineSiamese::fit(&train_pairs, 6);
+        let mut t2 = TextTable::new(
+            format!("Table 4 ablation: cosine exact-matching head (threshold {:.2}).", cosine.threshold),
+            &["Dataset", "Measure", "Similar", "Dissimilar"],
+        );
+        for (name, pairs) in
+            [("ShapeNetSet1 pairs", &pairs_sns1), ("NYU+ShapeNetSet1 pairs", &pairs_nyu)]
+        {
+            let preds = cosine.predict(pairs);
+            let truth: Vec<usize> = pairs.iter().map(|p| p.label).collect();
+            let e = evaluate_binary(&truth, &preds);
+            push_block(&mut t2, name, &e);
+            records.push(ExperimentRecord {
+                table: 4,
+                approach: "Cosine exact matching".into(),
+                dataset: name.into(),
+                cumulative_accuracy: Some(e.accuracy),
+                evaluation: None,
+                binary: Some(e),
+            });
+        }
+        text.push('\n');
+        text.push_str(&t2.render());
+    }
+    TableOutput { table: 4, text, records }
+}
+
+/// Shared builder for the class-wise tables 5–8.
+fn classwise_table(
+    table: usize,
+    title: &str,
+    rows: Vec<(String, Vec<ObjectClass>)>,
+    truth: &[ObjectClass],
+    decimals: usize,
+    dataset: &str,
+) -> TableOutput {
+    let mut t = TextTable::new(title, &classwise_headers());
+    let mut records = Vec::new();
+    for (label, preds) in rows {
+        let e = evaluate(truth, &preds);
+        classwise_rows(&mut t, &label, &e, decimals);
+        records.push(ExperimentRecord {
+            table,
+            approach: label,
+            dataset: dataset.into(),
+            cumulative_accuracy: Some(e.cumulative_accuracy),
+            evaluation: Some(e),
+            binary: None,
+        });
+    }
+    TableOutput { table, text: t.render(), records }
+}
+
+/// Table 5: class-wise shape-only results (NYU v SNS1).
+pub fn table5(cfg: &ReproConfig) -> TableOutput {
+    let refs = prepare_views(&shapenet_set1(cfg.seed), Background::White);
+    let queries = prepare_views(&cfg.nyu(), Background::Black);
+    let truth = truth_of(&queries);
+    let mut rows =
+        vec![("Baseline".to_string(), random_baseline(&truth, cfg.seed ^ 0xBA5E))];
+    for scorer in ShapeScorer::ALL {
+        rows.push((scorer.name(), classify_per_view(&queries, &refs, &scorer)));
+    }
+    classwise_table(
+        5,
+        "Table 5: Class-wise results, shape-only matching (NYU v. SNS1).",
+        rows,
+        &truth,
+        5,
+        "NYU v. SNS1",
+    )
+}
+
+/// Table 6: class-wise colour-only results (NYU v SNS1).
+pub fn table6(cfg: &ReproConfig) -> TableOutput {
+    let refs = prepare_views(&shapenet_set1(cfg.seed), Background::White);
+    let queries = prepare_views(&cfg.nyu(), Background::Black);
+    let truth = truth_of(&queries);
+    let rows: Vec<_> = ColorScorer::ALL
+        .iter()
+        .map(|s| (s.name(), classify_per_view(&queries, &refs, s)))
+        .collect();
+    classwise_table(
+        6,
+        "Table 6: Class-wise results, RGB-histogram matching (NYU v. SNS1).",
+        rows,
+        &truth,
+        5,
+        "NYU v. SNS1",
+    )
+}
+
+/// Tables 7 and 8: class-wise hybrid results. Table 7 = NYU v SNS1;
+/// Table 8 = SNS2 v SNS1.
+pub fn table7or8(cfg: &ReproConfig, table: usize) -> TableOutput {
+    assert!(table == 7 || table == 8, "only tables 7 and 8 share this layout");
+    let sns1 = shapenet_set1(cfg.seed);
+    let refs = prepare_views(&sns1, Background::White);
+    let (queries, dataset, decimals) = if table == 7 {
+        (prepare_views(&cfg.nyu(), Background::Black), "NYU v. SNS1", 5)
+    } else {
+        (prepare_views(&shapenet_set2(cfg.seed), Background::White), "SNS2 v. SNS1", 2)
+    };
+    let truth = truth_of(&queries);
+    let hybrid = HybridConfig { alpha: cfg.alpha, beta: cfg.beta, ..Default::default() };
+    let rows: Vec<_> = Aggregation::ALL
+        .iter()
+        .map(|&agg| {
+            (agg.label().to_string(), classify_hybrid(&queries, &refs, &hybrid, agg))
+        })
+        .collect();
+    let title = format!(
+        "Table {table}: Class-wise results, hybrid Hu-L3 + Hellinger (alpha=0.3, beta=0.7), {dataset}.",
+    );
+    classwise_table(table, &title, rows, &truth, decimals, dataset)
+}
+
+/// Table 9: class-wise descriptor-matching results (SNS1 v SNS2, ratio 0.5).
+pub fn table9(cfg: &ReproConfig) -> TableOutput {
+    let sns1 = shapenet_set1(cfg.seed);
+    let sns2 = shapenet_set2(cfg.seed);
+    let truth: Vec<ObjectClass> = sns1.images.iter().map(|i| i.class).collect();
+    let rows: Vec<_> = DescriptorKind::ALL
+        .iter()
+        .map(|&kind| {
+            let q = extract_index(&sns1, kind);
+            let r = extract_index(&sns2, kind);
+            (kind.label().to_string(), classify_descriptors(&q, &r, 0.5))
+        })
+        .collect();
+    classwise_table(
+        9,
+        "Table 9: Class-wise results, descriptor matching (SNS1 v. SNS2, ratio 0.5).",
+        rows,
+        &truth,
+        2,
+        "SNS1 v. SNS2",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ReproConfig {
+        let mut cfg = ReproConfig::quick(2019);
+        cfg.nyu_per_class = Some(5);
+        cfg.siamese = SiameseConfig::quick();
+        cfg.siamese.n_train_pairs = 40;
+        cfg.siamese.train.max_epochs = 1;
+        cfg
+    }
+
+    #[test]
+    fn table1_reproduces_catalog_counts() {
+        let out = table1(&ReproConfig::quick(2019));
+        assert!(out.text.contains("Chair"));
+        assert!(out.text.contains("82"));
+        assert!(out.text.contains("100"));
+    }
+
+    #[test]
+    fn table2_has_eleven_rows_and_all_records() {
+        let out = table2(&tiny());
+        assert_eq!(out.records.len(), 22); // 11 approaches x 2 datasets
+        assert!(out.text.contains("Baseline"));
+        assert!(out.text.contains("Shape+Color (macro-avg)"));
+    }
+
+    #[test]
+    fn table5_layout() {
+        let out = table5(&tiny());
+        // 4 approaches x 4 measures.
+        assert_eq!(out.records.len(), 4);
+        assert!(out.text.contains("Chair"));
+        assert!(out.text.contains("Baseline"));
+        assert!(out.text.contains("Shape only L3"));
+    }
+
+    #[test]
+    fn table8_is_sns2_v_sns1() {
+        let out = table7or8(&tiny(), 8);
+        assert!(out.text.contains("SNS2 v. SNS1"));
+        assert_eq!(out.records.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "only tables 7 and 8")]
+    fn table7or8_rejects_other_ids() {
+        let _ = table7or8(&tiny(), 9);
+    }
+}

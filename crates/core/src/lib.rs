@@ -1,0 +1,79 @@
+//! # taor-core
+//!
+//! The five object-recognition pipelines of Chiatti et al., *Exploring
+//! Task-agnostic, ShapeNet-based Object Recognition for Mobile Robots*
+//! (Workshops of the EDBT/ICDT 2019 Joint Conference), plus the
+//! evaluation and reporting machinery that regenerates the paper's nine
+//! tables.
+//!
+//! | Pipeline | Module | Paper section |
+//! |---|---|---|
+//! | (i) shape-only (Hu moments, L1/L2/L3) | [`shape_only`] | §3.2 |
+//! | (ii) colour-only (4 histogram metrics) | [`color_only`] | §3.2 |
+//! | (iii) hybrid αS + βC (3 aggregations) | [`hybrid`] | §3.2 |
+//! | (iv) SIFT / SURF / ORB descriptors | [`descriptors`] | §3.3 |
+//! | (v) Normalized-X-Corr Siamese net | [`siamese`] | §3.4 |
+//!
+//! All pipelines share the 4-step preprocessing of [`preprocess`] and the
+//! metric conventions of [`eval`] (including the paper's idiosyncratic
+//! per-class precision, `TP/N_total`, reverse-engineered from its
+//! baseline rows).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use taor_core::prelude::*;
+//! use taor_data::{shapenet_set1, shapenet_set2};
+//!
+//! // Match SNS2 views against SNS1 with the paper's best hybrid config.
+//! let refs = prepare_views(&shapenet_set1(2019), Background::White);
+//! let queries = prepare_views(&shapenet_set2(2019), Background::White);
+//! let preds = classify_hybrid(
+//!     &queries, &refs, &HybridConfig::default(), Aggregation::WeightedSum,
+//! );
+//! let eval = evaluate(&truth_of(&queries), &preds);
+//! assert!(eval.cumulative_accuracy > 0.1); // beats the random baseline
+//! ```
+
+pub mod color_only;
+pub mod descriptors;
+pub mod eval;
+pub mod hybrid;
+pub mod pipeline;
+pub mod preprocess;
+pub mod recognizer;
+pub mod report;
+pub mod segment;
+pub mod shape_only;
+pub mod siamese;
+
+/// Glob-import of the common pipeline API.
+pub mod prelude {
+    pub use crate::color_only::ColorScorer;
+    pub use crate::descriptors::{
+        classify_descriptors, classify_descriptors_verified, extract_index, index_truth,
+        DescriptorIndex, DescriptorKind,
+    };
+    pub use crate::eval::{
+        evaluate, evaluate_binary, random_baseline, BinaryEvaluation, ClassMetrics, Evaluation,
+    };
+    pub use crate::hybrid::{classify_hybrid, Aggregation, HybridConfig};
+    pub use crate::pipeline::{
+        classify_per_view, classify_per_view_ranked, prepare_views, truth_of, MatchScorer,
+        RefView,
+    };
+    pub use crate::preprocess::{binarise, preprocess, Background, Preprocessed, HIST_BINS};
+    pub use crate::recognizer::{Method, Recognition, Recognizer};
+    pub use crate::report::{classwise_headers, classwise_rows, fmt_f, ExperimentRecord, TextTable};
+    pub use crate::segment::{
+        border_colors, evaluate_scene, foreground_mask, iou, mask_against, recognise_frame,
+        segment_frame, Detection, SceneEvaluation, SegmentConfig, SegmentedObject,
+    };
+    pub use crate::shape_only::ShapeScorer;
+    pub use crate::siamese::{
+        evaluate_siamese, image_to_tensor, pairs_to_samples, train_siamese, CosineSiamese,
+        SiameseConfig,
+    };
+}
+
+pub use prelude::*;

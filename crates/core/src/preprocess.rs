@@ -1,0 +1,160 @@
+//! The paper's four-step preprocessing pipeline (§3.2):
+//!
+//! "we (i) first converted to grayscale, (ii) applied global binary
+//! thresholding (or its inverse, depending on whether the input background
+//! was black or white respectively), (iii) contour detection on cascade,
+//! and (iv) cropped the original RGB image to the contour of largest
+//! area."
+//!
+//! The output bundles everything the matching pipelines consume: the RGB
+//! crop, the binary mask crop, the largest contour's Hu invariants, and
+//! the RGB histogram of the crop.
+
+use taor_imgproc::prelude::*;
+
+/// Background convention of the source corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Background {
+    /// ShapeNet 2-D views: white background → inverse thresholding.
+    White,
+    /// NYU segmented crops: black mask → direct thresholding.
+    Black,
+}
+
+/// Default histogram bins per channel used throughout the reproduction.
+pub const HIST_BINS: usize = 32;
+
+/// Features extracted from one image by the preprocessing pipeline.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// RGB image cropped to the largest contour's bounding box.
+    pub crop: RgbImage,
+    /// Binary mask over the same bounding box (255 = object).
+    pub mask: GrayImage,
+    /// Hu invariants of the largest contour.
+    pub hu: HuMoments,
+    /// Per-channel RGB histogram of the crop.
+    pub hist: RgbHistogram,
+    /// Whether the contour stage succeeded (false = whole-image fallback,
+    /// which happens when thresholding erases the object — e.g. white
+    /// paper on the white catalog background, the very failure mode behind
+    /// the Paper class's zero rows in the paper's appendix).
+    pub contour_ok: bool,
+}
+
+/// Binarise according to the background convention.
+pub fn binarise(img: &RgbImage, bg: Background) -> GrayImage {
+    let gray = rgb_to_gray(img);
+    match bg {
+        // White background: object pixels are the *darker* ones.
+        Background::White => threshold_binary_inv(&gray, 245),
+        // Black mask: object pixels are the brighter ones.
+        Background::Black => threshold_binary(&gray, 10),
+    }
+}
+
+/// Run the full preprocessing pipeline on one image.
+///
+/// Never fails: when no usable contour is found the whole image is used
+/// as the crop (flagged via [`Preprocessed::contour_ok`]), mirroring how a
+/// brittle thresholding stage degrades rather than aborts a robot's
+/// recognition loop.
+pub fn preprocess(img: &RgbImage, bg: Background, bins: usize) -> Preprocessed {
+    let bin = binarise(img, bg);
+    let contours = find_contours(&bin);
+    let largest = largest_contour(&contours).filter(|c| c.area() >= 4.0);
+
+    let (crop, mask, hu, contour_ok) = match largest {
+        Some(contour) => {
+            let rect = contour.bounding_rect();
+            let crop = img.crop(rect).expect("bounding rect lies inside the image");
+            let mask = bin.crop(rect).expect("same rect, same image size");
+            let hu = hu_moments(&moments_of_contour(contour));
+            (crop, mask, hu, true)
+        }
+        None => {
+            let hu = hu_moments(&moments(&bin, true));
+            (img.clone(), bin, hu, false)
+        }
+    };
+    let hist = rgb_histogram(&crop, bins).expect("bins validated by caller contract");
+    Preprocessed { crop, mask, hu, hist, contour_ok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taor_imgproc::draw::Canvas;
+
+    fn object_on(bg: [u8; 3], color: [u8; 3]) -> RgbImage {
+        let mut c = Canvas::new(64, 64, bg);
+        c.fill_rect(20.0, 14.0, 24.0, 36.0, color);
+        c.into_image()
+    }
+
+    #[test]
+    fn white_background_crop() {
+        let img = object_on([255, 255, 255], [120, 60, 40]);
+        let p = preprocess(&img, Background::White, HIST_BINS);
+        assert!(p.contour_ok);
+        assert_eq!(p.crop.dimensions(), (24, 36));
+        assert_eq!(p.crop.pixel(0, 0), [120, 60, 40]);
+    }
+
+    #[test]
+    fn black_background_crop() {
+        let img = object_on([0, 0, 0], [120, 160, 200]);
+        let p = preprocess(&img, Background::Black, HIST_BINS);
+        assert!(p.contour_ok);
+        assert_eq!(p.crop.dimensions(), (24, 36));
+    }
+
+    #[test]
+    fn same_object_same_hu_across_backgrounds() {
+        let white = object_on([255, 255, 255], [90, 90, 90]);
+        let black = object_on([0, 0, 0], [90, 90, 90]);
+        let pw = preprocess(&white, Background::White, HIST_BINS);
+        let pb = preprocess(&black, Background::Black, HIST_BINS);
+        for i in 0..7 {
+            assert!(
+                (pw.hu[i] - pb.hu[i]).abs() < 1e-9,
+                "hu[{i}] differs across background conventions"
+            );
+        }
+    }
+
+    #[test]
+    fn white_object_on_white_background_falls_back() {
+        // The Paper-class failure mode: thresholding erases the object.
+        let img = object_on([255, 255, 255], [252, 252, 250]);
+        let p = preprocess(&img, Background::White, HIST_BINS);
+        assert!(!p.contour_ok);
+        assert_eq!(p.crop.dimensions(), (64, 64));
+    }
+
+    #[test]
+    fn empty_black_image_falls_back() {
+        let img = RgbImage::new(32, 32);
+        let p = preprocess(&img, Background::Black, HIST_BINS);
+        assert!(!p.contour_ok);
+        assert!(p.hu.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn histogram_reflects_crop_not_full_image() {
+        let img = object_on([255, 255, 255], [200, 30, 30]);
+        let p = preprocess(&img, Background::White, HIST_BINS);
+        // The crop is pure object: the red bin dominates channel 0's top.
+        let r_hist = &p.hist.as_slice()[..HIST_BINS];
+        let red_bin = (200 * HIST_BINS) / 256;
+        assert!(r_hist[red_bin] > 0.9, "red bin mass {}", r_hist[red_bin]);
+    }
+
+    #[test]
+    fn mask_matches_crop_dimensions() {
+        let img = object_on([255, 255, 255], [10, 120, 220]);
+        let p = preprocess(&img, Background::White, HIST_BINS);
+        assert_eq!(p.mask.dimensions(), p.crop.dimensions());
+        assert!(p.mask.as_raw().iter().any(|&v| v == 255));
+    }
+}

@@ -1,0 +1,178 @@
+//! Plain-text table rendering and JSON experiment records.
+//!
+//! The repro harness prints each paper table in the same row/column
+//! layout as the publication and can persist every run as JSON for
+//! later diffing.
+
+use crate::eval::{BinaryEvaluation, Evaluation};
+use serde::Serialize;
+use std::fmt::Write as _;
+use taor_data::ObjectClass;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; must match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "{}", self.title);
+            let _ = writeln!(out, "{}", "=".repeat(self.title.len().min(100)));
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a float the way the paper's tables do (5 decimals for NYU-scale
+/// tables, 2 for the small SNS tables).
+pub fn fmt_f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Build the class-wise block for one approach row (Tables 5–9 layout:
+/// one row per measure, one column per class).
+pub fn classwise_rows(
+    table: &mut TextTable,
+    approach: &str,
+    eval: &Evaluation,
+    decimals: usize,
+) {
+    let measures: [(&str, fn(&crate::eval::ClassMetrics) -> f64); 4] = [
+        ("Accuracy", |m| m.accuracy),
+        ("Precision", |m| m.precision_paper),
+        ("Recall", |m| m.recall),
+        ("F1", |m| m.f1),
+    ];
+    for (i, (name, get)) in measures.iter().enumerate() {
+        let mut cells = Vec::with_capacity(2 + ObjectClass::COUNT);
+        cells.push(if i == 0 { approach.to_string() } else { String::new() });
+        cells.push(name.to_string());
+        for m in &eval.per_class {
+            cells.push(fmt_f(get(m), decimals));
+        }
+        table.row(cells);
+    }
+}
+
+/// A serialisable record of one experiment run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentRecord {
+    /// Table id (1–9).
+    pub table: usize,
+    /// Approach label as printed.
+    pub approach: String,
+    /// Query/reference description ("NYU v. SNS1" etc.).
+    pub dataset: String,
+    pub cumulative_accuracy: Option<f64>,
+    pub evaluation: Option<Evaluation>,
+    pub binary: Option<BinaryEvaluation>,
+}
+
+/// Standard header row for class-wise tables.
+pub fn classwise_headers() -> Vec<&'static str> {
+    let mut h = vec!["Approach", "Measure"];
+    h.extend(ObjectClass::ALL.iter().map(|c| c.name()));
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new("Demo", &["A", "Long header", "B"]);
+        t.row(vec!["x".into(), "1".into(), "yy".into()]);
+        t.row(vec!["longer".into(), "2".into(), "z".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("Demo"));
+        assert!(lines[2].starts_with("A"));
+        // All data lines have equal leading column width.
+        let col = lines[4].find("1").unwrap();
+        assert_eq!(lines[5].find("2").unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_row_width_panics() {
+        let mut t = TextTable::new("T", &["A", "B"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn classwise_rows_have_fixed_layout() {
+        let truth: Vec<ObjectClass> =
+            (0..100).map(|i| ObjectClass::from_index(i % 10).unwrap()).collect();
+        let eval = evaluate(&truth, &truth);
+        let mut t = TextTable::new("t", &classwise_headers());
+        classwise_rows(&mut t, "Perfect", &eval, 3);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0][0], "Perfect");
+        assert_eq!(t.rows[1][0], "");
+        assert_eq!(t.rows[0][1], "Accuracy");
+        assert_eq!(t.rows[0][2], "1.000");
+    }
+
+    #[test]
+    fn fmt_f_rounds() {
+        assert_eq!(fmt_f(0.123456, 5), "0.12346");
+        assert_eq!(fmt_f(0.1, 2), "0.10");
+    }
+
+    #[test]
+    fn experiment_record_serialises() {
+        let rec = ExperimentRecord {
+            table: 2,
+            approach: "Baseline".into(),
+            dataset: "NYU v. SNS1".into(),
+            cumulative_accuracy: Some(0.1),
+            evaluation: None,
+            binary: None,
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"table\":2"));
+    }
+}

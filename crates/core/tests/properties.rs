@@ -1,0 +1,134 @@
+//! Property-based tests for evaluation metrics and pipeline invariants.
+
+use proptest::prelude::*;
+use taor_core::prelude::*;
+use taor_core::eval::{roc_auc, top_k_accuracy};
+use taor_data::ObjectClass;
+
+fn arb_classes(len: usize) -> impl Strategy<Value = Vec<ObjectClass>> {
+    proptest::collection::vec(0usize..ObjectClass::COUNT, len)
+        .prop_map(|v| v.into_iter().map(|i| ObjectClass::from_index(i).unwrap()).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accuracy_bounded_and_consistent(truth in arb_classes(40), preds in arb_classes(40)) {
+        let e = evaluate(&truth, &preds);
+        prop_assert!((0.0..=1.0).contains(&e.cumulative_accuracy));
+        // Confusion-matrix marginals: rows sum to class supports; the
+        // total equals the sample count.
+        let total: usize = e.confusion.iter().flatten().sum();
+        prop_assert_eq!(total, 40);
+        for (c, m) in e.per_class.iter().enumerate() {
+            let row_sum: usize = e.confusion[c].iter().sum();
+            prop_assert_eq!(row_sum, m.support);
+            prop_assert!((0.0..=1.0).contains(&m.recall));
+            prop_assert!((0.0..=1.0).contains(&m.precision_std));
+            prop_assert!(m.precision_paper <= m.recall + 1e-12,
+                "paper precision can never exceed recall (divides by N >= support)");
+        }
+        // Cumulative accuracy equals the diagonal mass.
+        let diag: usize = (0..ObjectClass::COUNT).map(|i| e.confusion[i][i]).sum();
+        prop_assert!((e.cumulative_accuracy - diag as f64 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_evaluation_is_perfect(truth in arb_classes(25)) {
+        let e = evaluate(&truth, &truth);
+        prop_assert_eq!(e.cumulative_accuracy, 1.0);
+        for m in &e.per_class {
+            if m.support > 0 {
+                prop_assert_eq!(m.recall, 1.0);
+                prop_assert_eq!(m.precision_std, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn binary_metrics_bounded(
+        truth in proptest::collection::vec(0usize..2, 30),
+        preds in proptest::collection::vec(0usize..2, 30),
+    ) {
+        let e = evaluate_binary(&truth, &preds);
+        for m in [e.similar, e.dissimilar] {
+            prop_assert!((0.0..=1.0).contains(&m.precision));
+            prop_assert!((0.0..=1.0).contains(&m.recall));
+            prop_assert!(m.f1 <= 1.0 + 1e-12);
+            // F1 is bounded by min and max of P and R (harmonic mean).
+            if m.precision > 0.0 && m.recall > 0.0 {
+                prop_assert!(m.f1 >= m.precision.min(m.recall) - 1e-9);
+                prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-9);
+            }
+        }
+        prop_assert_eq!(e.similar.support + e.dissimilar.support, 30);
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transforms(
+        truth in proptest::collection::vec(0usize..2, 20),
+        scores in proptest::collection::vec(0.0f32..1.0, 20),
+    ) {
+        let a1 = roc_auc(&truth, &scores);
+        let transformed: Vec<f32> = scores.iter().map(|&s| s * s * 10.0 + 1.0).collect();
+        let a2 = roc_auc(&truth, &transformed);
+        prop_assert!((a1 - a2).abs() < 1e-9, "AUC must be rank-based: {} vs {}", a1, a2);
+        prop_assert!((0.0..=1.0).contains(&a1));
+    }
+
+    #[test]
+    fn auc_flips_under_score_negation(
+        truth in proptest::collection::vec(0usize..2, 16),
+        scores in proptest::collection::vec(-5.0f32..5.0, 16),
+    ) {
+        let a = roc_auc(&truth, &scores);
+        let neg: Vec<f32> = scores.iter().map(|&s| -s).collect();
+        let b = roc_auc(&truth, &neg);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "{} + {} != 1", a, b);
+    }
+
+    #[test]
+    fn top_k_is_monotone(truth in arb_classes(12), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let rankings: Vec<Vec<ObjectClass>> = (0..12)
+            .map(|_| {
+                let mut order: Vec<ObjectClass> = ObjectClass::ALL.to_vec();
+                for i in (1..order.len()).rev() {
+                    order.swap(i, rng.gen_range(0..=i));
+                }
+                order
+            })
+            .collect();
+        let mut prev = 0.0;
+        for k in 1..=ObjectClass::COUNT {
+            let acc = top_k_accuracy(&truth, &rankings, k);
+            prop_assert!(acc + 1e-12 >= prev);
+            prev = acc;
+        }
+        prop_assert_eq!(prev, 1.0, "top-10 over 10 classes must be 1");
+    }
+
+    #[test]
+    fn iou_bounded_and_symmetric(
+        ax in 0u32..50, ay in 0u32..50, aw in 1u32..30, ah in 1u32..30,
+        bx in 0u32..50, by in 0u32..50, bw in 1u32..30, bh in 1u32..30,
+    ) {
+        let a = taor_imgproc::Rect::new(ax, ay, aw, ah);
+        let b = taor_imgproc::Rect::new(bx, by, bw, bh);
+        let v = iou(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((v - iou(&b, &a)).abs() < 1e-12);
+        prop_assert_eq!(iou(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn random_baseline_deterministic_and_bounded(truth in arb_classes(60), seed in any::<u64>()) {
+        let p1 = random_baseline(&truth, seed);
+        let p2 = random_baseline(&truth, seed);
+        prop_assert_eq!(&p1, &p2);
+        let e = evaluate(&truth, &p1);
+        prop_assert!(e.cumulative_accuracy < 0.55, "baseline suspiciously strong");
+    }
+}

@@ -1,0 +1,238 @@
+//! The ten object classes of the paper's evaluation (Table 1), their
+//! dataset cardinalities, and WordNet-style synset links.
+//!
+//! ShapeNet "is linked with the ImageNet set as well" and its annotation
+//! "is based on synsets"; the paper's motivation is that matching against
+//! ShapeNet models yields not just a label but an entry point into a
+//! concept graph for knowledge grounding. The [`Synset`] table preserves
+//! that linkage for the semantic-mapping example.
+
+use serde::{Deserialize, Serialize};
+
+/// The ten target classes, in Table 1 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ObjectClass {
+    Chair,
+    Bottle,
+    Paper,
+    Book,
+    Table,
+    Box,
+    Window,
+    Door,
+    Sofa,
+    Lamp,
+}
+
+impl ObjectClass {
+    /// All classes in Table 1 order.
+    pub const ALL: [ObjectClass; 10] = [
+        ObjectClass::Chair,
+        ObjectClass::Bottle,
+        ObjectClass::Paper,
+        ObjectClass::Book,
+        ObjectClass::Table,
+        ObjectClass::Box,
+        ObjectClass::Window,
+        ObjectClass::Door,
+        ObjectClass::Sofa,
+        ObjectClass::Lamp,
+    ];
+
+    /// Number of classes.
+    pub const COUNT: usize = 10;
+
+    /// Stable index in `0..10` (Table 1 order).
+    pub fn index(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("class is in ALL")
+    }
+
+    /// Class from its index.
+    pub fn from_index(i: usize) -> Option<ObjectClass> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObjectClass::Chair => "Chair",
+            ObjectClass::Bottle => "Bottle",
+            ObjectClass::Paper => "Paper",
+            ObjectClass::Book => "Book",
+            ObjectClass::Table => "Table",
+            ObjectClass::Box => "Box",
+            ObjectClass::Window => "Window",
+            ObjectClass::Door => "Door",
+            ObjectClass::Sofa => "Sofa",
+            ObjectClass::Lamp => "Lamp",
+        }
+    }
+
+    /// Number of 2-D views in ShapeNetSet1 (Table 1).
+    pub fn sns1_count(&self) -> usize {
+        match self {
+            ObjectClass::Chair => 14,
+            ObjectClass::Bottle => 12,
+            ObjectClass::Paper
+            | ObjectClass::Book
+            | ObjectClass::Table
+            | ObjectClass::Box
+            | ObjectClass::Sofa => 8,
+            ObjectClass::Window | ObjectClass::Lamp => 6,
+            ObjectClass::Door => 4,
+        }
+    }
+
+    /// Number of 2-D views in ShapeNetSet2 (Table 1: ten per class).
+    pub fn sns2_count(&self) -> usize {
+        10
+    }
+
+    /// Number of segmented crops in the NYUSet (Table 1; chairs
+    /// down-sampled to 1000 by the authors).
+    pub fn nyu_count(&self) -> usize {
+        match self {
+            ObjectClass::Chair => 1000,
+            ObjectClass::Bottle => 920,
+            ObjectClass::Paper => 790,
+            ObjectClass::Book => 760,
+            ObjectClass::Table => 726,
+            ObjectClass::Box => 637,
+            ObjectClass::Window => 617,
+            ObjectClass::Door => 511,
+            ObjectClass::Sofa => 495,
+            ObjectClass::Lamp => 478,
+        }
+    }
+
+    /// WordNet-style synset record for knowledge grounding.
+    pub fn synset(&self) -> Synset {
+        match self {
+            ObjectClass::Chair => Synset {
+                id: "n03001627",
+                lemma: "chair",
+                gloss: "a seat for one person, with a support for the back",
+                hypernyms: &["seat", "furniture", "furnishing", "artifact"],
+            },
+            ObjectClass::Bottle => Synset {
+                id: "n02876657",
+                lemma: "bottle",
+                gloss: "a glass or plastic vessel used for storing drinks or other liquids",
+                hypernyms: &["vessel", "container", "instrumentality", "artifact"],
+            },
+            ObjectClass::Paper => Synset {
+                id: "n14974264",
+                lemma: "paper",
+                gloss: "a material made of cellulose pulp",
+                hypernyms: &["material", "substance", "matter"],
+            },
+            ObjectClass::Book => Synset {
+                id: "n02870092",
+                lemma: "book",
+                gloss: "a written work or composition that has been published",
+                hypernyms: &["publication", "work", "artifact"],
+            },
+            ObjectClass::Table => Synset {
+                id: "n04379243",
+                lemma: "table",
+                gloss: "a piece of furniture having a smooth flat top supported by legs",
+                hypernyms: &["furniture", "furnishing", "artifact"],
+            },
+            ObjectClass::Box => Synset {
+                id: "n02883344",
+                lemma: "box",
+                gloss: "a (usually rectangular) container; may have a lid",
+                hypernyms: &["container", "instrumentality", "artifact"],
+            },
+            ObjectClass::Window => Synset {
+                id: "n04587648",
+                lemma: "window",
+                gloss: "a framework of wood or metal that contains a glass windowpane",
+                hypernyms: &["framework", "supporting structure", "structure"],
+            },
+            ObjectClass::Door => Synset {
+                id: "n03221720",
+                lemma: "door",
+                gloss: "a swinging or sliding barrier that will close the entrance to a room",
+                hypernyms: &["movable barrier", "barrier", "structure"],
+            },
+            ObjectClass::Sofa => Synset {
+                id: "n04256520",
+                lemma: "sofa",
+                gloss: "an upholstered seat for more than one person",
+                hypernyms: &["seat", "furniture", "furnishing", "artifact"],
+            },
+            ObjectClass::Lamp => Synset {
+                id: "n03636649",
+                lemma: "lamp",
+                gloss: "a piece of furniture holding one or more electric light bulbs",
+                hypernyms: &["furniture", "furnishing", "artifact"],
+            },
+        }
+    }
+}
+
+/// A WordNet-style synset entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Synset {
+    /// WordNet 3.0 offset-style identifier.
+    pub id: &'static str,
+    /// Primary lemma.
+    pub lemma: &'static str,
+    /// Dictionary gloss.
+    pub gloss: &'static str,
+    /// Hypernym chain towards the root.
+    pub hypernyms: &'static [&'static str],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals() {
+        let sns1: usize = ObjectClass::ALL.iter().map(|c| c.sns1_count()).sum();
+        let sns2: usize = ObjectClass::ALL.iter().map(|c| c.sns2_count()).sum();
+        let nyu: usize = ObjectClass::ALL.iter().map(|c| c.nyu_count()).sum();
+        assert_eq!(sns1, 82);
+        assert_eq!(sns2, 100);
+        assert_eq!(nyu, 6934);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, c) in ObjectClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(ObjectClass::from_index(i), Some(*c));
+        }
+        assert_eq!(ObjectClass::from_index(10), None);
+    }
+
+    #[test]
+    fn names_match_paper_order() {
+        let names: Vec<_> = ObjectClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            ["Chair", "Bottle", "Paper", "Book", "Table", "Box", "Window", "Door", "Sofa", "Lamp"]
+        );
+    }
+
+    #[test]
+    fn synsets_are_complete() {
+        for c in ObjectClass::ALL {
+            let s = c.synset();
+            assert!(s.id.starts_with('n'));
+            assert!(!s.hypernyms.is_empty());
+            assert!(!s.gloss.is_empty());
+        }
+    }
+
+    #[test]
+    fn chair_and_sofa_share_seat_hypernym() {
+        // The grounding the paper motivates: related classes share concepts.
+        let chair = ObjectClass::Chair.synset();
+        let sofa = ObjectClass::Sofa.synset();
+        assert!(chair.hypernyms.contains(&"seat"));
+        assert!(sofa.hypernyms.contains(&"seat"));
+    }
+}

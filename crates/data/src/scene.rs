@@ -1,0 +1,189 @@
+//! Multi-object room frames — the mobile-robot setting the paper's
+//! conclusion targets ("for further application on RGB frames captured by
+//! a mobile robot in a real-life scenario").
+//!
+//! The paper deliberately evaluated on pre-segmented crops "leaving
+//! potential error-propagation from segmentation faults out of the
+//! picture". This module renders whole frames (wall + floor + several
+//! objects with ground-truth boxes) so that `taor-core::segment` can
+//! close the loop and *measure* that error propagation.
+
+use crate::classes::ObjectClass;
+use crate::shapes::{draw_object, sample_model, ViewParams};
+use rand::Rng;
+use taor_imgproc::draw::Canvas;
+use taor_imgproc::image::{Rect, RgbImage};
+
+/// Frame dimensions (w, h) of a simulated robot camera.
+pub const FRAME_W: u32 = 320;
+pub const FRAME_H: u32 = 200;
+
+/// One placed object with its ground truth.
+#[derive(Debug, Clone)]
+pub struct SceneObject {
+    pub class: ObjectClass,
+    /// Ground-truth bounding box of the drawn object.
+    pub bbox: Rect,
+}
+
+/// A rendered room frame.
+#[derive(Debug, Clone)]
+pub struct RoomScene {
+    pub image: RgbImage,
+    pub objects: Vec<SceneObject>,
+    /// The wall / floor colours used (the segmentation front-end estimates
+    /// these from the image borders; tests can compare).
+    pub wall: [u8; 3],
+    pub floor: [u8; 3],
+}
+
+/// Render a room with `n_objects` objects drawn from `classes` (cycled).
+pub fn render_room(classes: &[ObjectClass], rng: &mut impl Rng) -> RoomScene {
+    assert!(!classes.is_empty(), "at least one class required");
+    let wall = [
+        196u8.saturating_add_signed(rng.gen_range(-20..20)),
+        188u8.saturating_add_signed(rng.gen_range(-20..20)),
+        172u8.saturating_add_signed(rng.gen_range(-20..20)),
+    ];
+    let floor = [
+        140u8.saturating_add_signed(rng.gen_range(-20..20)),
+        108u8.saturating_add_signed(rng.gen_range(-16..16)),
+        76u8.saturating_add_signed(rng.gen_range(-14..14)),
+    ];
+    let mut canvas = Canvas::new(FRAME_W, FRAME_H, wall);
+    // Floor: lower third, with plank seams.
+    let horizon = FRAME_H as f32 * rng.gen_range(0.6..0.72);
+    canvas.fill_rect(0.0, horizon, FRAME_W as f32, FRAME_H as f32 - horizon, floor);
+    for i in 0..6 {
+        let y = horizon + (FRAME_H as f32 - horizon) * i as f32 / 6.0;
+        let seam = [
+            floor[0].saturating_sub(14),
+            floor[1].saturating_sub(12),
+            floor[2].saturating_sub(10),
+        ];
+        canvas.fill_rect(0.0, y, FRAME_W as f32, 1.5, seam);
+    }
+
+    // Place the objects left to right with jitter; objects sit on the
+    // floor line.
+    let n = classes.len();
+    let slot_w = FRAME_W as f32 / n as f32;
+    let mut objects = Vec::with_capacity(n);
+    for (i, &class) in classes.iter().enumerate() {
+        let model = sample_model(class, rng);
+        // Keep objects comfortably inside their slot so neighbouring
+        // silhouettes do not merge into one connected component.
+        let max_scale = (slot_w / 4.5).min(30.0);
+        let scale = rng.gen_range(max_scale * 0.65..max_scale);
+        let cx = slot_w * (i as f32 + 0.5) + rng.gen_range(-8.0..8.0);
+        let cy = horizon - scale * 0.35 + rng.gen_range(-8.0..4.0);
+        let view = ViewParams {
+            rotation: rng.gen_range(-0.15..0.15),
+            scale,
+            cx,
+            cy,
+            flip: rng.gen_bool(0.5),
+            stretch_x: rng.gen_range(0.8..1.2),
+            stretch_y: rng.gen_range(0.85..1.15),
+            shear: rng.gen_range(-0.15..0.15),
+        };
+        // Exact ground truth: diff the canvas around the draw call and
+        // box the changed pixels.
+        let before = canvas.image().clone();
+        draw_object(&mut canvas, &model, view);
+        let after = canvas.image();
+        let (mut x0, mut y0, mut x1, mut y1) = (u32::MAX, u32::MAX, 0u32, 0u32);
+        for (x, y, px) in after.enumerate_pixels() {
+            if px != before.pixel(x, y) {
+                x0 = x0.min(x);
+                y0 = y0.min(y);
+                x1 = x1.max(x);
+                y1 = y1.max(y);
+            }
+        }
+        if x0 <= x1 && y0 <= y1 {
+            objects.push(SceneObject {
+                class,
+                bbox: Rect::new(x0, y0, x1 - x0 + 1, y1 - y0 + 1),
+            });
+        }
+    }
+
+    // Mild sensor noise over the whole frame.
+    let mut img = canvas.into_image();
+    for v in img.as_raw_mut().iter_mut() {
+        let noise = rng.gen_range(-5i16..=5);
+        *v = (*v as i16 + noise).clamp(0, 255) as u8;
+    }
+    RoomScene { image: img, objects, wall, floor }
+}
+
+/// A deterministic patrol of room frames covering all ten classes.
+pub fn patrol_frames(seed: u64, n_frames: usize) -> Vec<RoomScene> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x500C);
+    (0..n_frames)
+        .map(|i| {
+            let k = 3 + (i % 3);
+            let classes: Vec<ObjectClass> = (0..k)
+                .map(|j| ObjectClass::ALL[(i * 3 + j * 7 + 1) % ObjectClass::COUNT])
+                .collect();
+            render_room(&classes, &mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn room_contains_all_requested_objects() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let scene = render_room(
+            &[ObjectClass::Chair, ObjectClass::Lamp, ObjectClass::Table],
+            &mut rng,
+        );
+        assert_eq!(scene.objects.len(), 3);
+        assert_eq!(scene.image.dimensions(), (FRAME_W, FRAME_H));
+        for obj in &scene.objects {
+            assert!(obj.bbox.width > 10 && obj.bbox.height > 10);
+            assert!(obj.bbox.x + obj.bbox.width <= FRAME_W);
+            assert!(obj.bbox.y + obj.bbox.height <= FRAME_H);
+        }
+    }
+
+    #[test]
+    fn background_dominates_border_pixels() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let scene = render_room(&[ObjectClass::Box], &mut rng);
+        // Top row should be wall-ish.
+        let mut close = 0;
+        for x in 0..FRAME_W {
+            let px = scene.image.pixel(x, 0);
+            if px.iter().zip(&scene.wall).all(|(&a, &b)| (a as i16 - b as i16).abs() < 20) {
+                close += 1;
+            }
+        }
+        assert!(close * 10 > FRAME_W * 9, "{close}/{FRAME_W} wall-coloured");
+    }
+
+    #[test]
+    fn patrol_is_deterministic_and_nonempty() {
+        let a = patrol_frames(9, 4);
+        let b = patrol_frames(9, 4);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.image, y.image);
+        }
+        assert!(a.iter().all(|s| !s.objects.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_class_list_panics() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        render_room(&[], &mut rng);
+    }
+}

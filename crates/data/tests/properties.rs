@@ -1,0 +1,75 @@
+//! Property-based tests for the synthetic dataset substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use taor_data::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_seed_gives_table1_cardinalities(seed in any::<u64>()) {
+        let sns1 = shapenet_set1(seed);
+        prop_assert_eq!(sns1.len(), 82);
+        prop_assert_eq!(sns1.class_counts(), [14, 12, 8, 8, 8, 8, 6, 4, 8, 6]);
+        let sns2 = shapenet_set2(seed);
+        prop_assert_eq!(sns2.len(), 100);
+    }
+
+    #[test]
+    fn every_catalog_view_contains_an_object(seed in any::<u64>()) {
+        let sns1 = shapenet_set1(seed);
+        for img in sns1.images.iter().step_by(11) {
+            let non_white = img
+                .image
+                .as_raw()
+                .chunks_exact(3)
+                .filter(|px| *px != &[255, 255, 255])
+                .count();
+            // Thin-silhouette classes (desk lamps) at minimum scale and
+            // stretch can render barely above 100 px.
+            prop_assert!(non_white > 90, "{:?} drew {} pixels", img.class, non_white);
+        }
+    }
+
+    #[test]
+    fn scene_crops_keep_object_visible(seed in any::<u64>(), class_idx in 0usize..10) {
+        let class = ObjectClass::from_index(class_idx).unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let model = sample_model(class, &mut rng);
+        let crop = render_scene_crop(&model, &mut rng);
+        let visible = crop.as_raw().chunks_exact(3).filter(|px| *px != &[0, 0, 0]).count();
+        prop_assert!(visible > 120, "{class:?} nearly invisible: {visible}");
+    }
+
+    #[test]
+    fn training_pair_ratio_holds_for_any_size(total in 50usize..800, seed in any::<u64>()) {
+        let sns2 = shapenet_set2(1);
+        let pairs = training_pairs(&sns2, total, seed);
+        prop_assert_eq!(pairs.len(), total);
+        let similar = pairs.iter().filter(|p| p.label == 1).count();
+        let frac = similar as f64 / total as f64;
+        prop_assert!((frac - 0.52).abs() < 0.02, "similar fraction {}", frac);
+    }
+
+    #[test]
+    fn model_sampling_respects_class(seed in any::<u64>(), class_idx in 0usize..10) {
+        let class = ObjectClass::from_index(class_idx).unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let m = sample_model(class, &mut rng);
+        prop_assert_eq!(m.class, class);
+        prop_assert!(m.aspect > 0.0 && m.elongation > 0.0);
+        prop_assert!((0.0..=1.0).contains(&m.detail));
+    }
+
+    #[test]
+    fn room_scene_objects_within_frame(seed in any::<u64>()) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let scene = render_room(&[ObjectClass::Chair, ObjectClass::Box], &mut rng);
+        for obj in &scene.objects {
+            prop_assert!(obj.bbox.x + obj.bbox.width <= FRAME_W);
+            prop_assert!(obj.bbox.y + obj.bbox.height <= FRAME_H);
+            prop_assert!(obj.bbox.area() > 0);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Error types for feature extraction and matching.
+
+use std::fmt;
+
+/// Errors produced by detectors, descriptors and matchers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeatureError {
+    /// Input image is too small for the detector's scale space.
+    ImageTooSmall { width: u32, height: u32, min: u32 },
+    /// Descriptor sets passed to a matcher have mismatched widths.
+    DescriptorWidthMismatch { left: usize, right: usize },
+    /// A parameter was out of range.
+    InvalidParameter { name: &'static str, msg: String },
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::ImageTooSmall { width, height, min } => {
+                write!(f, "image {width}x{height} smaller than detector minimum {min}")
+            }
+            FeatureError::DescriptorWidthMismatch { left, right } => {
+                write!(f, "descriptor width mismatch: {left} vs {right}")
+            }
+            FeatureError::InvalidParameter { name, msg } => {
+                write!(f, "invalid parameter `{name}`: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeatureError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, FeatureError>;

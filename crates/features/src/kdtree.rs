@@ -1,0 +1,252 @@
+//! A kd-tree approximate nearest-neighbour index for float descriptors.
+//!
+//! Stands in for FLANN: the paper notes "Using FLANN-based matching for
+//! optimised nearest neighbour search did not lead to any performance
+//! gains, compared to the brute-force approach, most likely due to the
+//! fairly limited size of the input datasets" (§3.3). The `matching` bench
+//! in `taor-bench` reproduces that crossover.
+
+use crate::error::{FeatureError, Result};
+use crate::keypoint::{l2_sq, FloatDescriptors};
+use crate::matcher::{DMatch, RatioMatch};
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        /// Indices into the descriptor matrix.
+        items: Vec<usize>,
+    },
+    Split {
+        dim: usize,
+        value: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// kd-tree over a borrowed descriptor matrix.
+#[derive(Debug)]
+pub struct KdTree<'a> {
+    descs: &'a FloatDescriptors,
+    root: Node,
+    /// Maximum leaves visited per query (the FLANN "checks" knob).
+    pub checks: usize,
+}
+
+const LEAF_SIZE: usize = 8;
+
+impl<'a> KdTree<'a> {
+    /// Build an index over `descs`. `checks` bounds the number of leaves
+    /// inspected per query; larger = more exact, slower.
+    pub fn build(descs: &'a FloatDescriptors, checks: usize) -> Result<Self> {
+        if checks == 0 {
+            return Err(FeatureError::InvalidParameter {
+                name: "checks",
+                msg: "must be >= 1".into(),
+            });
+        }
+        let items: Vec<usize> = (0..descs.len()).collect();
+        let root = Self::build_node(descs, items);
+        Ok(KdTree { descs, root, checks })
+    }
+
+    fn build_node(descs: &FloatDescriptors, mut items: Vec<usize>) -> Node {
+        if items.len() <= LEAF_SIZE || descs.width() == 0 {
+            return Node::Leaf { items };
+        }
+        // Split on the dimension of largest variance, at the median.
+        let w = descs.width();
+        let n = items.len() as f32;
+        let mut best_dim = 0;
+        let mut best_var = -1.0f32;
+        for d in 0..w {
+            let mean: f32 = items.iter().map(|&i| descs.row(i)[d]).sum::<f32>() / n;
+            let var: f32 =
+                items.iter().map(|&i| (descs.row(i)[d] - mean).powi(2)).sum::<f32>() / n;
+            if var > best_var {
+                best_var = var;
+                best_dim = d;
+            }
+        }
+        if best_var <= 0.0 {
+            // All points identical along every axis: cannot split.
+            return Node::Leaf { items };
+        }
+        items.sort_by(|&a, &b| {
+            descs.row(a)[best_dim]
+                .partial_cmp(&descs.row(b)[best_dim])
+                .expect("descriptor values are finite")
+        });
+        let mid = items.len() / 2;
+        let value = descs.row(items[mid])[best_dim];
+        let right_items = items.split_off(mid);
+        if items.is_empty() || right_items.is_empty() {
+            let mut all = items;
+            all.extend(right_items);
+            return Node::Leaf { items: all };
+        }
+        Node::Split {
+            dim: best_dim,
+            value,
+            left: Box::new(Self::build_node(descs, items)),
+            right: Box::new(Self::build_node(descs, right_items)),
+        }
+    }
+
+    /// Approximate 2-NN query: best and second-best indices with squared-L2
+    /// distances. Returns `None` when the index is empty.
+    pub fn knn2(&self, query: &[f32]) -> Option<(usize, f32, Option<(usize, f32)>)> {
+        if self.descs.is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, f32)> = None;
+        let mut second: Option<(usize, f32)> = None;
+        let mut visited = 0usize;
+        // Depth-first with a priority backlog of far branches.
+        let mut backlog: Vec<(f32, &Node)> = vec![(0.0, &self.root)];
+        while let Some((bound, mut node)) = backlog.pop() {
+            if visited >= self.checks {
+                break;
+            }
+            if let Some((_, bd)) = best {
+                if bound > bd && second.is_some() {
+                    continue;
+                }
+            }
+            loop {
+                match node {
+                    Node::Leaf { items } => {
+                        visited += 1;
+                        for &i in items {
+                            let d = l2_sq(query, self.descs.row(i));
+                            match best {
+                                None => best = Some((i, d)),
+                                Some((bi, bd)) if d < bd => {
+                                    second = Some((bi, bd));
+                                    best = Some((i, d));
+                                }
+                                _ => match second {
+                                    None => second = Some((i, d)),
+                                    Some((_, sd)) if d < sd => second = Some((i, d)),
+                                    _ => {}
+                                },
+                            }
+                        }
+                        break;
+                    }
+                    Node::Split { dim, value, left, right } => {
+                        let diff = query[*dim] - value;
+                        let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                        backlog.push((diff * diff, far));
+                        node = near;
+                    }
+                }
+            }
+        }
+        best.map(|(bi, bd)| (bi, bd, second))
+    }
+
+    /// kNN-match every query descriptor against the index, mirroring
+    /// [`crate::matcher::knn_match_float`]'s output shape.
+    pub fn knn_match(&self, query: &FloatDescriptors) -> Result<Vec<RatioMatch>> {
+        if query.is_empty() || self.descs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if query.width() != self.descs.width() {
+            return Err(FeatureError::DescriptorWidthMismatch {
+                left: query.width(),
+                right: self.descs.width(),
+            });
+        }
+        let mut out = Vec::with_capacity(query.len());
+        for qi in 0..query.len() {
+            if let Some((bi, bd, sec)) = self.knn2(query.row(qi)) {
+                out.push(RatioMatch {
+                    best: DMatch { query_idx: qi, train_idx: bi, distance: bd },
+                    second: sec
+                        .map(|(si, sd)| DMatch { query_idx: qi, train_idx: si, distance: sd }),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::knn_match_float;
+    use rand::{Rng, SeedableRng};
+
+    fn random_descs(n: usize, w: usize, seed: u64) -> FloatDescriptors {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut d = FloatDescriptors::new(w);
+        let mut row = vec![0.0f32; w];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            d.push(&row);
+        }
+        d
+    }
+
+    #[test]
+    fn exact_when_checks_large() {
+        let train = random_descs(200, 8, 1);
+        let query = random_descs(20, 8, 2);
+        let tree = KdTree::build(&train, usize::MAX).unwrap();
+        let approx = tree.knn_match(&query).unwrap();
+        let exact = knn_match_float(&query, &train).unwrap();
+        for (a, e) in approx.iter().zip(&exact) {
+            assert_eq!(a.best.train_idx, e.best.train_idx);
+            assert!((a.best.distance - e.best.distance).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn approximate_recall_reasonable_with_few_checks() {
+        let train = random_descs(500, 16, 3);
+        let query = random_descs(50, 16, 4);
+        let tree = KdTree::build(&train, 32).unwrap();
+        let approx = tree.knn_match(&query).unwrap();
+        let exact = knn_match_float(&query, &train).unwrap();
+        let hits = approx
+            .iter()
+            .zip(&exact)
+            .filter(|(a, e)| a.best.train_idx == e.best.train_idx)
+            .count();
+        // kd-trees degrade in high dimensions (the reason FLANN uses
+        // randomised forests); 60 % exact-NN recall at 32 checks out of ~64
+        // leaves is the expected regime.
+        assert!(hits >= 30, "recall too low: {hits}/50");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let train = FloatDescriptors::new(4);
+        let tree = KdTree::build(&train, 4).unwrap();
+        assert!(tree.knn2(&[0.0; 4]).is_none());
+        assert!(KdTree::build(&train, 0).is_err());
+    }
+
+    #[test]
+    fn identical_points_do_not_recurse_forever() {
+        let mut train = FloatDescriptors::new(2);
+        for _ in 0..100 {
+            train.push(&[1.0, 1.0]);
+        }
+        let tree = KdTree::build(&train, 8).unwrap();
+        let (bi, bd, _) = tree.knn2(&[1.0, 1.0]).unwrap();
+        assert!(bi < 100);
+        assert_eq!(bd, 0.0);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let train = random_descs(10, 4, 5);
+        let query = random_descs(2, 8, 6);
+        let tree = KdTree::build(&train, 8).unwrap();
+        assert!(tree.knn_match(&query).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # taor-features
+//!
+//! Keypoint detectors and descriptors for the descriptor-matching pipeline
+//! of Chiatti et al. (EDBT/ICDT 2019 workshops), §3.3.
+//!
+//! The paper uses OpenCV's SIFT, SURF and ORB with brute-force matching and
+//! Lowe's ratio test; this crate re-implements all three from the original
+//! publications:
+//!
+//! * [`sift`] — Lowe 2004: Gaussian scale space, DoG extrema, sub-pixel
+//!   refinement, orientation histograms, 4×4×8 = 128-d descriptors,
+//! * [`surf`] — Bay et al. 2006: integral-image box-filter Hessian
+//!   pyramid, Haar-wavelet orientation and 64-d descriptors,
+//! * [`orb`] — Rublee et al. 2011: FAST-9 corners with Harris ranking,
+//!   intensity-centroid orientation, 256-bit steered BRIEF,
+//! * [`matcher`] — brute-force kNN for float (L2) and binary (Hamming)
+//!   descriptors with the ratio test, plus a kd-tree approximate matcher
+//!   ([`kdtree`]) standing in for FLANN (the paper reports FLANN gave no
+//!   gain at this dataset scale — reproduced by `taor-bench`'s `matching`
+//!   bench).
+
+pub mod error;
+pub mod evaluation;
+pub mod kdtree;
+pub mod keypoint;
+pub mod matcher;
+pub mod orb;
+pub mod ransac;
+pub mod sift;
+pub mod surf;
+
+pub use error::{FeatureError, Result};
+pub use evaluation::{matching_score, repeatability};
+pub use keypoint::{BinaryDescriptors, FloatDescriptors, KeyPoint};
+pub use matcher::{knn_match_binary, knn_match_float, ratio_test_matches, DMatch, RatioMatch};
+pub use orb::{orb_detect_and_compute, OrbParams};
+pub use ransac::{verify_matches, RansacParams, Similarity, Verification};
+pub use sift::{sift_detect_and_compute, SiftParams};
+pub use surf::{surf_detect_and_compute, SurfParams};

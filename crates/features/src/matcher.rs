@@ -1,0 +1,223 @@
+//! Brute-force descriptor matching with Lowe's ratio test.
+//!
+//! The paper: "we relied on OpenCV built-in methods and used brute-force
+//! matching", "trimmed the resulting matching keypoints to the second-
+//! nearest neighbour. A ratio test was then applied … setting the threshold
+//! to 0.75 and 0.5" (§3.3). SIFT/SURF use the L2 norm; ORB uses Hamming
+//! "since in BRIEF descriptors are parsed to binary strings".
+
+use crate::error::{FeatureError, Result};
+use crate::keypoint::{hamming, l2_sq, BinaryDescriptors, FloatDescriptors};
+
+/// One query→train match: indices plus distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DMatch {
+    pub query_idx: usize,
+    pub train_idx: usize,
+    pub distance: f32,
+}
+
+/// A query descriptor's two nearest neighbours (second may be absent when
+/// the train set has a single descriptor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioMatch {
+    pub best: DMatch,
+    pub second: Option<DMatch>,
+}
+
+impl RatioMatch {
+    /// Lowe's ratio test: accept when `best < ratio * second`. A match with
+    /// no second neighbour is accepted (nothing to compare against).
+    pub fn passes_ratio(&self, ratio: f32) -> bool {
+        match self.second {
+            Some(second) => self.best.distance < ratio * second.distance,
+            None => true,
+        }
+    }
+}
+
+/// For each query descriptor, find its two nearest train descriptors under
+/// squared L2. Returns one [`RatioMatch`] per query descriptor; empty when
+/// either side is empty.
+///
+/// ```
+/// use taor_features::{knn_match_float, ratio_test_matches, FloatDescriptors};
+///
+/// let mut train = FloatDescriptors::new(2);
+/// train.push(&[0.0, 0.0]);
+/// train.push(&[5.0, 5.0]);
+/// let mut query = FloatDescriptors::new(2);
+/// query.push(&[0.2, 0.1]);
+/// let matches = knn_match_float(&query, &train).unwrap();
+/// assert_eq!(matches[0].best.train_idx, 0);
+/// assert_eq!(ratio_test_matches(&matches, 0.75).len(), 1);
+/// ```
+pub fn knn_match_float(
+    query: &FloatDescriptors,
+    train: &FloatDescriptors,
+) -> Result<Vec<RatioMatch>> {
+    if query.is_empty() || train.is_empty() {
+        return Ok(Vec::new());
+    }
+    if query.width() != train.width() {
+        return Err(FeatureError::DescriptorWidthMismatch {
+            left: query.width(),
+            right: train.width(),
+        });
+    }
+    let mut out = Vec::with_capacity(query.len());
+    for qi in 0..query.len() {
+        let q = query.row(qi);
+        let mut best = DMatch { query_idx: qi, train_idx: 0, distance: f32::INFINITY };
+        let mut second: Option<DMatch> = None;
+        for ti in 0..train.len() {
+            let d = l2_sq(q, train.row(ti));
+            if d < best.distance {
+                second = Some(best);
+                best = DMatch { query_idx: qi, train_idx: ti, distance: d };
+            } else if second.map_or(true, |s| d < s.distance) {
+                second = Some(DMatch { query_idx: qi, train_idx: ti, distance: d });
+            }
+        }
+        // The placeholder initial `best` must never leak out as `second`.
+        let second = second.filter(|s| s.distance.is_finite());
+        out.push(RatioMatch { best, second });
+    }
+    Ok(out)
+}
+
+/// For each query descriptor, find its two nearest train descriptors under
+/// Hamming distance.
+pub fn knn_match_binary(
+    query: &BinaryDescriptors,
+    train: &BinaryDescriptors,
+) -> Result<Vec<RatioMatch>> {
+    if query.is_empty() || train.is_empty() {
+        return Ok(Vec::new());
+    }
+    if query.width_bytes() != train.width_bytes() {
+        return Err(FeatureError::DescriptorWidthMismatch {
+            left: query.width_bytes(),
+            right: train.width_bytes(),
+        });
+    }
+    let mut out = Vec::with_capacity(query.len());
+    for qi in 0..query.len() {
+        let q = query.row(qi);
+        let mut best = DMatch { query_idx: qi, train_idx: 0, distance: f32::INFINITY };
+        let mut second: Option<DMatch> = None;
+        for ti in 0..train.len() {
+            let d = hamming(q, train.row(ti)) as f32;
+            if d < best.distance {
+                second = Some(best);
+                best = DMatch { query_idx: qi, train_idx: ti, distance: d };
+            } else if second.map_or(true, |s| d < s.distance) {
+                second = Some(DMatch { query_idx: qi, train_idx: ti, distance: d });
+            }
+        }
+        let second = second.filter(|s| s.distance.is_finite());
+        out.push(RatioMatch { best, second });
+    }
+    Ok(out)
+}
+
+/// Filter kNN matches with Lowe's ratio test, returning the surviving best
+/// matches.
+pub fn ratio_test_matches(matches: &[RatioMatch], ratio: f32) -> Vec<DMatch> {
+    matches.iter().filter(|m| m.passes_ratio(ratio)).map(|m| m.best).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn float_set(rows: &[&[f32]]) -> FloatDescriptors {
+        let mut d = FloatDescriptors::new(rows[0].len());
+        for r in rows {
+            d.push(r);
+        }
+        d
+    }
+
+    #[test]
+    fn nearest_neighbour_found() {
+        let q = float_set(&[&[0.0, 0.0]]);
+        let t = float_set(&[&[5.0, 5.0], &[0.1, 0.0], &[3.0, 0.0]]);
+        let m = knn_match_float(&q, &t).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].best.train_idx, 1);
+        assert_eq!(m[0].second.unwrap().train_idx, 2);
+    }
+
+    #[test]
+    fn ratio_test_rejects_ambiguous() {
+        let q = float_set(&[&[0.0]]);
+        // Two train descriptors almost equidistant: ambiguous.
+        let t = float_set(&[&[1.0], &[-1.01]]);
+        let m = knn_match_float(&q, &t).unwrap();
+        assert!(!m[0].passes_ratio(0.75));
+        // A clearly closer best match passes.
+        let t2 = float_set(&[&[0.1], &[5.0]]);
+        let m2 = knn_match_float(&q, &t2).unwrap();
+        assert!(m2[0].passes_ratio(0.75));
+    }
+
+    #[test]
+    fn single_train_descriptor_has_no_second() {
+        let q = float_set(&[&[0.0]]);
+        let t = float_set(&[&[2.0]]);
+        let m = knn_match_float(&q, &t).unwrap();
+        assert!(m[0].second.is_none());
+        assert!(m[0].passes_ratio(0.5), "no second neighbour -> accepted");
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        let e = FloatDescriptors::new(4);
+        let t = float_set(&[&[1.0, 2.0, 3.0, 4.0]]);
+        assert!(knn_match_float(&e, &t).unwrap().is_empty());
+        assert!(knn_match_float(&t, &e).unwrap().is_empty());
+    }
+
+    #[test]
+    fn width_mismatch_is_error() {
+        let a = float_set(&[&[1.0, 2.0]]);
+        let b = float_set(&[&[1.0, 2.0, 3.0]]);
+        assert!(matches!(
+            knn_match_float(&a, &b),
+            Err(FeatureError::DescriptorWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_matching_uses_hamming() {
+        let mut q = BinaryDescriptors::new(1);
+        q.push(&[0b0000_1111]);
+        let mut t = BinaryDescriptors::new(1);
+        t.push(&[0b1111_0000]); // distance 8
+        t.push(&[0b0000_1110]); // distance 1
+        let m = knn_match_binary(&q, &t).unwrap();
+        assert_eq!(m[0].best.train_idx, 1);
+        assert_eq!(m[0].best.distance, 1.0);
+        assert_eq!(m[0].second.unwrap().distance, 8.0);
+    }
+
+    #[test]
+    fn ratio_test_matches_filters() {
+        let q = float_set(&[&[0.0], &[10.0]]);
+        let t = float_set(&[&[0.1], &[0.2], &[10.05]]);
+        let m = knn_match_float(&q, &t).unwrap();
+        let kept = ratio_test_matches(&m, 0.5);
+        // Query 0 is ambiguous (0.1 vs 0.2 -> squared 0.01 vs 0.04: ratio
+        // 0.25 < 0.5 actually passes); query 1 clearly passes.
+        assert!(kept.iter().any(|d| d.query_idx == 1));
+    }
+
+    #[test]
+    fn every_query_gets_a_match_row() {
+        let q = float_set(&[&[0.0], &[1.0], &[2.0]]);
+        let t = float_set(&[&[0.5], &[1.5]]);
+        let m = knn_match_float(&q, &t).unwrap();
+        assert_eq!(m.len(), 3);
+    }
+}

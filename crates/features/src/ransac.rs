@@ -1,0 +1,296 @@
+//! RANSAC geometric verification of descriptor matches.
+//!
+//! Lowe's original pipeline (and every production matcher since) follows
+//! the ratio test with a geometric consistency check: surviving matches
+//! vote for a similarity transform (translation + rotation + uniform
+//! scale) and only inliers of the best transform count. This module adds
+//! that stage as an ablation for the paper's §3.3 pipeline — the repro
+//! harness can compare raw ratio-test voting against geometrically
+//! verified voting.
+
+use crate::error::{FeatureError, Result};
+use crate::keypoint::KeyPoint;
+use crate::matcher::DMatch;
+use rand::{Rng, SeedableRng};
+
+/// A 2-D similarity transform `p' = s·R·p + t`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Similarity {
+    /// `s·cos θ`
+    pub a: f32,
+    /// `s·sin θ`
+    pub b: f32,
+    pub tx: f32,
+    pub ty: f32,
+}
+
+impl Similarity {
+    /// Identity transform.
+    pub fn identity() -> Self {
+        Similarity { a: 1.0, b: 0.0, tx: 0.0, ty: 0.0 }
+    }
+
+    /// Estimate from two point correspondences (the minimal sample).
+    /// Returns `None` for degenerate (coincident) source points.
+    pub fn from_two_points(
+        p1: (f32, f32),
+        p2: (f32, f32),
+        q1: (f32, f32),
+        q2: (f32, f32),
+    ) -> Option<Similarity> {
+        let dx = p2.0 - p1.0;
+        let dy = p2.1 - p1.1;
+        let denom = dx * dx + dy * dy;
+        if denom < 1e-9 {
+            return None;
+        }
+        let ex = q2.0 - q1.0;
+        let ey = q2.1 - q1.1;
+        // Solve a + ib = (ex + i ey) / (dx + i dy).
+        let a = (ex * dx + ey * dy) / denom;
+        let b = (ey * dx - ex * dy) / denom;
+        let tx = q1.0 - (a * p1.0 - b * p1.1);
+        let ty = q1.1 - (b * p1.0 + a * p1.1);
+        Some(Similarity { a, b, tx, ty })
+    }
+
+    /// Apply to a point.
+    pub fn apply(&self, p: (f32, f32)) -> (f32, f32) {
+        (self.a * p.0 - self.b * p.1 + self.tx, self.b * p.0 + self.a * p.1 + self.ty)
+    }
+
+    /// The uniform scale factor.
+    pub fn scale(&self) -> f32 {
+        (self.a * self.a + self.b * self.b).sqrt()
+    }
+
+    /// Rotation angle in radians.
+    pub fn angle(&self) -> f32 {
+        self.b.atan2(self.a)
+    }
+}
+
+/// RANSAC parameters.
+#[derive(Debug, Clone)]
+pub struct RansacParams {
+    /// Number of minimal-sample iterations.
+    pub iterations: usize,
+    /// Inlier reprojection threshold in pixels.
+    pub inlier_threshold: f32,
+    /// Reject transforms whose scale falls outside `[1/max, max]`.
+    pub max_scale: f32,
+    /// RNG seed (deterministic verification).
+    pub seed: u64,
+}
+
+impl Default for RansacParams {
+    fn default() -> Self {
+        RansacParams { iterations: 200, inlier_threshold: 5.0, max_scale: 4.0, seed: 0x7A45 }
+    }
+}
+
+/// Result of a verification run.
+#[derive(Debug, Clone)]
+pub struct Verification {
+    /// The best transform found (identity when no model beat 2 inliers).
+    pub transform: Similarity,
+    /// Indices into the input `matches` slice that are inliers.
+    pub inliers: Vec<usize>,
+}
+
+/// Verify matches between two keypoint sets with RANSAC over a
+/// similarity model. `matches[i]` pairs `query_kps[m.query_idx]` with
+/// `train_kps[m.train_idx]`.
+///
+/// Fewer than two matches cannot constrain the model; they verify to an
+/// empty inlier set rather than an error.
+pub fn verify_matches(
+    query_kps: &[KeyPoint],
+    train_kps: &[KeyPoint],
+    matches: &[DMatch],
+    params: &RansacParams,
+) -> Result<Verification> {
+    if params.iterations == 0 {
+        return Err(FeatureError::InvalidParameter {
+            name: "iterations",
+            msg: "must be >= 1".into(),
+        });
+    }
+    for m in matches {
+        if m.query_idx >= query_kps.len() || m.train_idx >= train_kps.len() {
+            return Err(FeatureError::InvalidParameter {
+                name: "matches",
+                msg: format!(
+                    "match ({}, {}) out of keypoint range ({}, {})",
+                    m.query_idx,
+                    m.train_idx,
+                    query_kps.len(),
+                    train_kps.len()
+                ),
+            });
+        }
+    }
+    if matches.len() < 2 {
+        return Ok(Verification { transform: Similarity::identity(), inliers: Vec::new() });
+    }
+
+    let src: Vec<(f32, f32)> =
+        matches.iter().map(|m| (query_kps[m.query_idx].x, query_kps[m.query_idx].y)).collect();
+    let dst: Vec<(f32, f32)> =
+        matches.iter().map(|m| (train_kps[m.train_idx].x, train_kps[m.train_idx].y)).collect();
+
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(params.seed);
+    let mut best_inliers: Vec<usize> = Vec::new();
+    let mut best_transform = Similarity::identity();
+    let thr_sq = params.inlier_threshold * params.inlier_threshold;
+
+    for _ in 0..params.iterations {
+        let i = rng.gen_range(0..matches.len());
+        let mut j = rng.gen_range(0..matches.len());
+        if matches.len() > 1 {
+            while j == i {
+                j = rng.gen_range(0..matches.len());
+            }
+        }
+        let Some(t) = Similarity::from_two_points(src[i], src[j], dst[i], dst[j]) else {
+            continue;
+        };
+        let s = t.scale();
+        if !(1.0 / params.max_scale..=params.max_scale).contains(&s) {
+            continue;
+        }
+        let inliers: Vec<usize> = (0..matches.len())
+            .filter(|&k| {
+                let p = t.apply(src[k]);
+                let dx = p.0 - dst[k].0;
+                let dy = p.1 - dst[k].1;
+                dx * dx + dy * dy <= thr_sq
+            })
+            .collect();
+        if inliers.len() > best_inliers.len() {
+            best_inliers = inliers;
+            best_transform = t;
+        }
+    }
+    // A 2-point model trivially explains its own sample; require a third
+    // supporting match before calling anything an inlier set.
+    if best_inliers.len() < 3 {
+        best_inliers.clear();
+        best_transform = Similarity::identity();
+    }
+    Ok(Verification { transform: best_transform, inliers: best_inliers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(x: f32, y: f32) -> KeyPoint {
+        KeyPoint::at(x, y)
+    }
+
+    /// Build a correspondence set under a known transform plus outliers.
+    fn scenario(t: &Similarity, n_in: usize, n_out: usize) -> (Vec<KeyPoint>, Vec<KeyPoint>, Vec<DMatch>) {
+        let mut q = Vec::new();
+        let mut r = Vec::new();
+        let mut matches = Vec::new();
+        for i in 0..n_in {
+            let p = (10.0 + (i * 13 % 50) as f32, 8.0 + (i * 29 % 40) as f32);
+            let m = t.apply(p);
+            q.push(kp(p.0, p.1));
+            r.push(kp(m.0, m.1));
+            matches.push(DMatch { query_idx: i, train_idx: i, distance: 0.1 });
+        }
+        for i in 0..n_out {
+            let idx = n_in + i;
+            q.push(kp((i * 37 % 60) as f32, (i * 53 % 60) as f32));
+            r.push(kp((i * 71 % 60) as f32 + 30.0, (i * 17 % 60) as f32 + 30.0));
+            matches.push(DMatch { query_idx: idx, train_idx: idx, distance: 0.2 });
+        }
+        (q, r, matches)
+    }
+
+    #[test]
+    fn recovers_translation() {
+        let t = Similarity { a: 1.0, b: 0.0, tx: 12.0, ty: -7.0 };
+        let (q, r, m) = scenario(&t, 12, 6);
+        let v = verify_matches(&q, &r, &m, &RansacParams::default()).unwrap();
+        assert_eq!(v.inliers.len(), 12, "all true inliers found");
+        assert!((v.transform.tx - 12.0).abs() < 0.5);
+        assert!((v.transform.ty + 7.0).abs() < 0.5);
+        assert!((v.transform.scale() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn recovers_rotation_and_scale() {
+        let s = 1.5f32;
+        let th = 0.5f32;
+        let t = Similarity { a: s * th.cos(), b: s * th.sin(), tx: 3.0, ty: 4.0 };
+        let (q, r, m) = scenario(&t, 10, 5);
+        let v = verify_matches(&q, &r, &m, &RansacParams::default()).unwrap();
+        assert!(v.inliers.len() >= 10);
+        assert!((v.transform.scale() - 1.5).abs() < 0.05);
+        assert!((v.transform.angle() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn pure_outliers_give_empty_inliers() {
+        let t = Similarity::identity();
+        let (q, r, mut m) = scenario(&t, 0, 8);
+        // Shuffle correspondences so nothing is consistent.
+        m.reverse();
+        let v = verify_matches(&q, &r, &m, &RansacParams::default()).unwrap();
+        assert!(v.inliers.len() <= 3, "random matches produced {} inliers", v.inliers.len());
+    }
+
+    #[test]
+    fn too_few_matches_is_empty_not_error() {
+        let q = vec![kp(0.0, 0.0)];
+        let r = vec![kp(1.0, 1.0)];
+        let m = vec![DMatch { query_idx: 0, train_idx: 0, distance: 0.0 }];
+        let v = verify_matches(&q, &r, &m, &RansacParams::default()).unwrap();
+        assert!(v.inliers.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_match_is_error() {
+        let q = vec![kp(0.0, 0.0)];
+        let r = vec![kp(1.0, 1.0)];
+        let m = vec![DMatch { query_idx: 5, train_idx: 0, distance: 0.0 }];
+        assert!(verify_matches(&q, &r, &m, &RansacParams::default()).is_err());
+    }
+
+    #[test]
+    fn extreme_scale_models_rejected() {
+        // Correspondences implying a 10x blow-up must be filtered by
+        // max_scale.
+        let t = Similarity { a: 10.0, b: 0.0, tx: 0.0, ty: 0.0 };
+        let (q, r, m) = scenario(&t, 8, 0);
+        let v = verify_matches(&q, &r, &m, &RansacParams::default()).unwrap();
+        assert!(v.inliers.is_empty(), "scale-10 model should be rejected");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = Similarity { a: 1.0, b: 0.0, tx: 5.0, ty: 5.0 };
+        let (q, r, m) = scenario(&t, 10, 10);
+        let v1 = verify_matches(&q, &r, &m, &RansacParams::default()).unwrap();
+        let v2 = verify_matches(&q, &r, &m, &RansacParams::default()).unwrap();
+        assert_eq!(v1.inliers, v2.inliers);
+    }
+
+    #[test]
+    fn similarity_two_point_roundtrip() {
+        let t = Similarity { a: 0.8, b: 0.6, tx: -3.0, ty: 2.0 };
+        let p1 = (1.0, 2.0);
+        let p2 = (7.0, -4.0);
+        let est =
+            Similarity::from_two_points(p1, p2, t.apply(p1), t.apply(p2)).expect("non-degenerate");
+        for p in [(0.0, 0.0), (5.0, 5.0), (-2.0, 9.0)] {
+            let a = t.apply(p);
+            let b = est.apply(p);
+            assert!((a.0 - b.0).abs() < 1e-4 && (a.1 - b.1).abs() < 1e-4);
+        }
+        assert!(Similarity::from_two_points(p1, p1, (0.0, 0.0), (1.0, 1.0)).is_none());
+    }
+}

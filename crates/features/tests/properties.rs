@@ -1,0 +1,101 @@
+//! Property-based tests for descriptors and matching.
+
+use proptest::prelude::*;
+use taor_features::keypoint::{hamming, l2_sq};
+use taor_features::matcher::{knn_match_float, ratio_test_matches};
+use taor_features::ransac::Similarity;
+use taor_features::FloatDescriptors;
+
+fn descs(rows: Vec<Vec<f32>>) -> FloatDescriptors {
+    let mut d = FloatDescriptors::new(rows[0].len());
+    for r in &rows {
+        d.push(r);
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hamming_is_a_metric(
+        a in proptest::collection::vec(any::<u8>(), 8),
+        b in proptest::collection::vec(any::<u8>(), 8),
+        c in proptest::collection::vec(any::<u8>(), 8),
+    ) {
+        prop_assert_eq!(hamming(&a, &a), 0);
+        prop_assert_eq!(hamming(&a, &b), hamming(&b, &a));
+        prop_assert!(hamming(&a, &c) <= hamming(&a, &b) + hamming(&b, &c));
+        prop_assert!(hamming(&a, &b) <= 64);
+    }
+
+    #[test]
+    fn l2_sq_properties(
+        a in proptest::collection::vec(-10.0f32..10.0, 6),
+        b in proptest::collection::vec(-10.0f32..10.0, 6),
+    ) {
+        prop_assert_eq!(l2_sq(&a, &a), 0.0);
+        prop_assert!((l2_sq(&a, &b) - l2_sq(&b, &a)).abs() < 1e-4);
+        prop_assert!(l2_sq(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn best_match_is_really_the_nearest(
+        rows in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 4), 3..12),
+        query in proptest::collection::vec(-5.0f32..5.0, 4),
+    ) {
+        let train = descs(rows.clone());
+        let q = descs(vec![query.clone()]);
+        let m = knn_match_float(&q, &train).unwrap();
+        let best = m[0].best;
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert!(
+                l2_sq(&query, r) >= best.distance - 1e-5,
+                "row {} at {} beats reported best {}",
+                i,
+                l2_sq(&query, r),
+                best.distance
+            );
+        }
+        if let Some(second) = m[0].second {
+            prop_assert!(second.distance >= best.distance);
+        }
+    }
+
+    #[test]
+    fn ratio_test_monotone_in_threshold(
+        rows in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 4), 4..10),
+        queries in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 4), 1..6),
+    ) {
+        let train = descs(rows);
+        let q = descs(queries);
+        let m = knn_match_float(&q, &train).unwrap();
+        let strict = ratio_test_matches(&m, 0.5).len();
+        let loose = ratio_test_matches(&m, 0.9).len();
+        prop_assert!(strict <= loose, "stricter threshold kept more matches");
+    }
+
+    #[test]
+    fn similarity_roundtrips_any_nondegenerate_pair(
+        ax in -20.0f32..20.0, ay in -20.0f32..20.0,
+        s in 0.3f32..3.0, theta in -3.0f32..3.0,
+        tx in -30.0f32..30.0, ty in -30.0f32..30.0,
+    ) {
+        let t = Similarity { a: s * theta.cos(), b: s * theta.sin(), tx, ty };
+        let p1 = (ax, ay);
+        let p2 = (ax + 5.0, ay - 3.0);
+        let est = Similarity::from_two_points(p1, p2, t.apply(p1), t.apply(p2)).unwrap();
+        prop_assert!((est.scale() - s).abs() < 1e-2 * s.max(1.0));
+        let check = (7.0f32, -2.0f32);
+        let (x1, y1) = t.apply(check);
+        let (x2, y2) = est.apply(check);
+        prop_assert!((x1 - x2).abs() < 0.05 && (y1 - y2).abs() < 0.05);
+    }
+
+    #[test]
+    fn similarity_scale_and_angle_consistent(s in 0.2f32..4.0, theta in -3.1f32..3.1) {
+        let t = Similarity { a: s * theta.cos(), b: s * theta.sin(), tx: 0.0, ty: 0.0 };
+        prop_assert!((t.scale() - s).abs() < 1e-4);
+        prop_assert!((t.angle() - theta).abs() < 1e-4);
+    }
+}

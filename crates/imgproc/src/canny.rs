@@ -1,0 +1,163 @@
+//! Canny edge detection.
+//!
+//! Completes the substrate's contour story: the paper's pipelines
+//! binarise by global threshold because their inputs are pre-segmented,
+//! but any extension to raw robot frames (see `taor-core::segment`) wants
+//! a gradient-based edge map. Standard four stages: Gaussian smoothing,
+//! Sobel gradients, non-maximum suppression along the gradient direction,
+//! and double-threshold hysteresis.
+
+use crate::error::{ImgError, Result};
+use crate::filter::{gaussian_blur, sobel};
+use crate::image::{GrayF32, GrayImage};
+
+/// Canny edge detector.
+///
+/// `low`/`high` are hysteresis thresholds on gradient magnitude
+/// (`high > low > 0`); `sigma` is the pre-smoothing Gaussian. Edges are
+/// 255 in the returned map.
+pub fn canny(img: &GrayImage, sigma: f32, low: f32, high: f32) -> Result<GrayImage> {
+    if !(high > low && low > 0.0) {
+        return Err(ImgError::InvalidParameter {
+            name: "thresholds",
+            msg: format!("need high > low > 0, got low={low}, high={high}"),
+        });
+    }
+    let smoothed = gaussian_blur(&img.to_f32(), sigma)?;
+    let (gx, gy) = sobel(&smoothed);
+    let (w, h) = img.dimensions();
+
+    // Gradient magnitude and quantised direction (0=E/W, 1=NE/SW, 2=N/S,
+    // 3=NW/SE).
+    let mut mag = GrayF32::new(w, h);
+    let mut dir = vec![0u8; (w * h) as usize];
+    for y in 0..h {
+        for x in 0..w {
+            let dx = gx.get(x, y);
+            let dy = gy.get(x, y);
+            mag.put(x, y, (dx * dx + dy * dy).sqrt());
+            let angle = dy.atan2(dx);
+            let octant = ((angle / std::f32::consts::PI * 4.0).round() as i32).rem_euclid(4);
+            dir[(y * w + x) as usize] = octant as u8;
+        }
+    }
+
+    // Non-maximum suppression along the gradient direction.
+    let offsets = [(1i64, 0i64), (1, 1), (0, 1), (-1, 1)];
+    let mut nms = GrayF32::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let m = mag.get(x, y);
+            if m < low {
+                continue;
+            }
+            let (dx, dy) = offsets[dir[(y * w + x) as usize] as usize];
+            let fwd = mag.get_clamped(x as i64 + dx, y as i64 + dy);
+            let bwd = mag.get_clamped(x as i64 - dx, y as i64 - dy);
+            if m >= fwd && m >= bwd {
+                nms.put(x, y, m);
+            }
+        }
+    }
+
+    // Hysteresis: strong pixels seed; weak pixels join if 8-connected to a
+    // strong one.
+    let mut out = GrayImage::new(w, h);
+    let mut stack: Vec<(u32, u32)> = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if nms.get(x, y) >= high {
+                out.put(x, y, 255);
+                stack.push((x, y));
+            }
+        }
+    }
+    while let Some((cx, cy)) = stack.pop() {
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if out.in_bounds(nx, ny) {
+                    let (nx, ny) = (nx as u32, ny as u32);
+                    if out.get(nx, ny) == 0 && nms.get(nx, ny) >= low {
+                        out.put(nx, ny, 255);
+                        stack.push((nx, ny));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bright_square() -> GrayImage {
+        let mut img = GrayImage::new(40, 40);
+        for y in 10..30 {
+            for x in 10..30 {
+                img.put(x, y, 220);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn finds_edges_of_a_square() {
+        let edges = canny(&bright_square(), 1.0, 40.0, 120.0).unwrap();
+        let n_edges = edges.as_raw().iter().filter(|&&v| v > 0).count();
+        // Perimeter of a 20x20 square smoothed by sigma 1: roughly 80-240
+        // edge pixels (thin bands on each side).
+        assert!((60..400).contains(&n_edges), "{n_edges} edge pixels");
+        // Interior is edge-free.
+        assert_eq!(edges.get(20, 20), 0);
+        // The left edge is detected near x = 10.
+        let hit = (8..13).any(|x| edges.get(x, 20) > 0);
+        assert!(hit, "no left edge found");
+    }
+
+    #[test]
+    fn flat_image_has_no_edges() {
+        let img = GrayImage::filled(32, 32, [123]);
+        let edges = canny(&img, 1.2, 30.0, 90.0).unwrap();
+        assert!(edges.as_raw().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn hysteresis_extends_strong_edges_over_weak_links() {
+        // A line whose middle section has weaker contrast: plain double
+        // thresholding would break it, hysteresis keeps it connected.
+        let mut img = GrayImage::new(60, 20);
+        for x in 5..55 {
+            let v = if (25..35).contains(&x) { 70 } else { 200 };
+            for y in 9..11 {
+                img.put(x, y, v);
+            }
+        }
+        let edges = canny(&img, 1.0, 15.0, 100.0).unwrap();
+        // Some edge pixel exists in the weak middle zone, attached to the
+        // strong flanks. (The exact row depends on NMS.)
+        let weak_zone: usize = (25..35)
+            .map(|x| (5..15).filter(|&y| edges.get(x, y) > 0).count())
+            .sum();
+        assert!(weak_zone > 0, "hysteresis lost the weak segment");
+    }
+
+    #[test]
+    fn invalid_thresholds_rejected() {
+        let img = bright_square();
+        assert!(canny(&img, 1.0, 100.0, 50.0).is_err());
+        assert!(canny(&img, 1.0, 0.0, 50.0).is_err());
+    }
+
+    #[test]
+    fn higher_thresholds_give_fewer_edges() {
+        let img = bright_square();
+        let lo = canny(&img, 1.0, 20.0, 60.0).unwrap();
+        let hi = canny(&img, 1.0, 120.0, 300.0).unwrap();
+        let count = |e: &GrayImage| e.as_raw().iter().filter(|&&v| v > 0).count();
+        assert!(count(&lo) >= count(&hi));
+    }
+}

@@ -1,0 +1,172 @@
+//! Binary morphology: erosion, dilation, opening, closing.
+//!
+//! Segmentation masks produced by real sensors are ragged; the scene
+//! pipeline (see `taor-core::segment`) cleans them with an opening
+//! (erode + dilate) before contour extraction, exactly as an OpenCV
+//! pipeline would call `morphologyEx(MORPH_OPEN)`.
+
+use crate::image::GrayImage;
+
+/// Erode with a `(2r+1)²` square structuring element: a pixel stays
+/// foreground only if its whole neighbourhood is foreground.
+pub fn erode(img: &GrayImage, radius: u32) -> GrayImage {
+    if radius == 0 {
+        return img.clone();
+    }
+    let (w, h) = img.dimensions();
+    let r = radius as i64;
+    let mut out = GrayImage::new(w, h);
+    for y in 0..h {
+        'px: for x in 0..w {
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let xx = x as i64 + dx;
+                    let yy = y as i64 + dy;
+                    // Outside the image counts as background (shrinks
+                    // components touching the border).
+                    if !img.in_bounds(xx, yy) || img.get(xx as u32, yy as u32) == 0 {
+                        continue 'px;
+                    }
+                }
+            }
+            out.put(x, y, 255);
+        }
+    }
+    out
+}
+
+/// Dilate with a `(2r+1)²` square structuring element: a pixel becomes
+/// foreground if any neighbour is foreground.
+pub fn dilate(img: &GrayImage, radius: u32) -> GrayImage {
+    if radius == 0 {
+        return img.clone();
+    }
+    let (w, h) = img.dimensions();
+    let r = radius as i64;
+    let mut out = GrayImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut hit = false;
+            'scan: for dy in -r..=r {
+                for dx in -r..=r {
+                    let xx = x as i64 + dx;
+                    let yy = y as i64 + dy;
+                    if img.in_bounds(xx, yy) && img.get(xx as u32, yy as u32) > 0 {
+                        hit = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if hit {
+                out.put(x, y, 255);
+            }
+        }
+    }
+    out
+}
+
+/// Morphological opening: erosion followed by dilation. Removes small
+/// speckle while approximately preserving large components.
+///
+/// ```
+/// use taor_imgproc::prelude::*;
+/// use taor_imgproc::morphology::open;
+///
+/// let mut img = GrayImage::new(16, 16);
+/// for y in 4..12 { for x in 4..12 { img.put(x, y, 255); } }
+/// img.put(0, 0, 255); // speckle
+/// let cleaned = open(&img, 1);
+/// assert_eq!(cleaned.get(0, 0), 0);
+/// assert_eq!(cleaned.get(8, 8), 255);
+/// ```
+pub fn open(img: &GrayImage, radius: u32) -> GrayImage {
+    dilate(&erode(img, radius), radius)
+}
+
+/// Morphological closing: dilation followed by erosion. Fills small
+/// holes and gaps.
+pub fn close(img: &GrayImage, radius: u32) -> GrayImage {
+    erode(&dilate(img, radius), radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_with_speck() -> GrayImage {
+        let mut img = GrayImage::new(20, 20);
+        for y in 5..15 {
+            for x in 5..15 {
+                img.put(x, y, 255);
+            }
+        }
+        img.put(1, 1, 255); // isolated speck
+        img
+    }
+
+    fn count_fg(img: &GrayImage) -> usize {
+        img.as_raw().iter().filter(|&&v| v > 0).count()
+    }
+
+    #[test]
+    fn erosion_shrinks() {
+        let img = blob_with_speck();
+        let e = erode(&img, 1);
+        assert!(count_fg(&e) < count_fg(&img));
+        // The 10x10 blob erodes to 8x8; the speck disappears.
+        assert_eq!(count_fg(&e), 64);
+        assert_eq!(e.get(1, 1), 0);
+    }
+
+    #[test]
+    fn dilation_grows() {
+        let img = blob_with_speck();
+        let d = dilate(&img, 1);
+        assert!(count_fg(&d) > count_fg(&img));
+        // The blob grows to 12x12, the speck to 3x3.
+        assert_eq!(count_fg(&d), 144 + 9);
+    }
+
+    #[test]
+    fn opening_removes_speckle_keeps_blob() {
+        let img = blob_with_speck();
+        let o = open(&img, 1);
+        assert_eq!(o.get(1, 1), 0, "speck should vanish");
+        assert_eq!(o.get(9, 9), 255, "blob interior survives");
+        assert_eq!(count_fg(&o), 100, "10x10 blob restored exactly");
+    }
+
+    #[test]
+    fn closing_fills_holes() {
+        let mut img = GrayImage::new(20, 20);
+        for y in 5..15 {
+            for x in 5..15 {
+                img.put(x, y, 255);
+            }
+        }
+        img.put(9, 9, 0); // one-pixel hole
+        let c = close(&img, 1);
+        assert_eq!(c.get(9, 9), 255);
+    }
+
+    #[test]
+    fn radius_zero_is_identity() {
+        let img = blob_with_speck();
+        assert_eq!(erode(&img, 0), img);
+        assert_eq!(dilate(&img, 0), img);
+    }
+
+    #[test]
+    fn erosion_dilation_duality_on_interior() {
+        // erode(img) == ¬dilate(¬img) away from borders.
+        let img = blob_with_speck();
+        let inv = img.map(|v| if v > 0 { 0u8 } else { 255 });
+        let a = erode(&img, 1);
+        let b = dilate(&inv, 1).map(|v| if v > 0 { 0u8 } else { 255 });
+        for y in 2..18 {
+            for x in 2..18 {
+                assert_eq!(a.get(x, y), b.get(x, y), "duality broken at ({x},{y})");
+            }
+        }
+    }
+}

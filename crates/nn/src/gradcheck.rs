@@ -1,0 +1,127 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Every layer in this crate carries a hand-derived backward pass; these
+//! helpers make the "compare against central differences" pattern used
+//! throughout the tests reusable, and are exported so downstream users
+//! extending the network with new layers can verify their own backward
+//! implementations.
+
+use crate::tensor::Tensor;
+
+/// Result of one gradient check.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Maximum absolute deviation between numeric and analytic gradients.
+    pub max_abs_err: f32,
+    /// Maximum relative deviation (guarded against tiny denominators).
+    pub max_rel_err: f32,
+    /// Indices checked.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the analytic gradient is acceptable at the given relative
+    /// tolerance.
+    pub fn passes(&self, rel_tol: f32) -> bool {
+        self.max_rel_err <= rel_tol
+    }
+}
+
+/// Check an analytic gradient of a scalar function `f` with central
+/// differences at the listed indices of `x`.
+///
+/// `f` must be deterministic. `analytic[i]` is compared against
+/// `(f(x + εeᵢ) − f(x − εeᵢ)) / 2ε`.
+pub fn check_gradient(
+    mut f: impl FnMut(&Tensor) -> f32,
+    x: &Tensor,
+    analytic: &Tensor,
+    indices: &[usize],
+    eps: f32,
+) -> GradCheckReport {
+    assert_eq!(x.shape(), analytic.shape(), "gradient shape must match input");
+    assert!(eps > 0.0, "eps must be positive");
+    let mut probe = x.clone();
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for &i in indices {
+        let orig = probe.data()[i];
+        probe.data_mut()[i] = orig + eps;
+        let fp = f(&probe);
+        probe.data_mut()[i] = orig - eps;
+        let fm = f(&probe);
+        probe.data_mut()[i] = orig;
+        let numeric = (fp - fm) / (2.0 * eps);
+        let ana = analytic.data()[i];
+        let abs = (numeric - ana).abs();
+        let rel = abs / numeric.abs().max(ana.abs()).max(1e-4);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel, checked: indices.len() }
+}
+
+/// Evenly spaced probe indices for a tensor of length `len` (at most
+/// `count` of them) — checking every element of a conv weight is O(n²)
+/// in forward passes, so tests probe a spread instead.
+pub fn probe_indices(len: usize, count: usize) -> Vec<usize> {
+    if len == 0 || count == 0 {
+        return Vec::new();
+    }
+    let step = (len / count.min(len)).max(1);
+    (0..len).step_by(step).take(count).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_correct_gradient() {
+        // f(x) = Σ x², df/dx = 2x.
+        let x = Tensor::from_vec(&[4], vec![1.0, -2.0, 0.5, 3.0]).unwrap();
+        let analytic =
+            Tensor::from_vec(&[4], x.data().iter().map(|v| 2.0 * v).collect()).unwrap();
+        let report = check_gradient(
+            |t| t.data().iter().map(|v| v * v).sum(),
+            &x,
+            &analytic,
+            &[0, 1, 2, 3],
+            1e-3,
+        );
+        assert!(report.passes(1e-2), "rel err {}", report.max_rel_err);
+        assert_eq!(report.checked, 4);
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        let x = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]).unwrap();
+        let wrong = Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]).unwrap();
+        let report = check_gradient(
+            |t| t.data().iter().map(|v| v * v).sum(),
+            &x,
+            &wrong,
+            &[0, 1, 2],
+            1e-3,
+        );
+        assert!(!report.passes(0.1), "a wrong gradient must fail the check");
+    }
+
+    #[test]
+    fn probe_indices_cover_range() {
+        let idx = probe_indices(100, 10);
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx[0], 0);
+        assert!(*idx.last().unwrap() >= 81);
+        assert!(probe_indices(0, 5).is_empty());
+        assert_eq!(probe_indices(3, 10), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape must match")]
+    fn shape_mismatch_panics() {
+        let x = Tensor::zeros(&[3]);
+        let g = Tensor::zeros(&[4]);
+        check_gradient(|_| 0.0, &x, &g, &[0], 1e-3);
+    }
+}

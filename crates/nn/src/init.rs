@@ -1,0 +1,61 @@
+//! Seeded weight initialisers.
+//!
+//! Glorot-uniform (Keras' default, used by the paper's implementation) and
+//! He-uniform for ReLU towers. All initialisation is seeded so every
+//! training run in the reproduction is deterministic.
+
+use crate::tensor::Tensor;
+use rand::{Rng, SeedableRng};
+
+/// Glorot/Xavier uniform: `U(-√(6/(fan_in+fan_out)), +…)`.
+pub fn glorot_uniform(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
+    Tensor::from_vec(shape, data).expect("shape/product consistent by construction")
+}
+
+/// He uniform: `U(-√(6/fan_in), +…)` — preferred before ReLU.
+pub fn he_uniform(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let limit = (6.0 / fan_in as f32).sqrt();
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect();
+    Tensor::from_vec(shape, data).expect("shape/product consistent by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_within_limits_and_seeded() {
+        let t = glorot_uniform(&[10, 10], 10, 10, 42);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+        let t2 = glorot_uniform(&[10, 10], 10, 10, 42);
+        assert_eq!(t, t2);
+        let t3 = glorot_uniform(&[10, 10], 10, 10, 43);
+        assert_ne!(t, t3);
+    }
+
+    #[test]
+    fn he_has_wider_limit_than_glorot_for_same_fan_in() {
+        let g = glorot_uniform(&[1000], 50, 50, 7);
+        let h = he_uniform(&[1000], 50, 7);
+        let max_g = g.data().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let max_h = h.data().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        assert!(max_h > max_g);
+    }
+
+    #[test]
+    fn init_is_not_degenerate() {
+        let t = he_uniform(&[256], 64, 1);
+        let mean: f32 = t.data().iter().sum::<f32>() / 256.0;
+        assert!(mean.abs() < 0.1);
+        assert!(t.data().iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,67 @@
+//! Activation functions.
+
+use crate::tensor::Tensor;
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relu;
+
+/// Cache: the sign mask of the input.
+pub struct ReluCache {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Forward: `max(0, x)` elementwise.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, ReluCache) {
+        let mut out = x.clone();
+        let mut mask = vec![false; x.len()];
+        for (v, m) in out.data_mut().iter_mut().zip(&mut mask) {
+            if *v > 0.0 {
+                *m = true;
+            } else {
+                *v = 0.0;
+            }
+        }
+        (out, ReluCache { mask })
+    }
+
+    /// Backward: pass gradient where the input was positive.
+    pub fn backward(&self, cache: &ReluCache, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = grad_out.clone();
+        for (g, &m) in grad_in.data_mut().iter_mut().zip(&cache.mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clips_negatives() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let (y, _) = Relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_masked() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.5, 2.0, -3.0]).unwrap();
+        let (_, cache) = Relu.forward(&x);
+        let g = Relu.backward(&cache, &Tensor::full(&[4], 1.0));
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_input_blocks_gradient() {
+        let x = Tensor::from_vec(&[1], vec![0.0]).unwrap();
+        let (_, cache) = Relu.forward(&x);
+        let g = Relu.backward(&cache, &Tensor::full(&[1], 5.0));
+        assert_eq!(g.data(), &[0.0]);
+    }
+}

@@ -1,0 +1,302 @@
+//! 2-D convolution via im2col.
+
+use crate::tensor::{Tensor, TensorError};
+
+/// A 2-D convolution with stride 1 and symmetric zero padding.
+///
+/// Weights are stored as a `[out_channels, in_channels * kh * kw]` matrix
+/// so forward/backward reduce to matrix products against the im2col
+/// buffer.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Conv2D {
+    pub weight: Tensor,
+    pub bias: Tensor,
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub kernel: usize,
+    pub padding: usize,
+}
+
+/// Activation cache of one conv forward pass.
+pub struct ConvCache {
+    /// im2col matrix `[C·K·K, OH·OW]` per batch item, concatenated.
+    cols: Vec<Tensor>,
+    in_shape: [usize; 4],
+    out_hw: (usize, usize),
+}
+
+/// Gradient accumulator matching a [`Conv2D`]'s parameters.
+#[derive(Debug, Clone)]
+pub struct ConvGrads {
+    pub weight: Tensor,
+    pub bias: Tensor,
+}
+
+impl Conv2D {
+    /// New conv layer with He-uniform weights (it is always followed by a
+    /// ReLU in the Normalized-X-Corr architecture).
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, padding: usize, seed: u64) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        Conv2D {
+            weight: crate::init::he_uniform(&[out_channels, fan_in], fan_in, seed),
+            bias: Tensor::zeros(&[out_channels]),
+            in_channels,
+            out_channels,
+            kernel,
+            padding,
+        }
+    }
+
+    /// Fresh zeroed gradient accumulator.
+    pub fn zero_grads(&self) -> ConvGrads {
+        ConvGrads { weight: Tensor::zeros(self.weight.shape()), bias: Tensor::zeros(self.bias.shape()) }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.padding + 1 - self.kernel, w + 2 * self.padding + 1 - self.kernel)
+    }
+
+    fn im2col(&self, x: &Tensor, n: usize) -> Tensor {
+        let [_, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        let (oh, ow) = self.out_size(h, w);
+        let k = self.kernel;
+        let p = self.padding as i64;
+        let mut col = Tensor::zeros(&[c * k * k, oh * ow]);
+        let col_data = col.data_mut();
+        for ci in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ((ci * k) + ky) * k + kx;
+                    for oy in 0..oh {
+                        let sy = oy as i64 + ky as i64 - p;
+                        if sy < 0 || sy >= h as i64 {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let sx = ox as i64 + kx as i64 - p;
+                            if sx < 0 || sx >= w as i64 {
+                                continue;
+                            }
+                            col_data[row * (oh * ow) + oy * ow + ox] =
+                                x.at4(n, ci, sy as usize, sx as usize);
+                        }
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    /// Forward pass: `x` is `[N, C, H, W]` → `[N, OC, OH, OW]`.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, ConvCache), TensorError> {
+        let shape = x.shape();
+        if shape.len() != 4 || shape[1] != self.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![0, self.in_channels, 0, 0],
+                got: shape.to_vec(),
+            });
+        }
+        let [n, _, h, w] = [shape[0], shape[1], shape[2], shape[3]];
+        let (oh, ow) = self.out_size(h, w);
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let mut cols = Vec::with_capacity(n);
+        for ni in 0..n {
+            let col = self.im2col(x, ni);
+            let y = self.weight.matmul(&col)?; // [OC, OH*OW]
+            let base = ni * self.out_channels * oh * ow;
+            let out_data = out.data_mut();
+            for oc in 0..self.out_channels {
+                let b = self.bias.data()[oc];
+                let src = &y.data()[oc * oh * ow..(oc + 1) * oh * ow];
+                let dst = &mut out_data[base + oc * oh * ow..base + (oc + 1) * oh * ow];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s + b;
+                }
+            }
+            cols.push(col);
+        }
+        Ok((out, ConvCache { cols, in_shape: [n, shape[1], h, w], out_hw: (oh, ow) }))
+    }
+
+    /// Backward pass: accumulates parameter gradients into `grads` and
+    /// returns the gradient w.r.t. the input.
+    pub fn backward(
+        &self,
+        cache: &ConvCache,
+        grad_out: &Tensor,
+        grads: &mut ConvGrads,
+    ) -> Result<Tensor, TensorError> {
+        let [n, c, h, w] = cache.in_shape;
+        let (oh, ow) = cache.out_hw;
+        let k = self.kernel;
+        let p = self.padding as i64;
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+
+        for ni in 0..n {
+            // Slice grad_out for this batch item as [OC, OH*OW].
+            let mut gy = Tensor::zeros(&[self.out_channels, oh * ow]);
+            {
+                let gy_data = gy.data_mut();
+                for oc in 0..self.out_channels {
+                    for i in 0..oh * ow {
+                        gy_data[oc * oh * ow + i] =
+                            grad_out.data()[((ni * self.out_channels + oc) * oh * ow) + i];
+                    }
+                }
+            }
+            // dW += gy · colᵀ ; db += row-sums of gy.
+            let colt = cache.cols[ni].transpose2()?;
+            let dw = gy.matmul(&colt)?;
+            grads.weight.add_assign(&dw)?;
+            for oc in 0..self.out_channels {
+                let s: f32 = gy.data()[oc * oh * ow..(oc + 1) * oh * ow].iter().sum();
+                grads.bias.data_mut()[oc] += s;
+            }
+            // dcol = Wᵀ · gy, then col2im scatter-add.
+            let wt = self.weight.transpose2()?;
+            let dcol = wt.matmul(&gy)?; // [C*K*K, OH*OW]
+            for ci in 0..c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let row = ((ci * k) + ky) * k + kx;
+                        for oy in 0..oh {
+                            let sy = oy as i64 + ky as i64 - p;
+                            if sy < 0 || sy >= h as i64 {
+                                continue;
+                            }
+                            for ox in 0..ow {
+                                let sx = ox as i64 + kx as i64 - p;
+                                if sx < 0 || sx >= w as i64 {
+                                    continue;
+                                }
+                                *grad_in.at4_mut(ni, ci, sy as usize, sx as usize) +=
+                                    dcol.data()[row * (oh * ow) + oy * ow + ox];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_conv() -> Conv2D {
+        let mut c = Conv2D::new(1, 1, 3, 0, 1);
+        // Identity-ish kernel: centre 1.
+        c.weight = Tensor::from_vec(&[1, 9], vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0])
+            .unwrap();
+        c.bias = Tensor::from_vec(&[1], vec![0.5]).unwrap();
+        c
+    }
+
+    #[test]
+    fn centre_kernel_shifts_input() {
+        let conv = tiny_conv();
+        let x = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|v| v as f32).collect()).unwrap();
+        let (y, _) = conv.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // Valid conv picks the 2x2 interior + bias 0.5.
+        assert_eq!(y.data(), &[5.5, 6.5, 9.5, 10.5]);
+    }
+
+    #[test]
+    fn padding_preserves_spatial_size() {
+        let conv = Conv2D::new(2, 3, 3, 1, 7);
+        let x = Tensor::zeros(&[2, 2, 8, 8]);
+        let (y, _) = conv.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 3, 8, 8]);
+    }
+
+    #[test]
+    fn wrong_channel_count_rejected() {
+        let conv = Conv2D::new(3, 4, 3, 0, 7);
+        let x = Tensor::zeros(&[1, 2, 8, 8]);
+        assert!(conv.forward(&x).is_err());
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Finite-difference check of dL/dW for L = sum(conv(x)).
+        let mut conv = Conv2D::new(2, 2, 3, 1, 11);
+        let x = Tensor::from_vec(
+            &[1, 2, 5, 5],
+            (0..50).map(|v| (v as f32 * 0.17).sin()).collect(),
+        )
+        .unwrap();
+        let (y, cache) = conv.forward(&x).unwrap();
+        let grad_out = Tensor::full(y.shape(), 1.0);
+        let mut grads = conv.zero_grads();
+        conv.backward(&cache, &grad_out, &mut grads).unwrap();
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 7, 17, 35] {
+            let orig = conv.weight.data()[idx];
+            conv.weight.data_mut()[idx] = orig + eps;
+            let (y1, _) = conv.forward(&x).unwrap();
+            conv.weight.data_mut()[idx] = orig - eps;
+            let (y2, _) = conv.forward(&x).unwrap();
+            conv.weight.data_mut()[idx] = orig;
+            let num: f32 = y1
+                .data()
+                .iter()
+                .zip(y2.data())
+                .map(|(a, b)| (a - b) / (2.0 * eps))
+                .sum();
+            let ana = grads.weight.data()[idx];
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dW[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let conv = Conv2D::new(1, 2, 3, 0, 13);
+        let x = Tensor::from_vec(
+            &[1, 1, 5, 5],
+            (0..25).map(|v| (v as f32 * 0.23).cos()).collect(),
+        )
+        .unwrap();
+        let (y, cache) = conv.forward(&x).unwrap();
+        let grad_out = Tensor::full(y.shape(), 1.0);
+        let mut grads = conv.zero_grads();
+        let gin = conv.backward(&cache, &grad_out, &mut grads).unwrap();
+
+        let eps = 1e-2f32;
+        let mut x2 = x.clone();
+        for &idx in &[0usize, 6, 12, 24] {
+            let orig = x2.data()[idx];
+            x2.data_mut()[idx] = orig + eps;
+            let (y1, _) = conv.forward(&x2).unwrap();
+            x2.data_mut()[idx] = orig - eps;
+            let (y2, _) = conv.forward(&x2).unwrap();
+            x2.data_mut()[idx] = orig;
+            let num: f32 =
+                y1.data().iter().zip(y2.data()).map(|(a, b)| (a - b) / (2.0 * eps)).sum();
+            let ana = gin.data()[idx];
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                "dX[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_counts_positions() {
+        let conv = Conv2D::new(1, 1, 3, 0, 3);
+        let x = Tensor::zeros(&[2, 1, 5, 5]);
+        let (y, cache) = conv.forward(&x).unwrap();
+        let grad_out = Tensor::full(y.shape(), 1.0);
+        let mut grads = conv.zero_grads();
+        conv.backward(&cache, &grad_out, &mut grads).unwrap();
+        // 2 batch items x 3x3 output positions each.
+        assert_eq!(grads.bias.data()[0], 18.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Fully-connected layer.
+
+use crate::tensor::{Tensor, TensorError};
+
+/// A dense layer: `y = x · W + b`, with `x` of shape `[N, in]`, `W` of
+/// shape `[in, out]`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Dense {
+    pub weight: Tensor,
+    pub bias: Tensor,
+    pub in_features: usize,
+    pub out_features: usize,
+}
+
+/// Cache: the input activations.
+pub struct DenseCache {
+    x: Tensor,
+}
+
+/// Gradient accumulator matching a [`Dense`]'s parameters.
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    pub weight: Tensor,
+    pub bias: Tensor,
+}
+
+impl Dense {
+    /// New dense layer with Glorot-uniform weights (Keras default).
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        Dense {
+            weight: crate::init::glorot_uniform(
+                &[in_features, out_features],
+                in_features,
+                out_features,
+                seed,
+            ),
+            bias: Tensor::zeros(&[out_features]),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Fresh zeroed gradient accumulator.
+    pub fn zero_grads(&self) -> DenseGrads {
+        DenseGrads {
+            weight: Tensor::zeros(self.weight.shape()),
+            bias: Tensor::zeros(self.bias.shape()),
+        }
+    }
+
+    /// Forward: `[N, in] → [N, out]`.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, DenseCache), TensorError> {
+        if x.shape().len() != 2 || x.shape()[1] != self.in_features {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![0, self.in_features],
+                got: x.shape().to_vec(),
+            });
+        }
+        let mut y = x.matmul(&self.weight)?;
+        let n = y.shape()[0];
+        let out = self.out_features;
+        for i in 0..n {
+            for j in 0..out {
+                y.data_mut()[i * out + j] += self.bias.data()[j];
+            }
+        }
+        Ok((y, DenseCache { x: x.clone() }))
+    }
+
+    /// Backward: accumulates `dW = xᵀ·g`, `db = Σg`, returns `dx = g·Wᵀ`.
+    pub fn backward(
+        &self,
+        cache: &DenseCache,
+        grad_out: &Tensor,
+        grads: &mut DenseGrads,
+    ) -> Result<Tensor, TensorError> {
+        let xt = cache.x.transpose2()?;
+        let dw = xt.matmul(grad_out)?;
+        grads.weight.add_assign(&dw)?;
+        let n = grad_out.shape()[0];
+        for i in 0..n {
+            for j in 0..self.out_features {
+                grads.bias.data_mut()[j] += grad_out.data()[i * self.out_features + j];
+            }
+        }
+        let wt = self.weight.transpose2()?;
+        grad_out.matmul(&wt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_affine() {
+        let mut d = Dense::new(2, 2, 1);
+        d.weight = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        d.bias = Tensor::from_vec(&[2], vec![0.5, -0.5]).unwrap();
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]).unwrap();
+        let (y, _) = d.forward(&x).unwrap();
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let d = Dense::new(3, 2, 1);
+        assert!(d.forward(&Tensor::zeros(&[1, 4])).is_err());
+        assert!(d.forward(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn gradient_check() {
+        let d = Dense::new(3, 2, 5);
+        let x = Tensor::from_vec(&[2, 3], vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]).unwrap();
+        let (y, cache) = d.forward(&x).unwrap();
+        let grad_out = Tensor::full(y.shape(), 1.0);
+        let mut grads = d.zero_grads();
+        let gin = d.backward(&cache, &grad_out, &mut grads).unwrap();
+
+        let eps = 1e-3f32;
+        // Check dX.
+        let mut x2 = x.clone();
+        for idx in 0..x.len() {
+            let orig = x2.data()[idx];
+            x2.data_mut()[idx] = orig + eps;
+            let (y1, _) = d.forward(&x2).unwrap();
+            x2.data_mut()[idx] = orig - eps;
+            let (y2, _) = d.forward(&x2).unwrap();
+            x2.data_mut()[idx] = orig;
+            let num: f32 =
+                y1.data().iter().zip(y2.data()).map(|(a, b)| (a - b) / (2.0 * eps)).sum();
+            assert!((num - gin.data()[idx]).abs() < 1e-2, "dX[{idx}]");
+        }
+        // db sums over batch.
+        assert_eq!(grads.bias.data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn weight_gradient_accumulates_across_calls() {
+        let d = Dense::new(2, 1, 9);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]).unwrap();
+        let (y, cache) = d.forward(&x).unwrap();
+        let g = Tensor::full(y.shape(), 1.0);
+        let mut grads = d.zero_grads();
+        d.backward(&cache, &g, &mut grads).unwrap();
+        d.backward(&cache, &g, &mut grads).unwrap();
+        // Two identical backward passes double the gradient (shared-weight
+        // accumulation property the Siamese towers rely on).
+        assert_eq!(grads.weight.data(), &[2.0, 4.0]);
+    }
+}

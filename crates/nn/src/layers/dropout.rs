@@ -1,0 +1,141 @@
+//! Inverted dropout.
+//!
+//! The paper attributes its Table-4 failure to overfitting and proposes
+//! "further tweaking of the framework" — dropout is the canonical first
+//! tweak. Inverted scaling (`kept / (1 − rate)`) keeps inference
+//! untouched: at prediction time the layer is the identity.
+
+use crate::tensor::Tensor;
+use rand::{Rng, SeedableRng};
+
+/// Dropout layer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Dropout {
+    /// Fraction of activations zeroed during training, in `[0, 1)`.
+    pub rate: f32,
+}
+
+/// Cache: the applied keep-mask with its inverted scale folded in.
+pub struct DropoutCache {
+    scale_mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// New dropout layer.
+    ///
+    /// # Panics
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn new(rate: f32) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate {rate} not in [0, 1)");
+        Dropout { rate }
+    }
+
+    /// Training-mode forward with a caller-provided seed (keeps the whole
+    /// training run deterministic).
+    pub fn forward_train(&self, x: &Tensor, seed: u64) -> (Tensor, DropoutCache) {
+        if self.rate == 0.0 {
+            return (
+                x.clone(),
+                DropoutCache { scale_mask: vec![1.0; x.len()] },
+            );
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let keep = 1.0 - self.rate;
+        let inv = 1.0 / keep;
+        let mut out = x.clone();
+        let mut scale_mask = vec![0.0f32; x.len()];
+        for (v, m) in out.data_mut().iter_mut().zip(&mut scale_mask) {
+            if rng.gen::<f32>() < keep {
+                *m = inv;
+                *v *= inv;
+            } else {
+                *v = 0.0;
+            }
+        }
+        (out, DropoutCache { scale_mask })
+    }
+
+    /// Inference-mode forward: identity.
+    pub fn forward_eval(&self, x: &Tensor) -> Tensor {
+        x.clone()
+    }
+
+    /// Backward: gradient flows only through kept units, with the same
+    /// inverted scale.
+    pub fn backward(&self, cache: &DropoutCache, grad_out: &Tensor) -> Tensor {
+        let mut grad = grad_out.clone();
+        for (g, &m) in grad.data_mut().iter_mut().zip(&cache.scale_mask) {
+            *g *= m;
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::from_vec(&[4], vec![1.0, -2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(d.forward_eval(&x), x);
+    }
+
+    #[test]
+    fn train_zeroes_roughly_rate_fraction() {
+        let d = Dropout::new(0.4);
+        let x = Tensor::full(&[10_000], 1.0);
+        let (y, _) = d.forward_train(&x, 7);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / 10_000.0;
+        assert!((frac - 0.4).abs() < 0.03, "dropped {frac}");
+    }
+
+    #[test]
+    fn inverted_scaling_preserves_expectation() {
+        let d = Dropout::new(0.3);
+        let x = Tensor::full(&[50_000], 2.0);
+        let (y, _) = d.forward_train(&x, 13);
+        let mean: f32 = y.data().iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::full(&[64], 1.0);
+        let (a, _) = d.forward_train(&x, 42);
+        let (b, _) = d.forward_train(&x, 42);
+        assert_eq!(a, b);
+        let (c, _) = d.forward_train(&x, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn backward_masks_gradient_consistently() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::full(&[32], 1.0);
+        let (y, cache) = d.forward_train(&x, 3);
+        let g = d.backward(&cache, &Tensor::full(&[32], 1.0));
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0, "mask mismatch");
+        }
+    }
+
+    #[test]
+    fn zero_rate_is_transparent() {
+        let d = Dropout::new(0.0);
+        let x = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]).unwrap();
+        let (y, cache) = d.forward_train(&x, 1);
+        assert_eq!(y, x);
+        let g = d.backward(&cache, &Tensor::full(&[3], 1.0));
+        assert!(g.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1)")]
+    fn rate_one_panics() {
+        Dropout::new(1.0);
+    }
+}

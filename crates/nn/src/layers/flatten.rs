@@ -1,0 +1,40 @@
+//! Flattening between convolutional and dense stages.
+
+use crate::tensor::{Tensor, TensorError};
+
+/// Flatten `[N, C, H, W] → [N, C·H·W]`. The inverse for the backward pass
+/// is just a reshape, so no cache is needed.
+pub fn flatten(x: &Tensor) -> Result<Tensor, TensorError> {
+    let s = x.shape();
+    if s.len() < 2 {
+        return Err(TensorError::ShapeMismatch { expected: vec![0, 0], got: s.to_vec() });
+    }
+    let n = s[0];
+    let rest: usize = s[1..].iter().product();
+    x.reshape(&[n, rest])
+}
+
+/// Reshape a flat gradient back to the convolutional shape.
+pub fn unflatten(grad: &Tensor, shape: &[usize]) -> Result<Tensor, TensorError> {
+    grad.reshape(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let x = Tensor::from_vec(&[2, 3, 2, 2], (0..24).map(|v| v as f32).collect()).unwrap();
+        let f = flatten(&x).unwrap();
+        assert_eq!(f.shape(), &[2, 12]);
+        let back = unflatten(&f, &[2, 3, 2, 2]).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn flatten_rejects_rank1() {
+        let x = Tensor::zeros(&[5]);
+        assert!(flatten(&x).is_err());
+    }
+}

@@ -1,0 +1,533 @@
+//! The Normalized-X-Corr network (Subramaniam et al. 2016), as re-built in
+//! the paper's Keras pipeline (§3.4).
+//!
+//! Architecture, following the NIPS paper and the description in §3.4:
+//!
+//! ```text
+//!   image A ─┐                                  (shared weights)
+//!            ├─ Conv(5×5) → ReLU → MaxPool(2) → Conv(5×5) → ReLU → MaxPool(2) ─┐
+//!   image B ─┘                                                                 │
+//!                             Normalized-X-Corr (patch, radius) ◄──────────────┤
+//!                                        │
+//!        Conv(3×3) → ReLU → Conv(3×3) → ReLU → MaxPool(2)     ("two successive
+//!                                        │       convolutional layers followed
+//!                                   Flatten                    by Maxpooling")
+//!                                        │
+//!                          Dense → ReLU → Dense(2) → softmax
+//! ```
+//!
+//! The paper resizes inputs to 60×160×3; that resolution is configurable
+//! here (the repro harness defaults to a reduced one so CPU training stays
+//! within budget — the failure mode under study does not depend on it).
+
+use crate::layers::conv::{Conv2D, ConvGrads};
+use crate::layers::dense::{Dense, DenseGrads};
+use crate::layers::flatten::{flatten, unflatten};
+use crate::layers::pool::MaxPool2D;
+use crate::layers::softmax::softmax_probs;
+use crate::layers::dropout::{Dropout, DropoutCache};
+use crate::layers::Relu;
+use crate::tensor::{Tensor, TensorError};
+use crate::xcorr::NormXCorr;
+
+/// Network hyperparameters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct NetConfig {
+    /// Input height (paper: 160).
+    pub height: usize,
+    /// Input width (paper: 60).
+    pub width: usize,
+    /// Channels of the first shared conv (NIPS paper: 20).
+    pub c1: usize,
+    /// Channels of the second shared conv (NIPS paper: 25).
+    pub c2: usize,
+    /// Channels of the two post-correlation convs.
+    pub c3: usize,
+    /// NCC patch side.
+    pub patch: usize,
+    /// NCC displacement radius.
+    pub radius: usize,
+    /// Width of the penultimate dense layer.
+    pub dense: usize,
+    /// Dropout rate applied after the penultimate dense layer during
+    /// training (0 disables it) — the paper's mooted overfitting fix.
+    #[serde(default)]
+    pub dropout: f32,
+    /// Weight-init seed.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // CPU-budget default: 64×24 inputs, 20/25-channel towers like the
+        // NIPS paper, small correlation neighbourhood.
+        NetConfig {
+            height: 64,
+            width: 24,
+            c1: 20,
+            c2: 25,
+            c3: 25,
+            patch: 3,
+            radius: 1,
+            dense: 64,
+            dropout: 0.0,
+            seed: 2019,
+        }
+    }
+}
+
+/// The full network. All parameters are owned; the shared tower is stored
+/// once and applied to both inputs.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct NormXCorrNet {
+    pub config: NetConfig,
+    pub conv1: Conv2D,
+    pub conv2: Conv2D,
+    pub conv3: Conv2D,
+    pub conv4: Conv2D,
+    pub dense1: Dense,
+    pub dense2: Dense,
+    #[serde(skip, default = "default_pool")]
+    pool: MaxPool2D,
+}
+
+fn default_pool() -> MaxPool2D {
+    MaxPool2D::new(2, 2)
+}
+
+/// Parameter gradients for one training step.
+pub struct NetGrads {
+    pub conv1: ConvGrads,
+    pub conv2: ConvGrads,
+    pub conv3: ConvGrads,
+    pub conv4: ConvGrads,
+    pub dense1: DenseGrads,
+    pub dense2: DenseGrads,
+}
+
+impl NetGrads {
+    /// Elementwise accumulate another gradient set (used to reduce
+    /// per-sample gradients computed in parallel).
+    pub fn accumulate(&mut self, other: &NetGrads) -> Result<(), TensorError> {
+        self.conv1.weight.add_assign(&other.conv1.weight)?;
+        self.conv1.bias.add_assign(&other.conv1.bias)?;
+        self.conv2.weight.add_assign(&other.conv2.weight)?;
+        self.conv2.bias.add_assign(&other.conv2.bias)?;
+        self.conv3.weight.add_assign(&other.conv3.weight)?;
+        self.conv3.bias.add_assign(&other.conv3.bias)?;
+        self.conv4.weight.add_assign(&other.conv4.weight)?;
+        self.conv4.bias.add_assign(&other.conv4.bias)?;
+        self.dense1.weight.add_assign(&other.dense1.weight)?;
+        self.dense1.bias.add_assign(&other.dense1.bias)?;
+        self.dense2.weight.add_assign(&other.dense2.weight)?;
+        self.dense2.bias.add_assign(&other.dense2.bias)?;
+        Ok(())
+    }
+
+    /// Scale every gradient (e.g. by 1/batch).
+    pub fn scale(&mut self, k: f32) {
+        for t in [
+            &mut self.conv1.weight,
+            &mut self.conv1.bias,
+            &mut self.conv2.weight,
+            &mut self.conv2.bias,
+            &mut self.conv3.weight,
+            &mut self.conv3.bias,
+            &mut self.conv4.weight,
+            &mut self.conv4.bias,
+            &mut self.dense1.weight,
+            &mut self.dense1.bias,
+            &mut self.dense2.weight,
+            &mut self.dense2.bias,
+        ] {
+            t.scale(k);
+        }
+    }
+}
+
+/// Opaque forward caches for one (A, B) batch.
+pub struct NetCache {
+    // Tower caches for each of the two inputs.
+    tower_a: TowerCache,
+    tower_b: TowerCache,
+    xc: crate::xcorr::XCorrCache,
+    c3: crate::layers::conv::ConvCache,
+    r3: crate::layers::activation::ReluCache,
+    c4: crate::layers::conv::ConvCache,
+    r4: crate::layers::activation::ReluCache,
+    p3: crate::layers::pool::PoolCache,
+    pre_flat_shape: Vec<usize>,
+    d1: crate::layers::dense::DenseCache,
+    r5: crate::layers::activation::ReluCache,
+    drop: Option<DropoutCache>,
+    d2: crate::layers::dense::DenseCache,
+}
+
+struct TowerCache {
+    c1: crate::layers::conv::ConvCache,
+    r1: crate::layers::activation::ReluCache,
+    p1: crate::layers::pool::PoolCache,
+    c2: crate::layers::conv::ConvCache,
+    r2: crate::layers::activation::ReluCache,
+    p2: crate::layers::pool::PoolCache,
+}
+
+impl NormXCorrNet {
+    /// Build the network for a configuration.
+    ///
+    /// ```
+    /// use taor_nn::{NetConfig, NormXCorrNet, Tensor};
+    ///
+    /// let cfg = NetConfig { height: 24, width: 20, c1: 3, c2: 4, c3: 4, dense: 8,
+    ///                       ..NetConfig::default() };
+    /// let net = NormXCorrNet::new(cfg.clone());
+    /// let x = Tensor::full(&[1, 3, cfg.height, cfg.width], 0.1);
+    /// let (logits, _) = net.forward(&x, &x).unwrap();
+    /// assert_eq!(logits.shape(), &[1, 2]);
+    /// ```
+    pub fn new(config: NetConfig) -> Self {
+        let xcorr = NormXCorr::new(config.patch, config.radius);
+        let xc_channels = xcorr.out_channels(config.c2);
+        // Spatial bookkeeping to size the dense layer. Explicit checked
+        // arithmetic so undersized inputs fail loudly in release builds too.
+        let shrink = |v: usize| v.checked_sub(4).filter(|&r| r >= 2); // conv 5x5 valid
+        let stage = |v: usize| shrink(v).map(|r| r / 2); // + pool 2
+        let (h3, w3) = match (
+            stage(config.height).and_then(stage).map(|v| v / 2),
+            stage(config.width).and_then(stage).map(|v| v / 2),
+        ) {
+            (Some(h), Some(w)) if h >= 1 && w >= 1 => (h, w),
+            _ => panic!(
+                "input {}x{} too small for the architecture",
+                config.width, config.height
+            ),
+        };
+        // xcorr keeps spatial dims; conv3/conv4 are 3x3 pad 1; final pool /2.
+        let flat = config.c3 * h3 * w3;
+
+        NormXCorrNet {
+            conv1: Conv2D::new(3, config.c1, 5, 0, config.seed ^ 0xC0_01),
+            conv2: Conv2D::new(config.c1, config.c2, 5, 0, config.seed ^ 0xC0_02),
+            conv3: Conv2D::new(xc_channels, config.c3, 3, 1, config.seed ^ 0xC0_03),
+            conv4: Conv2D::new(config.c3, config.c3, 3, 1, config.seed ^ 0xC0_04),
+            dense1: Dense::new(flat, config.dense, config.seed ^ 0xD0_01),
+            dense2: Dense::new(config.dense, 2, config.seed ^ 0xD0_02),
+            config,
+            pool: default_pool(),
+        }
+    }
+
+    fn xcorr(&self) -> NormXCorr {
+        NormXCorr::new(self.config.patch, self.config.radius)
+    }
+
+    /// Fresh zeroed gradient store.
+    pub fn zero_grads(&self) -> NetGrads {
+        NetGrads {
+            conv1: self.conv1.zero_grads(),
+            conv2: self.conv2.zero_grads(),
+            conv3: self.conv3.zero_grads(),
+            conv4: self.conv4.zero_grads(),
+            dense1: self.dense1.zero_grads(),
+            dense2: self.dense2.zero_grads(),
+        }
+    }
+
+    fn tower_forward(&self, x: &Tensor) -> Result<(Tensor, TowerCache), TensorError> {
+        let (y, c1) = self.conv1.forward(x)?;
+        let (y, r1) = Relu.forward(&y);
+        let (y, p1) = self.pool.forward(&y)?;
+        let (y, c2) = self.conv2.forward(&y)?;
+        let (y, r2) = Relu.forward(&y);
+        let (y, p2) = self.pool.forward(&y)?;
+        Ok((y, TowerCache { c1, r1, p1, c2, r2, p2 }))
+    }
+
+    fn tower_backward(
+        &self,
+        cache: &TowerCache,
+        grad: &Tensor,
+        grads: &mut NetGrads,
+    ) -> Result<(), TensorError> {
+        let g = self.pool.backward(&cache.p2, grad);
+        let g = Relu.backward(&cache.r2, &g);
+        let g = self.conv2.backward(&cache.c2, &g, &mut grads.conv2)?;
+        let g = self.pool.backward(&cache.p1, &g);
+        let g = Relu.backward(&cache.r1, &g);
+        let _ = self.conv1.backward(&cache.c1, &g, &mut grads.conv1)?;
+        Ok(())
+    }
+
+    /// Forward pass over a batch of image pairs, both `[N, 3, H, W]`.
+    /// Returns the `[N, 2]` logits and the caches needed for backward.
+    /// Inference mode: dropout (if configured) is bypassed.
+    pub fn forward(&self, a: &Tensor, b: &Tensor) -> Result<(Tensor, NetCache), TensorError> {
+        self.forward_ex(a, b, None)
+    }
+
+    /// Forward pass with optional training-mode dropout, seeded by
+    /// `dropout_seed` so full runs stay reproducible.
+    pub fn forward_ex(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        dropout_seed: Option<u64>,
+    ) -> Result<(Tensor, NetCache), TensorError> {
+        let (fa, tower_a) = self.tower_forward(a)?;
+        let (fb, tower_b) = self.tower_forward(b)?;
+        let (xc_out, xc) = self.xcorr().forward(&fa, &fb)?;
+        let (y, c3) = self.conv3.forward(&xc_out)?;
+        let (y, r3) = Relu.forward(&y);
+        let (y, c4) = self.conv4.forward(&y)?;
+        let (y, r4) = Relu.forward(&y);
+        let (y, p3) = self.pool.forward(&y)?;
+        let pre_flat_shape = y.shape().to_vec();
+        let y = flatten(&y)?;
+        let (y, d1) = self.dense1.forward(&y)?;
+        let (y, r5) = Relu.forward(&y);
+        let (y, drop) = match dropout_seed {
+            Some(seed) if self.config.dropout > 0.0 => {
+                let layer = Dropout::new(self.config.dropout);
+                let (y, cache) = layer.forward_train(&y, seed);
+                (y, Some(cache))
+            }
+            _ => (y, None),
+        };
+        let (logits, d2) = self.dense2.forward(&y)?;
+        Ok((
+            logits,
+            NetCache {
+                tower_a,
+                tower_b,
+                xc,
+                c3,
+                r3,
+                c4,
+                r4,
+                p3,
+                pre_flat_shape,
+                d1,
+                r5,
+                drop,
+                d2,
+            },
+        ))
+    }
+
+    /// Backward pass from `dL/dlogits`; accumulates into `grads`.
+    pub fn backward(
+        &self,
+        cache: &NetCache,
+        grad_logits: &Tensor,
+        grads: &mut NetGrads,
+    ) -> Result<(), TensorError> {
+        let g = self.dense2.backward(&cache.d2, grad_logits, &mut grads.dense2)?;
+        let g = match &cache.drop {
+            Some(dc) => Dropout::new(self.config.dropout).backward(dc, &g),
+            None => g,
+        };
+        let g = Relu.backward(&cache.r5, &g);
+        let g = self.dense1.backward(&cache.d1, &g, &mut grads.dense1)?;
+        let g = unflatten(&g, &cache.pre_flat_shape)?;
+        let g = self.pool.backward(&cache.p3, &g);
+        let g = Relu.backward(&cache.r4, &g);
+        let g = self.conv4.backward(&cache.c4, &g, &mut grads.conv4)?;
+        let g = Relu.backward(&cache.r3, &g);
+        let g = self.conv3.backward(&cache.c3, &g, &mut grads.conv3)?;
+        let (ga, gb) = self.xcorr().backward(&cache.xc, &g)?;
+        // Shared tower: both branches accumulate into the same parameters.
+        self.tower_backward(&cache.tower_a, &ga, grads)?;
+        self.tower_backward(&cache.tower_b, &gb, grads)?;
+        Ok(())
+    }
+
+    /// Predicted "similar" probability per pair (class 1).
+    pub fn predict_similar(&self, a: &Tensor, b: &Tensor) -> Result<Vec<f32>, TensorError> {
+        let (logits, _) = self.forward(a, b)?;
+        let probs = softmax_probs(&logits)?;
+        Ok((0..probs.shape()[0]).map(|i| probs.at2(i, 1)).collect())
+    }
+
+    /// Mutable references to every parameter tensor, position-stable (for
+    /// the optimiser).
+    pub fn params_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![
+            &mut self.conv1.weight,
+            &mut self.conv1.bias,
+            &mut self.conv2.weight,
+            &mut self.conv2.bias,
+            &mut self.conv3.weight,
+            &mut self.conv3.bias,
+            &mut self.conv4.weight,
+            &mut self.conv4.bias,
+            &mut self.dense1.weight,
+            &mut self.dense1.bias,
+            &mut self.dense2.weight,
+            &mut self.dense2.bias,
+        ]
+    }
+
+    /// Gradient tensors matching [`NormXCorrNet::params_mut`] order.
+    pub fn grads_vec(grads: &NetGrads) -> Vec<&Tensor> {
+        vec![
+            &grads.conv1.weight,
+            &grads.conv1.bias,
+            &grads.conv2.weight,
+            &grads.conv2.bias,
+            &grads.conv3.weight,
+            &grads.conv3.bias,
+            &grads.conv4.weight,
+            &grads.conv4.bias,
+            &grads.dense1.weight,
+            &grads.dense1.bias,
+            &grads.dense2.weight,
+            &grads.dense2.bias,
+        ]
+    }
+
+    /// Serialise the whole model to JSON (weights included).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serialisation cannot fail")
+    }
+
+    /// Restore a model from [`NormXCorrNet::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::softmax::softmax_cross_entropy;
+
+    fn tiny_config() -> NetConfig {
+        NetConfig { height: 24, width: 20, c1: 4, c2: 5, c3: 6, dense: 16, ..Default::default() }
+    }
+
+    fn random_pair(cfg: &NetConfig, seed: u64) -> (Tensor, Tensor) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let len = 3 * cfg.height * cfg.width;
+        let a = Tensor::from_vec(
+            &[1, 3, cfg.height, cfg.width],
+            (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        let b = Tensor::from_vec(
+            &[1, 3, cfg.height, cfg.width],
+            (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn forward_produces_two_logits() {
+        let cfg = tiny_config();
+        let net = NormXCorrNet::new(cfg.clone());
+        let (a, b) = random_pair(&cfg, 1);
+        let (logits, _) = net.forward(&a, &b).unwrap();
+        assert_eq!(logits.shape(), &[1, 2]);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn backward_runs_and_produces_finite_grads() {
+        let cfg = tiny_config();
+        let net = NormXCorrNet::new(cfg.clone());
+        let (a, b) = random_pair(&cfg, 2);
+        let (logits, cache) = net.forward(&a, &b).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]).unwrap();
+        let mut grads = net.zero_grads();
+        net.backward(&cache, &grad, &mut grads).unwrap();
+        for t in NormXCorrNet::grads_vec(&grads) {
+            assert!(t.data().iter().all(|v| v.is_finite()));
+        }
+        // Tower gradients must be non-zero: signal reaches the shared conv1.
+        assert!(grads.conv1.weight.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn single_step_reduces_loss_on_one_pair() {
+        let cfg = tiny_config();
+        let mut net = NormXCorrNet::new(cfg.clone());
+        let (a, b) = random_pair(&cfg, 3);
+        let mut adam = crate::optim::Adam::new(1e-3, 0.0);
+        let mut last = f32::INFINITY;
+        for step in 0..8 {
+            let (logits, cache) = net.forward(&a, &b).unwrap();
+            let (loss, grad) = softmax_cross_entropy(&logits, &[0]).unwrap();
+            if step == 7 {
+                assert!(loss < last, "loss should decrease: {last} -> {loss}");
+            }
+            last = loss.min(last);
+            let mut grads = net.zero_grads();
+            net.backward(&cache, &grad, &mut grads).unwrap();
+            let gvec = NormXCorrNet::grads_vec(&grads)
+                .into_iter()
+                .cloned()
+                .collect::<Vec<_>>();
+            let grefs: Vec<&Tensor> = gvec.iter().collect();
+            adam.step(&mut net.params_mut(), &grefs);
+        }
+    }
+
+    #[test]
+    fn symmetric_inputs_symmetric_weight_grads() {
+        // Feeding (a, a) must give identical gradient contributions from
+        // both tower applications — sanity of the weight sharing.
+        let cfg = tiny_config();
+        let net = NormXCorrNet::new(cfg.clone());
+        let (a, _) = random_pair(&cfg, 4);
+        let (logits, cache) = net.forward(&a, &a).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]).unwrap();
+        let mut grads = net.zero_grads();
+        net.backward(&cache, &grad, &mut grads).unwrap();
+        assert!(grads.conv1.weight.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let cfg = tiny_config();
+        let net = NormXCorrNet::new(cfg.clone());
+        let (a, b) = random_pair(&cfg, 5);
+        let p1 = net.predict_similar(&a, &b).unwrap();
+        let json = net.to_json();
+        let restored = NormXCorrNet::from_json(&json).unwrap();
+        let p2 = restored.predict_similar(&a, &b).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn dropout_changes_training_forward_but_not_inference() {
+        let cfg = NetConfig { dropout: 0.5, ..tiny_config() };
+        let net = NormXCorrNet::new(cfg.clone());
+        let (a, b) = random_pair(&cfg, 9);
+        let (train1, _) = net.forward_ex(&a, &b, Some(1)).unwrap();
+        let (train2, _) = net.forward_ex(&a, &b, Some(2)).unwrap();
+        assert_ne!(train1, train2, "different dropout seeds differ");
+        let (eval1, _) = net.forward(&a, &b).unwrap();
+        let (eval2, _) = net.forward(&a, &b).unwrap();
+        assert_eq!(eval1, eval2, "inference is deterministic");
+    }
+
+    #[test]
+    fn dropout_backward_runs() {
+        let cfg = NetConfig { dropout: 0.3, ..tiny_config() };
+        let net = NormXCorrNet::new(cfg.clone());
+        let (a, b) = random_pair(&cfg, 10);
+        let (logits, cache) = net.forward_ex(&a, &b, Some(5)).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        let mut grads = net.zero_grads();
+        net.backward(&cache, &grad, &mut grads).unwrap();
+        assert!(grads.dense1.weight.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn absurdly_small_input_panics_at_construction() {
+        let cfg = NetConfig { height: 10, width: 10, ..tiny_config() };
+        let _ = NormXCorrNet::new(cfg);
+    }
+}

@@ -1,0 +1,290 @@
+//! A minimal dense `f32` tensor.
+//!
+//! Row-major, owned storage, arbitrary rank. This is the only numeric
+//! container the network code uses; convolution layers flatten it through
+//! im2col, so no stride tricks or views are needed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Shapes were incompatible for the requested operation.
+    ShapeMismatch { expected: Vec<usize>, got: Vec<usize> },
+    /// The flat data length does not match the product of the shape.
+    LengthMismatch { shape: Vec<usize>, len: usize },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {got:?}")
+            }
+            TensorError::LengthMismatch { shape, len } => {
+                write!(f, "data length {len} does not match shape {shape:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Dense row-major `f32` tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Tensor filled with a constant.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![value; shape.iter().product()] }
+    }
+
+    /// Wrap a flat buffer.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::LengthMismatch { shape: shape.to_vec(), len: data.len() });
+        }
+        Ok(Tensor { shape: shape.to_vec(), data })
+    }
+
+    /// Tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat immutable data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterpret with a new shape of equal length.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, TensorError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::LengthMismatch { shape: shape.to_vec(), len: self.data.len() });
+        }
+        Ok(Tensor { shape: shape.to_vec(), data: self.data.clone() })
+    }
+
+    /// 4-D index (NCHW convention). Debug-checked.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let [_, cs, hs, ws] = [self.shape[0], self.shape[1], self.shape[2], self.shape[3]];
+        self.data[((n * cs + c) * hs + h) * ws + w]
+    }
+
+    /// Mutable 4-D access.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 4);
+        let [_, cs, hs, ws] = [self.shape[0], self.shape[1], self.shape[2], self.shape[3]];
+        &mut self.data[((n * cs + c) * hs + h) * ws + w]
+    }
+
+    /// 2-D index (row, col).
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Mutable 2-D access.
+    #[inline]
+    pub fn at2_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        &mut self.data[r * self.shape[1] + c]
+    }
+
+    /// Elementwise in-place addition. Shapes must match.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape.clone(),
+                got: other.shape.clone(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Multiply every element by `k` in place.
+    pub fn scale(&mut self, k: f32) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Set every element to zero (gradient reset between batches).
+    pub fn zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Matrix product of two rank-2 tensors: `[m,k] × [k,n] → [m,n]`.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.shape.len() != 2 || other.shape.len() != 2 || self.shape[1] != other.shape[0] {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape.clone(),
+                got: other.shape.clone(),
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        // ikj loop order for cache-friendly access of `other`.
+        for i in 0..m {
+            for kk in 0..k {
+                let a = self.data[i * k + kk];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[kk * n..(kk + 1) * n];
+                let dst = &mut out.data[i * n..(i + 1) * n];
+                for (d, &b) in dst.iter_mut().zip(row) {
+                    *d += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose2(&self) -> Result<Tensor, TensorError> {
+        if self.shape.len() != 2 {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![0, 0],
+                got: self.shape.clone(),
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(&[2, 2], vec![1.0; 4]).is_ok());
+        assert!(Tensor::from_vec(&[2, 2], vec![1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let t = Tensor::from_vec(&[2, 6], (0..12).map(|v| v as f32).collect()).unwrap();
+        let r = t.reshape(&[3, 4]).unwrap();
+        assert_eq!(r.shape(), &[3, 4]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(&[5, 5]).is_err());
+    }
+
+    #[test]
+    fn indexing_4d_row_major() {
+        let mut t = Tensor::zeros(&[2, 3, 4, 5]);
+        *t.at4_mut(1, 2, 3, 4) = 9.0;
+        assert_eq!(t.at4(1, 2, 3, 4), 9.0);
+        assert_eq!(t.data()[t.len() - 1], 9.0);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_and_matmul_identity() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let at = a.transpose2().unwrap();
+        assert_eq!(at.shape(), &[3, 2]);
+        assert_eq!(at.at2(0, 1), 4.0);
+        let aat = a.matmul(&at).unwrap();
+        // (A Aᵀ) is symmetric.
+        assert_eq!(aat.at2(0, 1), aat.at2(1, 0));
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::full(&[4], 1.0);
+        let b = Tensor::full(&[4], 2.0);
+        a.add_assign(&b).unwrap();
+        assert!(a.data().iter().all(|&v| v == 3.0));
+        a.scale(0.5);
+        assert!(a.data().iter().all(|&v| v == 1.5));
+        let c = Tensor::zeros(&[5]);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn zero_resets() {
+        let mut a = Tensor::full(&[3], 7.0);
+        a.zero();
+        assert!(a.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

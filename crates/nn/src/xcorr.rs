@@ -1,0 +1,379 @@
+//! The Normalized-X-Corr cross-input matching layer.
+//!
+//! Subramaniam, Chatterjee & Mittal (NIPS 2016) replace the Siamese
+//! "exact" similarity (cosine of two embeddings) with an *inexact*
+//! matching layer: every local patch of feature stack A is correlated,
+//! under normalised cross-correlation, against patches of feature stack B
+//! over a neighbourhood of displacements. "regions of pixels across the
+//! two image representations are compared so that a larger region is
+//! carried over from one image to another during the matching, hence
+//! explaining its inexact nature" (paper §3.4). The output is symmetric in
+//! the two inputs up to the displacement sign, and is fed to further
+//! conv + maxpool stages.
+//!
+//! For inputs `[N, C, H, W]` the layer emits `[N, C·K, H, W]` where
+//! `K = (2·radius+1)²` displacement cells; channel `c·K + k` at `(x, y)`
+//! holds `NCC(patch_A(c, x, y), patch_B(c, x+dx_k, y+dy_k))` with
+//!
+//! `NCC(a, b) = ⟨â, b̂⟩ / (‖â‖·‖b̂‖ + ε)`,  `â = a − mean(a)`.
+//!
+//! Patches are square (`patch` side) with zero padding outside the map.
+
+use crate::tensor::{Tensor, TensorError};
+
+/// Stabiliser added to the product of patch norms.
+const EPS: f32 = 1e-4;
+/// Norm below which a patch is treated as flat (zero direction vector).
+const FLAT: f32 = 1e-6;
+
+/// Normalized cross-correlation layer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NormXCorr {
+    /// Patch side (odd).
+    pub patch: usize,
+    /// Displacement radius; K = (2r+1)² offsets.
+    pub radius: usize,
+}
+
+/// Cache for the backward pass: the two inputs.
+pub struct XCorrCache {
+    a: Tensor,
+    b: Tensor,
+}
+
+impl NormXCorr {
+    /// New layer; `patch` must be odd and ≥ 1.
+    pub fn new(patch: usize, radius: usize) -> Self {
+        assert!(patch % 2 == 1 && patch >= 1, "patch side must be odd");
+        NormXCorr { patch, radius }
+    }
+
+    /// Number of displacement cells.
+    pub fn offsets(&self) -> usize {
+        let k = 2 * self.radius + 1;
+        k * k
+    }
+
+    /// Output channel count for `c` input channels.
+    pub fn out_channels(&self, c: usize) -> usize {
+        c * self.offsets()
+    }
+
+    fn check(&self, a: &Tensor, b: &Tensor) -> Result<[usize; 4], TensorError> {
+        if a.shape() != b.shape() || a.shape().len() != 4 {
+            return Err(TensorError::ShapeMismatch {
+                expected: a.shape().to_vec(),
+                got: b.shape().to_vec(),
+            });
+        }
+        let s = a.shape();
+        Ok([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Collect the zero-padded patch of `t` centred at `(cx, cy)` in plane
+    /// `(n, c)`, subtract its mean, and return `(centred, norm)`.
+    fn centred_patch(
+        &self,
+        t: &Tensor,
+        n: usize,
+        c: usize,
+        cx: i64,
+        cy: i64,
+        buf: &mut [f32],
+    ) -> f32 {
+        let s = t.shape();
+        let (h, w) = (s[2] as i64, s[3] as i64);
+        let r = (self.patch / 2) as i64;
+        let mut sum = 0.0f32;
+        let mut i = 0usize;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let x = cx + dx;
+                let y = cy + dy;
+                let v = if x >= 0 && x < w && y >= 0 && y < h {
+                    t.at4(n, c, y as usize, x as usize)
+                } else {
+                    0.0
+                };
+                buf[i] = v;
+                sum += v;
+                i += 1;
+            }
+        }
+        let mean = sum / buf.len() as f32;
+        let mut norm_sq = 0.0f32;
+        for v in buf.iter_mut() {
+            *v -= mean;
+            norm_sq += *v * *v;
+        }
+        norm_sq.sqrt()
+    }
+
+    /// Forward: `(A, B)` of shape `[N, C, H, W]` → `[N, C·K, H, W]`.
+    pub fn forward(&self, a: &Tensor, b: &Tensor) -> Result<(Tensor, XCorrCache), TensorError> {
+        let [n, c, h, w] = self.check(a, b)?;
+        let k_side = 2 * self.radius as i64 + 1;
+        let koff = self.offsets();
+        let psz = self.patch * self.patch;
+        let mut out = Tensor::zeros(&[n, c * koff, h, w]);
+        let mut pa = vec![0.0f32; psz];
+        let mut pb = vec![0.0f32; psz];
+        for ni in 0..n {
+            for ci in 0..c {
+                for y in 0..h as i64 {
+                    for x in 0..w as i64 {
+                        let na = self.centred_patch(a, ni, ci, x, y, &mut pa);
+                        for ky in 0..k_side {
+                            for kx in 0..k_side {
+                                let dy = ky - self.radius as i64;
+                                let dx = kx - self.radius as i64;
+                                let nb =
+                                    self.centred_patch(b, ni, ci, x + dx, y + dy, &mut pb);
+                                let dot: f32 =
+                                    pa.iter().zip(&pb).map(|(&u, &v)| u * v).sum();
+                                let ncc = dot / (na * nb + EPS);
+                                let oc = ci * koff + (ky * k_side + kx) as usize;
+                                *out.at4_mut(ni, oc, y as usize, x as usize) = ncc;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok((out, XCorrCache { a: a.clone(), b: b.clone() }))
+    }
+
+    /// Scatter `grad * d(ncc)/d(patch)` back into `grad_t` for the patch of
+    /// `t` centred at `(cx, cy)`.
+    #[allow(clippy::too_many_arguments)]
+    fn scatter_patch_grad(
+        &self,
+        grad_t: &mut Tensor,
+        n: usize,
+        c: usize,
+        cx: i64,
+        cy: i64,
+        dvals: &[f32],
+    ) {
+        let s = grad_t.shape();
+        let (h, w) = (s[2] as i64, s[3] as i64);
+        let r = (self.patch / 2) as i64;
+        // Chain through the mean subtraction: the gradient w.r.t. the raw
+        // patch is (I − 11ᵀ/n) · dvals, and positions outside the image are
+        // dropped (they were constant zeros, not samples of t).
+        let mean_d: f32 = dvals.iter().sum::<f32>() / dvals.len() as f32;
+        let mut i = 0usize;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let x = cx + dx;
+                let y = cy + dy;
+                if x >= 0 && x < w && y >= 0 && y < h {
+                    *grad_t.at4_mut(n, c, y as usize, x as usize) += dvals[i] - mean_d;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// Backward: returns `(grad_a, grad_b)`.
+    pub fn backward(
+        &self,
+        cache: &XCorrCache,
+        grad_out: &Tensor,
+    ) -> Result<(Tensor, Tensor), TensorError> {
+        let [n, c, h, w] = self.check(&cache.a, &cache.b)?;
+        let k_side = 2 * self.radius as i64 + 1;
+        let koff = self.offsets();
+        let psz = self.patch * self.patch;
+        let mut grad_a = Tensor::zeros(cache.a.shape());
+        let mut grad_b = Tensor::zeros(cache.b.shape());
+        let mut pa = vec![0.0f32; psz];
+        let mut pb = vec![0.0f32; psz];
+        let mut da = vec![0.0f32; psz];
+        let mut db = vec![0.0f32; psz];
+
+        for ni in 0..n {
+            for ci in 0..c {
+                for y in 0..h as i64 {
+                    for x in 0..w as i64 {
+                        let na = self.centred_patch(&cache.a, ni, ci, x, y, &mut pa);
+                        for ky in 0..k_side {
+                            for kx in 0..k_side {
+                                let dy = ky - self.radius as i64;
+                                let dx = kx - self.radius as i64;
+                                let oc = ci * koff + (ky * k_side + kx) as usize;
+                                let g = grad_out.at4(ni, oc, y as usize, x as usize);
+                                if g == 0.0 {
+                                    continue;
+                                }
+                                let nb = self.centred_patch(
+                                    &cache.b, ni, ci, x + dx, y + dy, &mut pb,
+                                );
+                                let dot: f32 =
+                                    pa.iter().zip(&pb).map(|(&u, &v)| u * v).sum();
+                                let denom = na * nb + EPS;
+                                let inv = 1.0 / denom;
+                                // d(ncc)/dâ = b̂/denom − dot·nb·(â/‖â‖)/denom²
+                                // d(ncc)/db̂ symmetric.
+                                let coef_a =
+                                    if na > FLAT { dot * nb / (na * denom * denom) } else { 0.0 };
+                                let coef_b =
+                                    if nb > FLAT { dot * na / (nb * denom * denom) } else { 0.0 };
+                                for i in 0..psz {
+                                    da[i] = g * (pb[i] * inv - coef_a * pa[i]);
+                                    db[i] = g * (pa[i] * inv - coef_b * pb[i]);
+                                }
+                                self.scatter_patch_grad(&mut grad_a, ni, ci, x, y, &da);
+                                self.scatter_patch_grad(
+                                    &mut grad_b,
+                                    ni,
+                                    ci,
+                                    x + dx,
+                                    y + dy,
+                                    &db,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok((grad_a, grad_b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_from(shape: &[usize], f: impl Fn(usize) -> f32) -> Tensor {
+        let len: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..len).map(f).collect()).unwrap()
+    }
+
+    #[test]
+    fn output_shape() {
+        let layer = NormXCorr::new(3, 1);
+        let a = Tensor::zeros(&[2, 4, 5, 6]);
+        let b = Tensor::zeros(&[2, 4, 5, 6]);
+        let (y, _) = layer.forward(&a, &b).unwrap();
+        assert_eq!(y.shape(), &[2, 36, 5, 6]);
+        assert_eq!(layer.offsets(), 9);
+        assert_eq!(layer.out_channels(4), 36);
+    }
+
+    #[test]
+    fn identical_inputs_give_unit_centre_correlation() {
+        let layer = NormXCorr::new(3, 1);
+        let a = tensor_from(&[1, 1, 7, 7], |i| ((i * 37) % 11) as f32 - 5.0);
+        let (y, _) = layer.forward(&a, &a).unwrap();
+        // Zero-displacement cell is channel index radius*k_side + radius = 4.
+        for yy in 1..6usize {
+            for xx in 1..6usize {
+                let v = y.at4(0, 4, yy, xx);
+                assert!(v > 0.9, "self-NCC at ({xx},{yy}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn values_bounded_by_one() {
+        let layer = NormXCorr::new(3, 1);
+        let a = tensor_from(&[1, 2, 6, 6], |i| (i as f32 * 0.7).sin());
+        let b = tensor_from(&[1, 2, 6, 6], |i| (i as f32 * 1.3).cos());
+        let (y, _) = layer.forward(&a, &b).unwrap();
+        for &v in y.data() {
+            assert!(v.abs() <= 1.0 + 1e-4, "|ncc| = {v}");
+        }
+    }
+
+    #[test]
+    fn anticorrelated_patches_score_negative() {
+        let layer = NormXCorr::new(3, 0);
+        let a = tensor_from(&[1, 1, 5, 5], |i| if i % 2 == 0 { 1.0 } else { -1.0 });
+        let mut bneg = a.clone();
+        bneg.scale(-1.0);
+        let (y, _) = layer.forward(&a, &bneg).unwrap();
+        let centre = y.at4(0, 0, 2, 2);
+        assert!(centre < -0.9, "anti-correlation = {centre}");
+    }
+
+    #[test]
+    fn flat_patches_do_not_blow_up() {
+        let layer = NormXCorr::new(3, 1);
+        let a = Tensor::full(&[1, 1, 5, 5], 3.0);
+        let b = tensor_from(&[1, 1, 5, 5], |i| i as f32);
+        let (y, cache) = layer.forward(&a, &b).unwrap();
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        let g = Tensor::full(y.shape(), 1.0);
+        let (ga, gb) = layer.backward(&cache, &g).unwrap();
+        assert!(ga.data().iter().all(|v| v.is_finite()));
+        assert!(gb.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let layer = NormXCorr::new(3, 1);
+        let a = Tensor::zeros(&[1, 1, 5, 5]);
+        let b = Tensor::zeros(&[1, 1, 5, 6]);
+        assert!(layer.forward(&a, &b).is_err());
+    }
+
+    #[test]
+    fn symmetry_of_zero_displacement_cell() {
+        // NCC(a, b) at displacement 0 equals NCC(b, a) at displacement 0.
+        let layer = NormXCorr::new(3, 1);
+        let a = tensor_from(&[1, 1, 6, 6], |i| (i as f32 * 0.31).sin());
+        let b = tensor_from(&[1, 1, 6, 6], |i| (i as f32 * 0.57).cos());
+        let (yab, _) = layer.forward(&a, &b).unwrap();
+        let (yba, _) = layer.forward(&b, &a).unwrap();
+        for yy in 0..6 {
+            for xx in 0..6 {
+                let u = yab.at4(0, 4, yy, xx);
+                let v = yba.at4(0, 4, yy, xx);
+                assert!((u - v).abs() < 1e-5, "({xx},{yy}): {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_both_inputs() {
+        let layer = NormXCorr::new(3, 1);
+        let a = tensor_from(&[1, 1, 4, 4], |i| (i as f32 * 0.41).sin() + 0.2);
+        let b = tensor_from(&[1, 1, 4, 4], |i| (i as f32 * 0.77).cos() - 0.1);
+        let (y, cache) = layer.forward(&a, &b).unwrap();
+        let grad_out = Tensor::full(y.shape(), 1.0);
+        let (ga, gb) = layer.backward(&cache, &grad_out).unwrap();
+
+        let eps = 1e-2f32;
+        let total = |a: &Tensor, b: &Tensor| -> f32 {
+            let (y, _) = layer.forward(a, b).unwrap();
+            y.data().iter().sum()
+        };
+        for idx in [0usize, 5, 10, 15] {
+            let mut a2 = a.clone();
+            a2.data_mut()[idx] += eps;
+            let lp = total(&a2, &b);
+            a2.data_mut()[idx] -= 2.0 * eps;
+            let lm = total(&a2, &b);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - ga.data()[idx]).abs() < 2e-2 * (1.0 + num.abs()),
+                "dA[{idx}]: {num} vs {}",
+                ga.data()[idx]
+            );
+
+            let mut b2 = b.clone();
+            b2.data_mut()[idx] += eps;
+            let lp = total(&a, &b2);
+            b2.data_mut()[idx] -= 2.0 * eps;
+            let lm = total(&a, &b2);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gb.data()[idx]).abs() < 2e-2 * (1.0 + num.abs()),
+                "dB[{idx}]: {num} vs {}",
+                gb.data()[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the neural-network substrate.
+
+use proptest::prelude::*;
+use taor_nn::layers::{flatten, softmax_cross_entropy, softmax_probs, Conv2D, Dense, MaxPool2D, Relu};
+use taor_nn::{Adam, NormXCorr, Tensor};
+
+fn arb_tensor(shape: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    let len: usize = shape.iter().product();
+    proptest::collection::vec(-2.0f32..2.0, len)
+        .prop_map(move |data| Tensor::from_vec(shape, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn softmax_rows_are_distributions(t in arb_tensor(&[4, 6])) {
+        let p = softmax_probs(&t).unwrap();
+        for i in 0..4 {
+            let row = &p.data()[i * 6..(i + 1) * 6];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_finite(t in arb_tensor(&[3, 5]), targets in proptest::collection::vec(0usize..5, 3)) {
+        let (loss, grad) = softmax_cross_entropy(&t, &targets).unwrap();
+        prop_assert!(loss >= 0.0 && loss.is_finite());
+        // Gradient rows sum to ~0 (softmax minus one-hot, scaled).
+        for i in 0..3 {
+            let s: f32 = grad.data()[i * 5..(i + 1) * 5].iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {} sums to {}", i, s);
+        }
+    }
+
+    #[test]
+    fn relu_idempotent(t in arb_tensor(&[24])) {
+        let (y1, _) = Relu.forward(&t);
+        let (y2, _) = Relu.forward(&y1);
+        prop_assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input(t in arb_tensor(&[1, 2, 6, 6])) {
+        let pool = MaxPool2D::new(2, 2);
+        let (y, _) = pool.forward(&t).unwrap();
+        let max_in = t.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let max_out = y.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(max_out <= max_in + 1e-6);
+        // Every pooled value exists in the input.
+        for &v in y.data() {
+            prop_assert!(t.data().iter().any(|&u| u == v));
+        }
+    }
+
+    #[test]
+    fn conv_linearity_in_input(a in arb_tensor(&[1, 1, 6, 6]), b in arb_tensor(&[1, 1, 6, 6])) {
+        // conv(a + b) == conv(a) + conv(b) - conv(0) accounting for bias.
+        let conv = Conv2D::new(1, 2, 3, 1, 7);
+        let mut sum = a.clone();
+        sum.add_assign(&b).unwrap();
+        let (ya, _) = conv.forward(&a).unwrap();
+        let (yb, _) = conv.forward(&b).unwrap();
+        let (ysum, _) = conv.forward(&sum).unwrap();
+        let (y0, _) = conv.forward(&Tensor::zeros(&[1, 1, 6, 6])).unwrap();
+        for i in 0..ysum.len() {
+            let lhs = ysum.data()[i];
+            let rhs = ya.data()[i] + yb.data()[i] - y0.data()[i];
+            prop_assert!((lhs - rhs).abs() < 1e-3, "i={}: {} vs {}", i, lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn dense_batch_consistency(x in arb_tensor(&[3, 4])) {
+        // Processing rows individually equals processing them as a batch.
+        let d = Dense::new(4, 2, 3);
+        let (batch, _) = d.forward(&x).unwrap();
+        for i in 0..3 {
+            let row = Tensor::from_vec(&[1, 4], x.data()[i * 4..(i + 1) * 4].to_vec()).unwrap();
+            let (single, _) = d.forward(&row).unwrap();
+            for j in 0..2 {
+                prop_assert!((single.at2(0, j) - batch.at2(i, j)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_preserves_values(t in arb_tensor(&[2, 3, 2, 2])) {
+        let f = flatten(&t).unwrap();
+        prop_assert_eq!(f.data(), t.data());
+        prop_assert_eq!(f.shape(), &[2, 12]);
+    }
+
+    #[test]
+    fn xcorr_bounded_and_symmetric_at_zero_offset(
+        a in arb_tensor(&[1, 1, 5, 5]),
+        b in arb_tensor(&[1, 1, 5, 5]),
+    ) {
+        let layer = NormXCorr::new(3, 0);
+        let (yab, _) = layer.forward(&a, &b).unwrap();
+        let (yba, _) = layer.forward(&b, &a).unwrap();
+        for (u, v) in yab.data().iter().zip(yba.data()) {
+            prop_assert!(u.abs() <= 1.0 + 1e-3);
+            prop_assert!((u - v).abs() < 1e-4, "zero-offset NCC must be symmetric");
+        }
+    }
+
+    #[test]
+    fn adam_step_moves_against_gradient(g in proptest::collection::vec(-1.0f32..1.0, 8)) {
+        let mut x = Tensor::zeros(&[8]);
+        let grad = Tensor::from_vec(&[8], g.clone()).unwrap();
+        let mut adam = Adam::new(0.01, 0.0);
+        adam.step(&mut [&mut x], &[&grad]);
+        for (xv, gv) in x.data().iter().zip(&g) {
+            if gv.abs() > 1e-6 {
+                prop_assert!(xv.signum() == -gv.signum(), "x {} vs g {}", xv, gv);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_associates_with_scalars(t in arb_tensor(&[3, 3]), k in 0.1f32..3.0) {
+        let mut kt = t.clone();
+        kt.scale(k);
+        let i3 = Tensor::from_vec(
+            &[3, 3],
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+        ).unwrap();
+        let prod = kt.matmul(&i3).unwrap();
+        for (a, b) in prod.data().iter().zip(t.data()) {
+            prop_assert!((a - b * k).abs() < 1e-4);
+        }
+    }
+}

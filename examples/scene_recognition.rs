@@ -1,0 +1,64 @@
+//! End-to-end scene recognition: segment whole robot frames, classify
+//! every region, and measure the segmentation error propagation the
+//! paper's controlled experiments excluded.
+//!
+//! ```text
+//! cargo run --release --example scene_recognition [-- n_frames]
+//! ```
+
+use taor::core::prelude::*;
+use taor::data::{patrol_frames, shapenet_set1};
+
+fn main() {
+    let n_frames: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(6);
+    let seed = 2019;
+
+    // Reference catalog + the paper's best hybrid configuration.
+    let refs = prepare_views(&shapenet_set1(seed), Background::White);
+    let hybrid = HybridConfig::default();
+    let classify = |crop: &taor::imgproc::RgbImage| {
+        let q = RefView {
+            class: taor::data::ObjectClass::Chair, // unused placeholder
+            model_id: 0,
+            feat: preprocess(crop, Background::Black, HIST_BINS),
+        };
+        classify_hybrid(std::slice::from_ref(&q), &refs, &hybrid, Aggregation::WeightedSum)[0]
+    };
+
+    let seg_cfg = SegmentConfig::default();
+    let mut agg = SceneEvaluation::default();
+
+    println!("patrolling {n_frames} simulated frames...\n");
+    for (i, scene) in patrol_frames(seed, n_frames).iter().enumerate() {
+        let detections = recognise_frame(&scene.image, &seg_cfg, classify);
+        let eval = evaluate_scene(scene, &detections);
+        print!("frame {i}: {} objects -> ", scene.objects.len());
+        for det in &detections {
+            print!("{}@({},{}) ", det.class.name(), det.bbox.x, det.bbox.y);
+        }
+        println!(
+            "\n         detected {}/{}, correct {}",
+            eval.detected,
+            eval.total_objects,
+            eval.correctly_classified
+        );
+        agg.total_objects += eval.total_objects;
+        agg.detected += eval.detected;
+        agg.correctly_classified += eval.correctly_classified;
+        agg.false_positives += eval.false_positives;
+    }
+
+    println!("\n== segmentation error propagation ==");
+    println!("detection rate (IoU >= 0.3):   {:.3}", agg.detection_rate());
+    println!("classification | detected:     {:.3}", agg.classification_rate());
+    println!("end-to-end recall:             {:.3}", agg.end_to_end_rate());
+    println!(
+        "false positives per frame:     {:.2}",
+        agg.false_positives as f64 / n_frames as f64
+    );
+    println!(
+        "\nThe gap between 'classification | detected' and the controlled-crop\n\
+         accuracy of the paper's Table 2 is exactly the segmentation fault\n\
+         propagation the paper set out to exclude (§3.2)."
+    );
+}

@@ -1,0 +1,36 @@
+//! # taor — Task-Agnostic Object Recognition
+//!
+//! A full-Rust reproduction of Chiatti et al., *Exploring Task-agnostic,
+//! ShapeNet-based Object Recognition for Mobile Robots* (Workshops of the
+//! EDBT/ICDT 2019 Joint Conference).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`imgproc`] — image substrate (contours, Hu moments, histograms, …),
+//! * [`features`] — SIFT / SURF / ORB and matchers,
+//! * [`nn`] — the CPU deep-learning framework with the Normalized-X-Corr
+//!   layer,
+//! * [`data`] — synthetic ShapeNet/NYU stand-ins (Table 1 cardinalities),
+//! * [`core`] — the five recognition pipelines, evaluation and reports.
+//!
+//! See `examples/quickstart.rs` for a guided tour and
+//! `cargo run -p taor-bench --release --bin repro` to regenerate every
+//! table of the paper.
+
+pub use taor_core as core;
+pub use taor_data as data;
+pub use taor_features as features;
+pub use taor_imgproc as imgproc;
+pub use taor_nn as nn;
+
+/// Workspace version, from the root manifest.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let _ = crate::data::ObjectClass::ALL;
+        assert_eq!(crate::VERSION, env!("CARGO_PKG_VERSION"));
+    }
+}

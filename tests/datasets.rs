@@ -1,0 +1,93 @@
+//! Integration: dataset builders and pair sets against the paper's
+//! published cardinalities (Table 1, §3.4).
+
+use taor::data::*;
+
+#[test]
+fn table1_cardinalities() {
+    let sns1 = shapenet_set1(2019);
+    assert_eq!(sns1.len(), 82);
+    assert_eq!(sns1.class_counts(), [14, 12, 8, 8, 8, 8, 6, 4, 8, 6]);
+
+    let sns2 = shapenet_set2(2019);
+    assert_eq!(sns2.len(), 100);
+    assert!(sns2.class_counts().iter().all(|&c| c == 10));
+}
+
+#[test]
+fn pair_set_cardinalities_match_section_3_4() {
+    let sns1 = shapenet_set1(2019);
+    let sns2 = shapenet_set2(2019);
+    let nyu = nyu_set_subsampled(2019, 12);
+
+    let train = training_pairs(&sns2, TRAIN_PAIRS, 2019);
+    assert_eq!(train.len(), 9_450);
+    let similar = train.iter().filter(|p| p.label == 1).count();
+    assert!((similar as f64 / 9_450.0 - 0.52).abs() < 0.002);
+
+    let t1 = sns1_test_pairs(&sns1);
+    assert_eq!(t1.len(), 3_321); // C(82, 2)
+
+    let t2 = nyu_sns1_test_pairs(&nyu, &sns1, 2019);
+    assert_eq!(t2.len(), 8_200);
+    assert_eq!(t2.iter().filter(|p| p.label == 1).count(), NYU_TEST_SIMILAR);
+}
+
+#[test]
+fn different_seeds_different_worlds() {
+    let a = shapenet_set1(1);
+    let b = shapenet_set1(2);
+    let identical = a
+        .images
+        .iter()
+        .zip(&b.images)
+        .filter(|(x, y)| x.image == y.image)
+        .count();
+    assert_eq!(identical, 0, "{identical} images survived a seed change");
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let a = nyu_set_subsampled(42, 5);
+    let b = nyu_set_subsampled(42, 5);
+    for (x, y) in a.images.iter().zip(&b.images) {
+        assert_eq!(x.image, y.image);
+        assert_eq!(x.class, y.class);
+    }
+}
+
+#[test]
+fn pair_labels_are_class_consistency() {
+    let sns1 = shapenet_set1(9);
+    for p in sns1_test_pairs(&sns1) {
+        assert_eq!(p.label == 1, p.a.class == p.b.class);
+    }
+}
+
+#[test]
+fn catalog_and_scene_backgrounds_differ() {
+    let sns1 = shapenet_set1(5);
+    let nyu = nyu_set_subsampled(5, 2);
+    // Corner pixels: white vs black conventions.
+    assert_eq!(sns1.images[0].image.pixel(0, 0), [255, 255, 255]);
+    let black_corners = nyu
+        .images
+        .iter()
+        .filter(|i| i.image.pixel(0, 0) == [0, 0, 0])
+        .count();
+    assert!(black_corners * 2 > nyu.len());
+}
+
+#[test]
+fn synsets_ground_every_class() {
+    for class in ObjectClass::ALL {
+        let synset = class.synset();
+        assert!(!synset.hypernyms.is_empty());
+        // The grounding chain reaches a generic concept.
+        let last = synset.hypernyms.last().unwrap();
+        assert!(
+            ["artifact", "matter", "structure"].contains(last),
+            "{class:?} chain ends at {last}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Integration: all five pipelines, end to end, on reduced datasets.
+//!
+//! These tests assert the *qualitative* findings of the paper (every
+//! pipeline beats chance in the controlled setting; relative orderings),
+//! not absolute numbers.
+
+use taor::core::prelude::*;
+use taor::data::{nyu_set_subsampled, shapenet_set1, shapenet_set2};
+
+fn sns_accuracy(preds: &[taor::data::ObjectClass], truth: &[taor::data::ObjectClass]) -> f64 {
+    evaluate(truth, preds).cumulative_accuracy
+}
+
+#[test]
+fn exploratory_pipelines_beat_chance_on_controlled_setting() {
+    let refs = prepare_views(&shapenet_set2(2019), Background::White);
+    let queries = prepare_views(&shapenet_set1(2019), Background::White);
+    let truth = truth_of(&queries);
+
+    // Shape-only is the paper's weakest family (0.12-0.19 on this
+    // setting, with other configurations at exactly chance); require it
+    // to stay at least near chance.
+    for scorer in ShapeScorer::ALL {
+        let acc = sns_accuracy(&classify_per_view(&queries, &refs, &scorer), &truth);
+        assert!(acc >= 0.08, "{}: {acc}", scorer.name());
+    }
+    for scorer in ColorScorer::ALL {
+        let acc = sns_accuracy(&classify_per_view(&queries, &refs, &scorer), &truth);
+        assert!(acc > 0.10, "{}: {acc}", scorer.name());
+    }
+    let hybrid = HybridConfig::default();
+    for agg in Aggregation::ALL {
+        let acc = sns_accuracy(&classify_hybrid(&queries, &refs, &hybrid, agg), &truth);
+        assert!(acc > 0.10, "{}: {acc}", agg.label());
+    }
+}
+
+#[test]
+fn colour_beats_shape_in_the_controlled_setting() {
+    // The paper's central relative finding (§4): "colour-based features
+    // are more prominent".
+    let refs = prepare_views(&shapenet_set2(2019), Background::White);
+    let queries = prepare_views(&shapenet_set1(2019), Background::White);
+    let truth = truth_of(&queries);
+
+    let best_shape = ShapeScorer::ALL
+        .iter()
+        .map(|s| sns_accuracy(&classify_per_view(&queries, &refs, s), &truth))
+        .fold(0.0f64, f64::max);
+    let best_color = ColorScorer::ALL
+        .iter()
+        .map(|s| sns_accuracy(&classify_per_view(&queries, &refs, s), &truth))
+        .fold(0.0f64, f64::max);
+    assert!(
+        best_color > best_shape,
+        "best colour {best_color} should beat best shape {best_shape}"
+    );
+}
+
+#[test]
+fn controlled_setting_beats_nyu_setting() {
+    let sns1 = shapenet_set1(2019);
+    let refs1 = prepare_views(&sns1, Background::White);
+    let q_nyu = prepare_views(&nyu_set_subsampled(2019, 25), Background::Black);
+    let q_sns = prepare_views(&shapenet_set2(2019), Background::White);
+
+    let hybrid = HybridConfig::default();
+    let acc_nyu = sns_accuracy(
+        &classify_hybrid(&q_nyu, &refs1, &hybrid, Aggregation::WeightedSum),
+        &truth_of(&q_nyu),
+    );
+    let acc_sns = sns_accuracy(
+        &classify_hybrid(&q_sns, &refs1, &hybrid, Aggregation::WeightedSum),
+        &truth_of(&q_sns),
+    );
+    assert!(
+        acc_sns > acc_nyu,
+        "controlled {acc_sns} should beat scene-matching {acc_nyu}"
+    );
+}
+
+#[test]
+fn descriptor_pipelines_beat_chance_and_stay_in_a_band() {
+    let sns1 = shapenet_set1(2019);
+    let sns2 = shapenet_set2(2019);
+    let truth: Vec<_> = sns1.images.iter().map(|i| i.class).collect();
+    let mut accs = Vec::new();
+    for kind in DescriptorKind::ALL {
+        let q = extract_index(&sns1, kind);
+        let r = extract_index(&sns2, kind);
+        let acc = sns_accuracy(&classify_descriptors(&q, &r, 0.5), &truth);
+        assert!(acc > 0.10, "{}: {acc}", kind.label());
+        accs.push(acc);
+    }
+    // A narrow band, like the paper's 0.22-0.25.
+    let spread = accs.iter().cloned().fold(0.0f64, f64::max)
+        - accs.iter().cloned().fold(1.0f64, f64::min);
+    assert!(spread < 0.25, "descriptor accuracies too spread out: {accs:?}");
+}
+
+#[test]
+fn random_baseline_is_calibrated() {
+    let queries = prepare_views(&shapenet_set1(2019), Background::White);
+    let truth = truth_of(&queries);
+    let acc = sns_accuracy(&random_baseline(&truth, 2019), &truth);
+    assert!(acc < 0.25, "a random baseline cannot be this good: {acc}");
+}
+
+#[test]
+fn siamese_quick_run_produces_bounded_metrics() {
+    let sns2 = shapenet_set2(2019);
+    let mut cfg = SiameseConfig::quick();
+    cfg.n_train_pairs = 120;
+    cfg.train.max_epochs = 1;
+    let (net, _) = train_siamese(&sns2, &cfg, |_| {});
+    let sns1 = shapenet_set1(2019);
+    let pairs = taor::data::sns1_test_pairs(&sns1);
+    let eval = evaluate_siamese(&net, &pairs[..200], &cfg.net);
+    for m in [eval.similar, eval.dissimilar] {
+        assert!((0.0..=1.0).contains(&m.precision));
+        assert!((0.0..=1.0).contains(&m.recall));
+        assert!((0.0..=1.0).contains(&m.f1));
+    }
+    assert_eq!(eval.similar.support + eval.dissimilar.support, 200);
+}
+
+#[test]
+fn cosine_ablation_runs_end_to_end() {
+    let sns2 = shapenet_set2(2019);
+    let train = taor::data::training_pairs(&sns2, 150, 1);
+    let model = CosineSiamese::fit(&train, 4);
+    let preds = model.predict(&train);
+    let truth: Vec<usize> = train.iter().map(|p| p.label).collect();
+    let eval = evaluate_binary(&truth, &preds);
+    // Fitted on its own training data, the threshold must do at least as
+    // well as the majority class.
+    let majority = truth.iter().filter(|&&l| l == 1).count().max(
+        truth.iter().filter(|&&l| l == 0).count(),
+    ) as f64 / truth.len() as f64;
+    assert!(eval.accuracy >= majority - 1e-9, "{} < {majority}", eval.accuracy);
+}
