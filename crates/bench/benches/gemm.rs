@@ -1,0 +1,57 @@
+//! Bench: the blocked GEMM kernel against the seed's naive ikj loop.
+//!
+//! The 256×1024×256 shape is the acceptance pin for the kernel overhaul:
+//! the blocked kernel must hold ≥ 3× over the naive reference there. The
+//! smaller shapes track the sizes the conv/dense layers actually emit.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use taor_nn::gemm::{gemm_nn, gemm_nt, gemm_tn, matmul_naive};
+
+fn fill(len: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 8) as f32 / (1u32 << 23) as f32 - 1.0
+        })
+        .collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    for &(m, n, k) in &[(256usize, 1024usize, 256usize), (64, 240, 75), (128, 128, 128)] {
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let mut out = vec![0.0f32; m * n];
+        let mut g = c.benchmark_group(format!("gemm_{m}x{n}x{k}"));
+        g.bench_function("blocked", |bch| {
+            bch.iter(|| gemm_nn(m, n, k, black_box(&a), black_box(&b), &mut out, false))
+        });
+        g.bench_function("naive", |bch| {
+            bch.iter(|| matmul_naive(m, n, k, black_box(&a), black_box(&b), &mut out))
+        });
+        g.finish();
+    }
+
+    // Transposed-operand entry points at a backward-pass-like shape.
+    let (m, n, k) = (256usize, 256usize, 1024usize);
+    let a = fill(m * k, 3);
+    let bt = fill(n * k, 4);
+    let at = fill(k * m, 5);
+    let b = fill(k * n, 6);
+    let mut out = vec![0.0f32; m * n];
+    let mut g = c.benchmark_group("gemm_transposed_256x256x1024");
+    g.bench_function("nt", |bch| {
+        bch.iter(|| gemm_nt(m, n, k, black_box(&a), black_box(&bt), &mut out, false))
+    });
+    g.bench_function("tn", |bch| {
+        bch.iter(|| gemm_tn(m, n, k, black_box(&at), black_box(&b), &mut out, false))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm
+}
+criterion_main!(benches);

@@ -19,17 +19,13 @@ fn bench_hu(c: &mut Criterion) {
     let contours_b = find_contours(&bin_b);
     let hu_b = hu_moments(&moments_of_contour(largest_contour(&contours_b).unwrap()));
 
-    c.bench_function("contour_moments_96px", |b| {
-        b.iter(|| moments_of_contour(black_box(contour)))
-    });
+    c.bench_function("contour_moments_96px", |b| b.iter(|| moments_of_contour(black_box(contour))));
     c.bench_function("raster_moments_96px", |b| b.iter(|| moments(black_box(&bin), true)));
 
     let mut g = c.benchmark_group("match_shapes");
-    for (name, mode) in [
-        ("I1", MatchShapesMode::I1),
-        ("I2", MatchShapesMode::I2),
-        ("I3", MatchShapesMode::I3),
-    ] {
+    for (name, mode) in
+        [("I1", MatchShapesMode::I1), ("I2", MatchShapesMode::I2), ("I3", MatchShapesMode::I3)]
+    {
         g.bench_function(name, |b| {
             b.iter(|| match_shapes(black_box(&hu_a), black_box(&hu_b), mode))
         });

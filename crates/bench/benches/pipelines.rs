@@ -15,9 +15,7 @@ fn bench_pipelines(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("classify_one_query_vs_82_views");
     let shape = ShapeScorer::ALL[2];
-    g.bench_function("shape_L3", |b| {
-        b.iter(|| classify_per_view(black_box(query), &refs, &shape))
-    });
+    g.bench_function("shape_L3", |b| b.iter(|| classify_per_view(black_box(query), &refs, &shape)));
     let color = ColorScorer::ALL[3];
     g.bench_function("color_hellinger", |b| {
         b.iter(|| classify_per_view(black_box(query), &refs, &color))

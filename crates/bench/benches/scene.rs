@@ -9,10 +9,7 @@ use taor_data::{render_room, shapenet_set1, ObjectClass};
 
 fn bench_scene(c: &mut Criterion) {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(2019);
-    let scene = render_room(
-        &[ObjectClass::Chair, ObjectClass::Table, ObjectClass::Lamp],
-        &mut rng,
-    );
+    let scene = render_room(&[ObjectClass::Chair, ObjectClass::Table, ObjectClass::Lamp], &mut rng);
     let seg_cfg = SegmentConfig::default();
 
     c.bench_function("render_room_3_objects", |b| {
@@ -42,12 +39,8 @@ fn bench_scene(c: &mut Criterion) {
                     model_id: 0,
                     feat: preprocess(crop, Background::Black, HIST_BINS),
                 };
-                classify_hybrid(
-                    std::slice::from_ref(&q),
-                    &refs,
-                    &hybrid,
-                    Aggregation::WeightedSum,
-                )[0]
+                classify_hybrid(std::slice::from_ref(&q), &refs, &hybrid, Aggregation::WeightedSum)
+                    [0]
             })
         })
     });

@@ -5,16 +5,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use taor_nn::{NetConfig, NormXCorr, NormXCorrNet, Tensor};
 
 fn bench_xcorr(c: &mut Criterion) {
-    let a = Tensor::from_vec(
-        &[1, 8, 10, 10],
-        (0..800).map(|i| (i as f32 * 0.37).sin()).collect(),
-    )
-    .unwrap();
-    let b = Tensor::from_vec(
-        &[1, 8, 10, 10],
-        (0..800).map(|i| (i as f32 * 0.73).cos()).collect(),
-    )
-    .unwrap();
+    let a = Tensor::from_vec(&[1, 8, 10, 10], (0..800).map(|i| (i as f32 * 0.37).sin()).collect())
+        .unwrap();
+    let b = Tensor::from_vec(&[1, 8, 10, 10], (0..800).map(|i| (i as f32 * 0.73).cos()).collect())
+        .unwrap();
 
     let mut g = c.benchmark_group("normxcorr_forward_8c_10x10");
     for radius in [0usize, 1, 2] {
@@ -33,7 +27,15 @@ fn bench_xcorr(c: &mut Criterion) {
     });
 
     // Full network pass at the repro harness's quick resolution.
-    let cfg = NetConfig { height: 32, width: 24, c1: 8, c2: 10, c3: 10, dense: 32, ..NetConfig::default() };
+    let cfg = NetConfig {
+        height: 32,
+        width: 24,
+        c1: 8,
+        c2: 10,
+        c3: 10,
+        dense: 32,
+        ..NetConfig::default()
+    };
     let net = NormXCorrNet::new(cfg.clone());
     let x = Tensor::full(&[1, 3, cfg.height, cfg.width], 0.1);
     c.bench_function("net_forward_32x24", |bch| {

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--table N] [--quick|--medium|--full] [--seed S] [--sweep]
 //!       [--ablate] [--extensions] [--nyu-per-class N] [--json PATH]
-//!       [--verbose]
+//!       [--bench-json PATH] [--verbose]
 //! ```
 //!
 //! Default is `--quick`: NYU subsampled to 50 crops/class and a reduced
@@ -13,13 +13,17 @@
 //! the paper's full training recipe (hours without a GPU).
 //! `--extensions` appends the E1–E3 future-work experiments; `--ablate`
 //! adds the RANSAC column to Table 3 and the cosine head to Table 4.
+//! `--bench-json PATH` writes a machine-readable perf-trajectory record
+//! (wall time, thread count and scored-pairs/sec per table, schema
+//! `taor-bench-perf-v1`) so successive commits can be compared.
 
 use std::io::Write;
 use taor_bench::extensions::{table_e1, table_e2, table_e3};
 use taor_bench::repro::{
-    table1, table2, table2_sweep, table3_ex, table4, table5, table6, table7or8, table9,
+    table1_with, table2_sweep_with, table2_with, table3_ex_with, table4_with, table5_with,
+    table6_with, table7or8_with, table9_with,
 };
-use taor_bench::ReproConfig;
+use taor_bench::{PerfRecord, PreparedRepro, ReproConfig, TablePerf};
 
 #[derive(PartialEq, Clone, Copy)]
 enum Mode {
@@ -37,6 +41,7 @@ struct Args {
     extensions: bool,
     nyu_per_class: Option<usize>,
     json: Option<String>,
+    bench_json: Option<String>,
     verbose: bool,
 }
 
@@ -50,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         extensions: false,
         nyu_per_class: None,
         json: None,
+        bench_json: None,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -71,15 +77,16 @@ fn parse_args() -> Result<Args, String> {
             "--extensions" => args.extensions = true,
             "--nyu-per-class" => {
                 let v = it.next().ok_or("--nyu-per-class needs a value")?;
-                args.nyu_per_class =
-                    Some(v.parse().map_err(|_| format!("bad count: {v}"))?);
+                args.nyu_per_class = Some(v.parse().map_err(|_| format!("bad count: {v}"))?);
             }
             "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
+            "--bench-json" => args.bench_json = Some(it.next().ok_or("--bench-json needs a path")?),
             "--verbose" | "-v" => args.verbose = true,
             "--help" | "-h" => {
                 println!(
                     "repro [--table N] [--quick|--medium|--full] [--seed S] [--sweep] [--ablate] \
-                     [--extensions] [--nyu-per-class N] [--json PATH] [--verbose]"
+                     [--extensions] [--nyu-per-class N] [--json PATH] [--bench-json PATH] \
+                     [--verbose]"
                 );
                 std::process::exit(0);
             }
@@ -115,33 +122,40 @@ fn main() {
         None => (1..=9).collect(),
     };
 
+    // One shared cache: datasets and preprocessed view sets are built
+    // once and reused by every table generated in this run.
+    let prep = PreparedRepro::new(cfg.clone());
     let mut records = Vec::new();
+    let mut timings = Vec::new();
     for t in wanted {
         let started = std::time::Instant::now();
         let out = match t {
-            1 => table1(&cfg),
+            1 => table1_with(&prep),
             2 => {
-                let mut out = table2(&cfg);
+                let mut out = table2_with(&prep);
                 if args.sweep {
-                    let sweep = table2_sweep(&cfg);
+                    let sweep = table2_sweep_with(&prep);
                     out.text.push('\n');
                     out.text.push_str(&sweep.text);
+                    out.pairs += sweep.pairs;
                 }
                 out
             }
-            3 => table3_ex(&cfg, args.ablate),
-            4 => table4(&cfg, args.ablate, args.verbose),
-            5 => table5(&cfg),
-            6 => table6(&cfg),
-            7 => table7or8(&cfg, 7),
-            8 => table7or8(&cfg, 8),
-            9 => table9(&cfg),
+            3 => table3_ex_with(&prep, args.ablate),
+            4 => table4_with(&prep, args.ablate, args.verbose),
+            5 => table5_with(&prep),
+            6 => table6_with(&prep),
+            7 => table7or8_with(&prep, 7),
+            8 => table7or8_with(&prep, 8),
+            9 => table9_with(&prep),
             _ => unreachable!("validated above"),
         };
+        let elapsed = started.elapsed();
         println!("{}", out.text);
         if args.verbose {
-            eprintln!("[table {t} took {:.1?}]", started.elapsed());
+            eprintln!("[table {t} took {elapsed:.1?}]");
         }
+        timings.push(TablePerf::new(t, elapsed.as_secs_f64(), out.pairs));
         records.extend(out.records);
     }
 
@@ -150,6 +164,25 @@ fn main() {
             println!("{}", out.text);
             records.extend(out.records);
         }
+    }
+
+    if let Some(path) = &args.bench_json {
+        let mode = match args.mode {
+            Mode::Quick => "quick",
+            Mode::Medium => "medium",
+            Mode::Full => "full",
+        };
+        let perf = PerfRecord::new(mode, args.seed, timings);
+        let json = serde_json::to_string_pretty(&perf).expect("perf record serialises");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote perf record ({} tables, {:.2}s total) to {path}",
+            perf.tables.len(),
+            perf.total_seconds
+        );
     }
 
     if let Some(path) = args.json {

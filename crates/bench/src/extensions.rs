@@ -75,11 +75,23 @@ pub fn table_e1(cfg: &ReproConfig, n_frames: usize) -> TableOutput {
     );
     let gt_acc = gt_correct as f64 / gt_total.max(1) as f64;
     t.row(vec!["Ground-truth crops".into(), "classification accuracy".into(), fmt_f(gt_acc, 3)]);
-    t.row(vec!["Auto segmentation".into(), "detection rate (IoU>=0.3)".into(), fmt_f(agg.detection_rate(), 3)]);
-    t.row(vec![String::new(), "classification | detected".into(), fmt_f(agg.classification_rate(), 3)]);
+    t.row(vec![
+        "Auto segmentation".into(),
+        "detection rate (IoU>=0.3)".into(),
+        fmt_f(agg.detection_rate(), 3),
+    ]);
+    t.row(vec![
+        String::new(),
+        "classification | detected".into(),
+        fmt_f(agg.classification_rate(), 3),
+    ]);
     t.row(vec![String::new(), "end-to-end recall".into(), fmt_f(agg.end_to_end_rate(), 3)]);
-    t.row(vec![String::new(), "false positives / frame".into(), fmt_f(agg.false_positives as f64 / n_frames.max(1) as f64, 2)]);
-    TableOutput { table: 101, text: t.render(), records: Vec::new() }
+    t.row(vec![
+        String::new(),
+        "false positives / frame".into(),
+        fmt_f(agg.false_positives as f64 / n_frames.max(1) as f64, 2),
+    ]);
+    TableOutput { table: 101, text: t.render(), records: Vec::new(), pairs: 0 }
 }
 
 /// E2: dataset heterogeneity for the Siamese pipeline.
@@ -151,7 +163,7 @@ pub fn table_e2(cfg: &ReproConfig, verbose: bool) -> TableOutput {
             binary: Some(eval_b),
         },
     ];
-    TableOutput { table: 102, text: t.render(), records }
+    TableOutput { table: 102, text: t.render(), records, pairs: 0 }
 }
 
 /// E3: reference-set cardinality scaling ("augmenting the cardinality of
@@ -188,7 +200,7 @@ pub fn table_e3(cfg: &ReproConfig) -> TableOutput {
             binary: None,
         });
     }
-    TableOutput { table: 103, text: t.render(), records }
+    TableOutput { table: 103, text: t.render(), records, pairs: 0 }
 }
 
 fn cfg_nyu(cfg: &ReproConfig) -> taor_data::Dataset {

@@ -19,9 +19,11 @@
 //! * **Table 9** — class-wise SIFT/SURF/ORB results on SNS1 v SNS2.
 
 pub mod extensions;
+pub mod perf;
 pub mod repro;
 
-pub use repro::{ReproConfig, TableOutput};
+pub use perf::{PerfRecord, TablePerf};
+pub use repro::{PreparedRepro, ReproConfig, TableOutput};
 
 use taor_core::prelude::*;
 
@@ -31,10 +33,5 @@ pub(crate) fn repro_verified(
     queries: &DescriptorIndex,
     reference: &DescriptorIndex,
 ) -> Vec<taor_data::ObjectClass> {
-    classify_descriptors_verified(
-        queries,
-        reference,
-        0.75,
-        &taor_features::RansacParams::default(),
-    )
+    classify_descriptors_verified(queries, reference, 0.75, &taor_features::RansacParams::default())
 }

@@ -1,0 +1,103 @@
+//! Machine-readable performance-trajectory records (`--bench-json`).
+//!
+//! The repro binary can write one [`PerfRecord`] per run: wall time and
+//! scored-pair throughput for every table it generated, plus enough
+//! context (mode, seed, thread count) to compare runs across commits.
+//! The schema is versioned so downstream tooling can detect layout
+//! changes instead of silently misreading fields.
+
+use serde::Serialize;
+
+/// Schema tag written into every record.
+pub const PERF_SCHEMA: &str = "taor-bench-perf-v1";
+
+/// Timing for one generated table.
+#[derive(Debug, Clone, Serialize)]
+pub struct TablePerf {
+    /// Paper table number (1–9).
+    pub table: usize,
+    /// Wall-clock seconds spent generating the table.
+    pub seconds: f64,
+    /// (query, reference) scoring operations the table performed
+    /// (see [`crate::repro::TableOutput::pairs`]); 0 if not pair-based.
+    pub pairs: usize,
+    /// `pairs / seconds`; 0 when either is zero.
+    pub pairs_per_sec: f64,
+}
+
+impl TablePerf {
+    pub fn new(table: usize, seconds: f64, pairs: usize) -> Self {
+        let pairs_per_sec = if seconds > 0.0 && pairs > 0 { pairs as f64 / seconds } else { 0.0 };
+        TablePerf { table, seconds, pairs, pairs_per_sec }
+    }
+}
+
+/// One full repro run.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfRecord {
+    /// Always [`PERF_SCHEMA`].
+    pub schema: String,
+    /// `"quick"`, `"medium"` or `"full"`.
+    pub mode: String,
+    /// Master seed the run used.
+    pub seed: u64,
+    /// Worker threads available to the matching loops.
+    pub threads: usize,
+    /// Wall-clock seconds across all generated tables.
+    pub total_seconds: f64,
+    /// Per-table timings, in generation order.
+    pub tables: Vec<TablePerf>,
+}
+
+impl PerfRecord {
+    pub fn new(mode: &str, seed: u64, tables: Vec<TablePerf>) -> Self {
+        let total_seconds = tables.iter().map(|t| t.seconds).sum();
+        PerfRecord {
+            schema: PERF_SCHEMA.to_string(),
+            mode: mode.to_string(),
+            seed,
+            threads: rayon::current_num_threads(),
+            total_seconds,
+            tables,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let rec = PerfRecord::new(
+            "quick",
+            2019,
+            vec![TablePerf::new(2, 0.5, 1000), TablePerf::new(1, 0.1, 0)],
+        );
+        let json = serde_json::to_string_pretty(&rec).expect("serialises");
+        let v: Value = serde_json::from_str(&json).expect("parses back");
+        let Value::Map(fields) = &v else { panic!("record must be a JSON object") };
+        let get = |name: &str| serde::field(fields, name).expect(name);
+        assert_eq!(get("schema"), &Value::Str(PERF_SCHEMA.into()));
+        assert_eq!(get("seed"), &Value::UInt(2019));
+        let Value::Seq(tables) = get("tables") else { panic!("tables must be a list") };
+        assert_eq!(tables.len(), 2);
+    }
+
+    #[test]
+    fn throughput_handles_zero_pairs_and_zero_time() {
+        assert_eq!(TablePerf::new(1, 0.5, 0).pairs_per_sec, 0.0);
+        assert_eq!(TablePerf::new(1, 0.0, 10).pairs_per_sec, 0.0);
+        let t = TablePerf::new(2, 2.0, 1000);
+        assert_eq!(t.pairs_per_sec, 500.0);
+    }
+
+    #[test]
+    fn total_is_the_sum_of_table_times() {
+        let rec =
+            PerfRecord::new("full", 7, vec![TablePerf::new(1, 1.5, 0), TablePerf::new(2, 2.5, 4)]);
+        assert_eq!(rec.total_seconds, 4.0);
+        assert!(rec.threads >= 1);
+    }
+}

@@ -12,7 +12,7 @@
 
 use crate::pipeline::MatchScorer;
 use crate::preprocess::Preprocessed;
-use taor_imgproc::histogram::{compare_hist, HistCompare};
+use taor_imgproc::histogram::{compare_hist, compare_hist_bounded, HistCompare};
 
 /// Floor for inverted similarity scores, so zero or negative correlation
 /// maps to a very large (but finite) distance.
@@ -47,6 +47,20 @@ impl MatchScorer for ColorScorer {
             1.0 / c.max(SIM_FLOOR)
         } else {
             c
+        }
+    }
+
+    fn score_bounded(&self, query: &Preprocessed, view: &Preprocessed, bound: f64) -> f64 {
+        // Only the directly-accumulating metrics can abandon early;
+        // `compare_hist_bounded` falls back to the full distance for the
+        // rest. Inverted similarities can never prune (the distance is a
+        // decreasing function of the accumulated similarity), so they
+        // take the plain path.
+        if self.metric.higher_is_more_similar() {
+            self.score(query, view)
+        } else {
+            compare_hist_bounded(&query.hist, &view.hist, self.metric, bound)
+                .expect("preprocessing uses one bin layout")
         }
     }
 
@@ -97,11 +111,7 @@ mod tests {
         for scorer in ColorScorer::ALL {
             let preds = classify_per_view(&views, &views, &scorer);
             let correct = preds.iter().zip(&truth).filter(|(p, t)| p == t).count();
-            assert!(
-                correct as f64 / truth.len() as f64 > 0.9,
-                "{}: {correct}/82",
-                scorer.name()
-            );
+            assert!(correct as f64 / truth.len() as f64 > 0.9, "{}: {correct}/82", scorer.name());
         }
     }
 

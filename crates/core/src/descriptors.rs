@@ -80,7 +80,10 @@ impl DescriptorIndex {
 /// Extract descriptors for every image of a dataset (parallel). Images
 /// where the detector finds nothing contribute empty descriptor sets.
 pub fn extract_index(dataset: &Dataset, kind: DescriptorKind) -> DescriptorIndex {
-    let extracted: Vec<(Descs, Vec<KeyPoint>)> = dataset
+    // Unzip straight into the two column vectors (sized up front from the
+    // exact iterator length) instead of materialising an intermediate
+    // `Vec<(Descs, Vec<KeyPoint>)>` and splitting it in a second pass.
+    let (descs, keypoints): (Vec<Descs>, Vec<Vec<KeyPoint>>) = dataset
         .images
         .par_iter()
         .map(|img| {
@@ -104,18 +107,9 @@ pub fn extract_index(dataset: &Dataset, kind: DescriptorKind) -> DescriptorIndex
             }
         })
         .collect();
-    let mut descs = Vec::with_capacity(extracted.len());
-    let mut keypoints = Vec::with_capacity(extracted.len());
-    for (d, k) in extracted {
-        descs.push(d);
-        keypoints.push(k);
-    }
-    DescriptorIndex {
-        kind,
-        classes: dataset.images.iter().map(|i| i.class).collect(),
-        descs,
-        keypoints,
-    }
+    let mut classes = Vec::with_capacity(dataset.images.len());
+    classes.extend(dataset.images.iter().map(|i| i.class));
+    DescriptorIndex { kind, classes, descs, keypoints }
 }
 
 /// Classify with per-view matching plus RANSAC geometric verification:
@@ -152,18 +146,13 @@ pub fn classify_descriptors_verified(
                     continue;
                 }
                 let survivors = ratio_test_matches(&matches, ratio);
-                let verification = verify_matches(
-                    q_kps,
-                    &reference.keypoints[vi],
-                    &survivors,
-                    ransac,
-                )
-                .expect("indices are internally consistent");
+                let verification =
+                    verify_matches(q_kps, &reference.keypoints[vi], &survivors, ransac)
+                        .expect("indices are internally consistent");
                 let mean_dist = if survivors.is_empty() {
                     f32::INFINITY
                 } else {
-                    survivors.iter().map(|m| m.distance).sum::<f32>()
-                        / survivors.len() as f32
+                    survivors.iter().map(|m| m.distance).sum::<f32>() / survivors.len() as f32
                 };
                 if verification.inliers.len() > best_inliers
                     || (verification.inliers.len() == best_inliers && mean_dist < best_dist)
@@ -265,10 +254,7 @@ pub fn classify_descriptors(
                 let best = matches
                     .iter()
                     .min_by(|a, b| {
-                        a.best
-                            .distance
-                            .partial_cmp(&b.best.distance)
-                            .expect("distances are finite")
+                        a.best.distance.partial_cmp(&b.best.distance).expect("distances are finite")
                     })
                     .expect("non-empty matches");
                 return owners[best.best.train_idx];
@@ -353,8 +339,7 @@ mod tests {
     fn verified_classification_runs_and_is_plausible() {
         let sns1 = shapenet_set1(5);
         let idx = extract_index(&sns1, DescriptorKind::Orb);
-        let preds =
-            classify_descriptors_verified(&idx, &idx, 0.75, &RansacParams::default());
+        let preds = classify_descriptors_verified(&idx, &idx, 0.75, &RansacParams::default());
         assert_eq!(preds.len(), 82);
         // Self-matching with geometric verification should be strong: the
         // identical view is a perfect inlier set.

@@ -59,11 +59,11 @@ pub fn evaluate(truth: &[ObjectClass], predictions: &[ObjectClass]) -> Evaluatio
     }
     let mut per_class = Vec::with_capacity(k);
     let mut correct_total = 0usize;
-    for c in 0..k {
-        let tp = confusion[c][c];
+    for (c, row) in confusion.iter().enumerate() {
+        let tp = row[c];
         correct_total += tp;
-        let support: usize = confusion[c].iter().sum();
-        let predicted: usize = (0..k).map(|t| confusion[t][c]).sum();
+        let support: usize = row.iter().sum();
+        let predicted: usize = confusion.iter().map(|r| r[c]).sum();
         let recall = if support > 0 { tp as f64 / support as f64 } else { 0.0 };
         let precision_paper = tp as f64 / n;
         let precision_std = if predicted > 0 { tp as f64 / predicted as f64 } else { 0.0 };
@@ -119,11 +119,8 @@ pub fn evaluate_binary(truth: &[usize], predictions: &[usize]) -> BinaryEvaluati
     assert_eq!(truth.len(), predictions.len(), "truth/prediction length mismatch");
     assert!(!truth.is_empty(), "cannot evaluate an empty prediction set");
     let metric_for = |positive: usize| {
-        let tp = truth
-            .iter()
-            .zip(predictions)
-            .filter(|(&t, &p)| t == positive && p == positive)
-            .count();
+        let tp =
+            truth.iter().zip(predictions).filter(|(&t, &p)| t == positive && p == positive).count();
         let pred_pos = predictions.iter().filter(|&&p| p == positive).count();
         let support = truth.iter().filter(|&&t| t == positive).count();
         let precision = if pred_pos > 0 { tp as f64 / pred_pos as f64 } else { 0.0 };
@@ -180,11 +177,8 @@ pub fn roc_auc(truth: &[usize], scores: &[f32]) -> f64 {
 pub fn top_k_accuracy(truth: &[ObjectClass], rankings: &[Vec<ObjectClass>], k: usize) -> f64 {
     assert_eq!(truth.len(), rankings.len(), "truth/ranking length mismatch");
     assert!(k >= 1, "k must be >= 1");
-    let hits = truth
-        .iter()
-        .zip(rankings)
-        .filter(|(t, r)| r.iter().take(k).any(|c| c == *t))
-        .count();
+    let hits =
+        truth.iter().zip(rankings).filter(|(t, r)| r.iter().take(k).any(|c| c == *t)).count();
     hits as f64 / truth.len().max(1) as f64
 }
 
@@ -275,8 +269,7 @@ mod tests {
     #[test]
     fn binary_all_positive_collapse() {
         // The Normalized-X-Corr failure mode: everything predicted similar.
-        let truth: Vec<usize> =
-            (0..1000).map(|i| usize::from(i < 90)).collect(); // 90 similar
+        let truth: Vec<usize> = (0..1000).map(|i| usize::from(i < 90)).collect(); // 90 similar
         let pred = vec![1usize; 1000];
         let eval = evaluate_binary(&truth, &pred);
         assert!((eval.similar.precision - 0.09).abs() < 1e-12);

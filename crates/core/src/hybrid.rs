@@ -71,7 +71,11 @@ impl Default for HybridConfig {
 
 impl HybridConfig {
     /// θ for one (query, view) pair.
-    fn theta(&self, q: &crate::preprocess::Preprocessed, v: &crate::preprocess::Preprocessed) -> f64 {
+    fn theta(
+        &self,
+        q: &crate::preprocess::Preprocessed,
+        v: &crate::preprocess::Preprocessed,
+    ) -> f64 {
         self.alpha * self.shape.score(q, v) + self.beta * self.color.score(q, v)
     }
 }
@@ -148,11 +152,7 @@ mod tests {
         let labels: Vec<_> = Aggregation::ALL.iter().map(|a| a.label()).collect();
         assert_eq!(
             labels,
-            [
-                "Shape+Color (weighted sum)",
-                "Shape+Color (micro-avg)",
-                "Shape+Color (macro-avg)"
-            ]
+            ["Shape+Color (weighted sum)", "Shape+Color (micro-avg)", "Shape+Color (macro-avg)"]
         );
     }
 
@@ -181,10 +181,7 @@ mod tests {
         let cfg = HybridConfig::default();
         let a = classify_hybrid(&q, &r, &cfg, Aggregation::WeightedSum);
         let b = classify_hybrid(&q, &r, &cfg, Aggregation::MacroAverage);
-        assert!(
-            a.iter().zip(&b).any(|(x, y)| x != y),
-            "ΘT and ΘC should disagree on some queries"
-        );
+        assert!(a.iter().zip(&b).any(|(x, y)| x != y), "ΘT and ΘC should disagree on some queries");
     }
 
     #[test]

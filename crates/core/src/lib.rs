@@ -59,12 +59,13 @@ pub mod prelude {
     };
     pub use crate::hybrid::{classify_hybrid, Aggregation, HybridConfig};
     pub use crate::pipeline::{
-        classify_per_view, classify_per_view_ranked, prepare_views, truth_of, MatchScorer,
-        RefView,
+        classify_per_view, classify_per_view_ranked, prepare_views, truth_of, MatchScorer, RefView,
     };
     pub use crate::preprocess::{binarise, preprocess, Background, Preprocessed, HIST_BINS};
     pub use crate::recognizer::{Method, Recognition, Recognizer};
-    pub use crate::report::{classwise_headers, classwise_rows, fmt_f, ExperimentRecord, TextTable};
+    pub use crate::report::{
+        classwise_headers, classwise_rows, fmt_f, ExperimentRecord, TextTable,
+    };
     pub use crate::segment::{
         border_colors, evaluate_scene, foreground_mask, iou, mask_against, recognise_frame,
         segment_frame, Detection, SceneEvaluation, SegmentConfig, SegmentedObject,

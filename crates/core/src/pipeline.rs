@@ -43,9 +43,28 @@ pub trait MatchScorer: Sync {
     /// Distance between a query and a reference view; lower = better.
     fn score(&self, query: &Preprocessed, view: &Preprocessed) -> f64;
 
+    /// Distance with early abandon. **Contract:** the result must be
+    /// exact whenever it is `< bound`; when the true distance is
+    /// `≥ bound` the implementation may stop early and return any value
+    /// `≥ bound`. Argmin searches that pass their running best as
+    /// `bound` and compare with strict `<` therefore see identical
+    /// decisions — a pruned candidate could never have replaced the
+    /// incumbent. The default computes the full distance.
+    fn score_bounded(&self, query: &Preprocessed, view: &Preprocessed, bound: f64) -> f64 {
+        let _ = bound;
+        self.score(query, view)
+    }
+
     /// Human-readable configuration name for reports.
     fn name(&self) -> String;
 }
+
+/// Reference views scanned per tile of the distance-matrix loops: small
+/// enough that a tile's features stay cache-resident while every query
+/// of a block visits them, large enough to amortise the loop overhead.
+const VIEW_TILE: usize = 64;
+/// Queries per parallel work item in the classify loops.
+const QUERY_BLOCK: usize = 8;
 
 /// Classify every query by the class of its argmin view (the paper's
 /// ΘT rule; also how the shape-only and colour-only pipelines decide).
@@ -55,16 +74,24 @@ pub fn classify_per_view(
     scorer: &dyn MatchScorer,
 ) -> Vec<ObjectClass> {
     assert!(!views.is_empty(), "reference set is empty");
+    // Tiled scan: a block of queries walks one tile of reference views at
+    // a time, so tile features are reused across the block instead of
+    // streaming the whole reference set per query. Each (query, view)
+    // pair passes the query's running best as the abandon bound.
     queries
-        .par_iter()
-        .map(|q| {
-            let mut best = f64::INFINITY;
-            let mut best_class = views[0].class;
-            for v in views {
-                let s = scorer.score(&q.feat, &v.feat);
-                if s < best {
-                    best = s;
-                    best_class = v.class;
+        .par_chunks(QUERY_BLOCK)
+        .flat_map(|block| {
+            let mut best = vec![f64::INFINITY; block.len()];
+            let mut best_class = vec![views[0].class; block.len()];
+            for tile in views.chunks(VIEW_TILE) {
+                for (qi, q) in block.iter().enumerate() {
+                    for v in tile {
+                        let s = scorer.score_bounded(&q.feat, &v.feat, best[qi]);
+                        if s < best[qi] {
+                            best[qi] = s;
+                            best_class[qi] = v.class;
+                        }
+                    }
                 }
             }
             best_class
@@ -88,22 +115,34 @@ pub fn classify_per_view_ranked(
 ) -> Vec<Vec<ObjectClass>> {
     assert!(!views.is_empty(), "reference set is empty");
     queries
-        .par_iter()
-        .map(|q| {
-            let mut best = [f64::INFINITY; ObjectClass::COUNT];
-            for v in views {
-                let s = scorer.score(&q.feat, &v.feat);
-                let i = v.class.index();
-                if s < best[i] {
-                    best[i] = s;
+        .par_chunks(QUERY_BLOCK)
+        .flat_map(|block| {
+            let mut best = vec![[f64::INFINITY; ObjectClass::COUNT]; block.len()];
+            for tile in views.chunks(VIEW_TILE) {
+                for (qi, q) in block.iter().enumerate() {
+                    for v in tile {
+                        let i = v.class.index();
+                        // A view only matters if it improves its own
+                        // class's best, so that is the abandon bound.
+                        let s = scorer.score_bounded(&q.feat, &v.feat, best[qi][i]);
+                        if s < best[qi][i] {
+                            best[qi][i] = s;
+                        }
+                    }
                 }
             }
-            let mut order: Vec<usize> = (0..ObjectClass::COUNT).collect();
-            order.sort_by(|&a, &b| best[a].partial_cmp(&best[b]).expect("finite or inf"));
-            order
-                .into_iter()
-                .map(|i| ObjectClass::from_index(i).expect("index below COUNT"))
-                .collect()
+            best.into_iter()
+                .map(|per_class| {
+                    let mut order: Vec<usize> = (0..ObjectClass::COUNT).collect();
+                    order.sort_by(|&a, &b| {
+                        per_class[a].partial_cmp(&per_class[b]).expect("finite or inf")
+                    });
+                    order
+                        .into_iter()
+                        .map(|i| ObjectClass::from_index(i).expect("index below COUNT"))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
         })
         .collect()
 }

@@ -155,6 +155,6 @@ mod tests {
         let img = object_on([255, 255, 255], [10, 120, 220]);
         let p = preprocess(&img, Background::White, HIST_BINS);
         assert_eq!(p.mask.dimensions(), p.crop.dimensions());
-        assert!(p.mask.as_raw().iter().any(|&v| v == 255));
+        assert!(p.mask.as_raw().contains(&255));
     }
 }

@@ -62,11 +62,7 @@ impl Recognizer {
     /// convention incoming crops use (black masks for robot/NYU crops).
     pub fn new(catalog: &Dataset, method: Method, query_background: Background) -> Self {
         assert!(!catalog.is_empty(), "reference catalog is empty");
-        Recognizer {
-            refs: prepare_views(catalog, Background::White),
-            method,
-            query_background,
-        }
+        Recognizer { refs: prepare_views(catalog, Background::White), method, query_background }
     }
 
     /// Number of reference views held.
@@ -97,10 +93,8 @@ impl Recognizer {
         }
         let mut order: Vec<usize> = (0..ObjectClass::COUNT).collect();
         order.sort_by(|&a, &b| best[a].partial_cmp(&best[b]).expect("finite or inf"));
-        let ranking: Vec<ObjectClass> = order
-            .iter()
-            .map(|&i| ObjectClass::from_index(i).expect("index below COUNT"))
-            .collect();
+        let ranking: Vec<ObjectClass> =
+            order.iter().map(|&i| ObjectClass::from_index(i).expect("index below COUNT")).collect();
         let class = ranking[0];
 
         // Confidence: softmin margin between the best and second-best
@@ -184,10 +178,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "reference catalog is empty")]
     fn empty_catalog_panics() {
-        let empty = taor_data::Dataset {
-            kind: taor_data::DatasetKind::ShapeNetSet1,
-            images: Vec::new(),
-        };
+        let empty =
+            taor_data::Dataset { kind: taor_data::DatasetKind::ShapeNetSet1, images: Vec::new() };
         let _ = Recognizer::new(&empty, Method::default(), Background::Black);
     }
 

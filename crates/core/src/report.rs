@@ -47,12 +47,7 @@ impl TextTable {
             let _ = writeln!(out, "{}", "=".repeat(self.title.len().min(100)));
         }
         let line = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect::<Vec<_>>().join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
         let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
@@ -72,13 +67,9 @@ pub fn fmt_f(v: f64, decimals: usize) -> String {
 
 /// Build the class-wise block for one approach row (Tables 5–9 layout:
 /// one row per measure, one column per class).
-pub fn classwise_rows(
-    table: &mut TextTable,
-    approach: &str,
-    eval: &Evaluation,
-    decimals: usize,
-) {
-    let measures: [(&str, fn(&crate::eval::ClassMetrics) -> f64); 4] = [
+pub fn classwise_rows(table: &mut TextTable, approach: &str, eval: &Evaluation, decimals: usize) {
+    type Measure = (&'static str, fn(&crate::eval::ClassMetrics) -> f64);
+    let measures: [Measure; 4] = [
         ("Accuracy", |m| m.accuracy),
         ("Precision", |m| m.precision_paper),
         ("Recall", |m| m.recall),

@@ -43,12 +43,7 @@ pub struct SegmentConfig {
 
 impl Default for SegmentConfig {
     fn default() -> Self {
-        SegmentConfig {
-            color_threshold: 40,
-            open_radius: 1,
-            min_area: 150,
-            background_colors: 3,
-        }
+        SegmentConfig { color_threshold: 40, open_radius: 1, min_area: 150, background_colors: 3 }
     }
 }
 
@@ -62,8 +57,8 @@ pub fn border_colors(img: &RgbImage, k: usize) -> Vec<[u8; 3]> {
         let key = (px[0] >> 3, px[1] >> 3, px[2] >> 3);
         let e = buckets.entry(key).or_insert((0, [0; 3]));
         e.0 += 1;
-        for c in 0..3 {
-            e.1[c] += px[c] as u64;
+        for (acc, &v) in e.1.iter_mut().zip(&px) {
+            *acc += v as u64;
         }
     };
     for x in 0..w {
@@ -75,17 +70,11 @@ pub fn border_colors(img: &RgbImage, k: usize) -> Vec<[u8; 3]> {
         push(img.pixel(w - 1, y));
     }
     let mut sorted: Vec<_> = buckets.into_values().collect();
-    sorted.sort_by(|a, b| b.0.cmp(&a.0));
+    sorted.sort_by_key(|&(n, _)| std::cmp::Reverse(n));
     sorted
         .into_iter()
         .take(k)
-        .map(|(n, sums)| {
-            [
-                (sums[0] / n) as u8,
-                (sums[1] / n) as u8,
-                (sums[2] / n) as u8,
-            ]
-        })
+        .map(|(n, sums)| [(sums[0] / n) as u8, (sums[1] / n) as u8, (sums[2] / n) as u8])
         .collect()
 }
 
@@ -234,7 +223,7 @@ pub fn evaluate_scene(scene: &RoomScene, detections: &[Detection]) -> SceneEvalu
                 continue;
             }
             let v = iou(&obj.bbox, &det.bbox);
-            if v >= 0.3 && best.map_or(true, |(_, bv)| v > bv) {
+            if v >= 0.3 && best.is_none_or(|(_, bv)| v > bv) {
                 best = Some((i, v));
             }
         }
@@ -265,11 +254,7 @@ mod tests {
     fn segmentation_finds_objects() {
         let s = scene(1, &[ObjectClass::Sofa, ObjectClass::Lamp, ObjectClass::Box]);
         let segs = segment_frame(&s.image, &SegmentConfig::default());
-        assert!(
-            (2..=6).contains(&segs.len()),
-            "expected ~3 segments, got {}",
-            segs.len()
-        );
+        assert!((2..=6).contains(&segs.len()), "expected ~3 segments, got {}", segs.len());
         // Each segment overlaps some ground-truth object.
         for seg in &segs {
             let hit = s.objects.iter().any(|o| iou(&o.bbox, &seg.bbox) > 0.1);
@@ -283,8 +268,7 @@ mod tests {
         let segs = segment_frame(&s.image, &SegmentConfig::default());
         for seg in &segs {
             // Crops contain both object pixels and the black mask.
-            let black =
-                seg.crop.as_raw().chunks_exact(3).filter(|px| *px == &[0, 0, 0]).count();
+            let black = seg.crop.as_raw().chunks_exact(3).filter(|px| *px == [0, 0, 0]).count();
             let total = (seg.crop.width() * seg.crop.height()) as usize;
             assert!(black < total, "crop entirely black");
         }
@@ -303,11 +287,8 @@ mod tests {
     fn evaluate_scene_counts() {
         let s = scene(3, &[ObjectClass::Table, ObjectClass::Door]);
         // Perfect detections from ground truth.
-        let dets: Vec<Detection> = s
-            .objects
-            .iter()
-            .map(|o| Detection { bbox: o.bbox, class: o.class })
-            .collect();
+        let dets: Vec<Detection> =
+            s.objects.iter().map(|o| Detection { bbox: o.bbox, class: o.class }).collect();
         let eval = evaluate_scene(&s, &dets);
         assert_eq!(eval.detected, 2);
         assert_eq!(eval.correctly_classified, 2);

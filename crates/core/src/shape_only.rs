@@ -7,7 +7,7 @@
 
 use crate::pipeline::MatchScorer;
 use crate::preprocess::Preprocessed;
-use taor_imgproc::moments::{match_shapes, MatchShapesMode};
+use taor_imgproc::moments::{match_shapes, match_shapes_bounded, MatchShapesMode};
 
 /// Hu-moment shape scorer; the paper's L1/L2/L3 variants map to
 /// [`MatchShapesMode::I1`]/[`I2`](MatchShapesMode::I2)/[`I3`](MatchShapesMode::I3).
@@ -37,6 +37,12 @@ impl ShapeScorer {
 impl MatchScorer for ShapeScorer {
     fn score(&self, query: &Preprocessed, view: &Preprocessed) -> f64 {
         match_shapes(&query.hu, &view.hu, self.mode)
+    }
+
+    fn score_bounded(&self, query: &Preprocessed, view: &Preprocessed, bound: f64) -> f64 {
+        // All three Hu distances accumulate monotonically, so the
+        // bounded kernel can abandon a pair mid-scan.
+        match_shapes_bounded(&query.hu, &view.hu, self.mode, bound)
     }
 
     fn name(&self) -> String {
@@ -73,11 +79,7 @@ mod tests {
             let preds = classify_per_view(&views, &views, &scorer);
             let truth = truth_of(&views);
             let correct = preds.iter().zip(&truth).filter(|(p, t)| p == t).count();
-            assert!(
-                correct as f64 / truth.len() as f64 > 0.9,
-                "{}: {correct}/82",
-                scorer.name()
-            );
+            assert!(correct as f64 / truth.len() as f64 > 0.9, "{}: {correct}/82", scorer.name());
         }
     }
 }

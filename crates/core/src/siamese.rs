@@ -40,8 +40,21 @@ impl SiameseConfig {
     /// fewer pairs, fewer epochs, same architecture.
     pub fn quick() -> Self {
         SiameseConfig {
-            net: NetConfig { height: 32, width: 24, c1: 8, c2: 10, c3: 10, dense: 32, ..NetConfig::default() },
-            train: TrainConfig { max_epochs: 4, batch_size: 16, learning_rate: 1e-4, ..TrainConfig::default() },
+            net: NetConfig {
+                height: 32,
+                width: 24,
+                c1: 8,
+                c2: 10,
+                c3: 10,
+                dense: 32,
+                ..NetConfig::default()
+            },
+            train: TrainConfig {
+                max_epochs: 4,
+                batch_size: 16,
+                learning_rate: 1e-4,
+                ..TrainConfig::default()
+            },
             n_train_pairs: 600,
             seed: 2019,
         }
@@ -52,8 +65,21 @@ impl SiameseConfig {
     /// cross-domain failure persists.
     pub fn medium() -> Self {
         SiameseConfig {
-            net: NetConfig { height: 32, width: 24, c1: 8, c2: 10, c3: 10, dense: 32, ..NetConfig::default() },
-            train: TrainConfig { max_epochs: 12, batch_size: 16, learning_rate: 1e-4, ..TrainConfig::default() },
+            net: NetConfig {
+                height: 32,
+                width: 24,
+                c1: 8,
+                c2: 10,
+                c3: 10,
+                dense: 32,
+                ..NetConfig::default()
+            },
+            train: TrainConfig {
+                max_epochs: 12,
+                batch_size: 16,
+                learning_rate: 1e-4,
+                ..TrainConfig::default()
+            },
             n_train_pairs: 2_000,
             seed: 2019,
         }
@@ -135,18 +161,13 @@ impl CosineSiamese {
     pub fn fit(pairs: &[ImagePair<'_>], grid: usize) -> Self {
         assert!(grid >= 1, "grid must be >= 1");
         let model = CosineSiamese { threshold: 0.0, grid };
-        let scores: Vec<(f32, usize)> = pairs
-            .par_iter()
-            .map(|p| (model.score(&p.a.image, &p.b.image), p.label))
-            .collect();
+        let scores: Vec<(f32, usize)> =
+            pairs.par_iter().map(|p| (model.score(&p.a.image, &p.b.image), p.label)).collect();
         let mut best_t = 0.0f32;
         let mut best_acc = 0usize;
         for i in 0..=40 {
             let t = -1.0 + i as f32 * 0.05;
-            let acc = scores
-                .iter()
-                .filter(|&&(s, l)| usize::from(s > t) == l)
-                .count();
+            let acc = scores.iter().filter(|&&(s, l)| usize::from(s > t) == l).count();
             if acc > best_acc {
                 best_acc = acc;
                 best_t = t;

@@ -1,8 +1,8 @@
 //! Property-based tests for evaluation metrics and pipeline invariants.
 
 use proptest::prelude::*;
-use taor_core::prelude::*;
 use taor_core::eval::{roc_auc, top_k_accuracy};
+use taor_core::prelude::*;
 use taor_data::ObjectClass;
 
 fn arb_classes(len: usize) -> impl Strategy<Value = Vec<ObjectClass>> {

@@ -86,7 +86,12 @@ fn substream(seed: u64, stream: u64) -> rand::rngs::SmallRng {
     rand::rngs::SmallRng::seed_from_u64(seed ^ (stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
 }
 
-fn catalog_set(kind: DatasetKind, seed: u64, stream: u64, count_of: impl Fn(ObjectClass) -> usize) -> Dataset {
+fn catalog_set(
+    kind: DatasetKind,
+    seed: u64,
+    stream: u64,
+    count_of: impl Fn(ObjectClass) -> usize,
+) -> Dataset {
     let mut images = Vec::new();
     for class in ObjectClass::ALL {
         let n_views = count_of(class);
@@ -128,8 +133,7 @@ pub fn catalog_custom(seed: u64, models_per_class: usize, views_per_model: usize
     let mut images = Vec::new();
     for class in ObjectClass::ALL {
         let mut rng = substream(seed, 0x52 ^ (class.index() as u64) << 8);
-        let models: Vec<_> =
-            (0..models_per_class).map(|_| sample_model(class, &mut rng)).collect();
+        let models: Vec<_> = (0..models_per_class).map(|_| sample_model(class, &mut rng)).collect();
         for (model_id, model) in models.iter().enumerate() {
             for view_id in 0..views_per_model {
                 images.push(LabeledImage {

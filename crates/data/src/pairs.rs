@@ -47,10 +47,8 @@ pub fn training_pairs(sns2: &Dataset, total: usize, seed: u64) -> Vec<ImagePair<
     let n_dissimilar = total - n_similar;
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x7EA1);
 
-    let by_class: Vec<Vec<&LabeledImage>> = ObjectClass::ALL
-        .iter()
-        .map(|&c| sns2.of_class(c).collect())
-        .collect();
+    let by_class: Vec<Vec<&LabeledImage>> =
+        ObjectClass::ALL.iter().map(|&c| sns2.of_class(c).collect()).collect();
 
     let mut pairs = Vec::with_capacity(total);
     for _ in 0..n_similar {
@@ -102,10 +100,8 @@ pub fn nyu_sns1_test_pairs<'a>(
     let nyu_subset = sample_per_class(nyu, 10, seed ^ 0x9A);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x9B);
 
-    let sns1_by_class: Vec<Vec<&LabeledImage>> = ObjectClass::ALL
-        .iter()
-        .map(|&c| sns1.of_class(c).collect())
-        .collect();
+    let sns1_by_class: Vec<Vec<&LabeledImage>> =
+        ObjectClass::ALL.iter().map(|&c| sns1.of_class(c).collect()).collect();
 
     let mut pairs = Vec::with_capacity(NYU_TEST_SIMILAR + NYU_TEST_DISSIMILAR);
     for _ in 0..NYU_TEST_SIMILAR {

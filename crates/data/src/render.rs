@@ -35,8 +35,7 @@ pub fn render_catalog_view(m: &ModelParams, view_idx: usize, rng: &mut impl Rng)
     // or manually rotated views (paper: views "manually-derived by
     // rotating an existing view, when not available").
     let base_angles = [0.0f32, 0.21, -0.21, 0.42, -0.42, 0.63, -0.63, 0.85];
-    let rotation = base_angles[view_idx % base_angles.len()]
-        + rng.gen_range(-0.03..0.03);
+    let rotation = base_angles[view_idx % base_angles.len()] + rng.gen_range(-0.03..0.03);
     let view = ViewParams {
         rotation,
         scale: CANVAS as f32 * rng.gen_range(0.30..0.38),
@@ -168,11 +167,7 @@ pub fn render_scene_crop(m: &ModelParams, rng: &mut impl Rng) -> RgbImage {
     if rng.gen_bool(0.25) {
         let mut c = Canvas::new(CANVAS, CANVAS, [0, 0, 0]);
         std::mem::swap(c.image_mut(), &mut img);
-        let color = [
-            rng.gen_range(60..220u8),
-            rng.gen_range(60..220u8),
-            rng.gen_range(60..220u8),
-        ];
+        let color = [rng.gen_range(60..220u8), rng.gen_range(60..220u8), rng.gen_range(60..220u8)];
         let along_x = rng.gen_bool(0.5);
         let thickness = rng.gen_range(3.0..8.0f32);
         if along_x {
@@ -248,9 +243,7 @@ mod tests {
         // sensor noise perturb, but do not replace, the palette).
         let has_primary = |img: &RgbImage| {
             img.as_raw().chunks_exact(3).any(|px| {
-                px.iter()
-                    .zip(&m.primary)
-                    .all(|(&a, &b)| (a as i16 - b as i16).abs() <= 40)
+                px.iter().zip(&m.primary).all(|(&a, &b)| (a as i16 - b as i16).abs() <= 40)
             })
         };
         assert!(has_primary(&v0) && has_primary(&v1));
@@ -281,8 +274,7 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
         for _ in 0..20 {
             let img = render_scene_crop(&m, &mut rng);
-            let visible =
-                img.as_raw().chunks_exact(3).filter(|px| *px != &[0, 0, 0]).count();
+            let visible = img.as_raw().chunks_exact(3).filter(|px| *px != [0, 0, 0]).count();
             assert!(visible > 150, "object almost fully erased: {visible} px");
         }
     }

@@ -56,11 +56,8 @@ pub fn render_room(classes: &[ObjectClass], rng: &mut impl Rng) -> RoomScene {
     canvas.fill_rect(0.0, horizon, FRAME_W as f32, FRAME_H as f32 - horizon, floor);
     for i in 0..6 {
         let y = horizon + (FRAME_H as f32 - horizon) * i as f32 / 6.0;
-        let seam = [
-            floor[0].saturating_sub(14),
-            floor[1].saturating_sub(12),
-            floor[2].saturating_sub(10),
-        ];
+        let seam =
+            [floor[0].saturating_sub(14), floor[1].saturating_sub(12), floor[2].saturating_sub(10)];
         canvas.fill_rect(0.0, y, FRAME_W as f32, 1.5, seam);
     }
 
@@ -102,10 +99,7 @@ pub fn render_room(classes: &[ObjectClass], rng: &mut impl Rng) -> RoomScene {
             }
         }
         if x0 <= x1 && y0 <= y1 {
-            objects.push(SceneObject {
-                class,
-                bbox: Rect::new(x0, y0, x1 - x0 + 1, y1 - y0 + 1),
-            });
+            objects.push(SceneObject { class, bbox: Rect::new(x0, y0, x1 - x0 + 1, y1 - y0 + 1) });
         }
     }
 
@@ -141,10 +135,8 @@ mod tests {
     #[test]
     fn room_contains_all_requested_objects() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
-        let scene = render_room(
-            &[ObjectClass::Chair, ObjectClass::Lamp, ObjectClass::Table],
-            &mut rng,
-        );
+        let scene =
+            render_room(&[ObjectClass::Chair, ObjectClass::Lamp, ObjectClass::Table], &mut rng);
         assert_eq!(scene.objects.len(), 3);
         assert_eq!(scene.image.dimensions(), (FRAME_W, FRAME_H));
         for obj in &scene.objects {

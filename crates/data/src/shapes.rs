@@ -75,11 +75,14 @@ impl ViewParams {
 }
 
 /// Small per-model colour jitter so two models of a class differ.
+/// Channels cap at 254, never 255: a pure-white model would be invisible
+/// against the catalog background (white paper at +22 jitter saturated
+/// to [255,255,255] and rendered zero pixels).
 fn jitter_color(rng: &mut impl Rng, c: [u8; 3], amount: i16) -> [u8; 3] {
     let mut out = [0u8; 3];
     for i in 0..3 {
         let d = rng.gen_range(-amount..=amount);
-        out[i] = (c[i] as i16 + d).clamp(0, 255) as u8;
+        out[i] = (c[i] as i16 + d).clamp(0, 254) as u8;
     }
     out
 }
@@ -127,14 +130,19 @@ pub fn sample_model(class: ObjectClass, rng: &mut impl Rng) -> ModelParams {
             weighted_color(rng, &[(&DARKS, 3), (&WOODS, 2), (&GRAYS, 1)]),
         ),
         ObjectClass::Bottle => (
-            weighted_color(rng, &[(&GREENS, 3), (&BLUES, 2), (&GRAYS, 2), (&TANS, 1), (&WHITES, 1)]),
+            weighted_color(
+                rng,
+                &[(&GREENS, 3), (&BLUES, 2), (&GRAYS, 2), (&TANS, 1), (&WHITES, 1)],
+            ),
             weighted_color(rng, &[(&REDS, 1), (&WHITES, 1), (&DARKS, 1)]),
         ),
         ObjectClass::Paper => (
             weighted_color(rng, &[(&WHITES, 8), (&GRAYS, 1), (&YELLOWS, 1)]),
             weighted_color(rng, &[(&GRAYS, 1), (&BLUES, 1)]),
         ),
-        ObjectClass::Book => (weighted_color(rng, &any), weighted_color(rng, &[(&WHITES, 2), (&YELLOWS, 1)])),
+        ObjectClass::Book => {
+            (weighted_color(rng, &any), weighted_color(rng, &[(&WHITES, 2), (&YELLOWS, 1)]))
+        }
         ObjectClass::Table => (
             weighted_color(rng, &[(&WOODS, 5), (&WHITES, 1), (&GRAYS, 1), (&DARKS, 1)]),
             weighted_color(rng, &[(&WOODS, 2), (&DARKS, 2), (&GRAYS, 1)]),
@@ -146,14 +154,20 @@ pub fn sample_model(class: ObjectClass, rng: &mut impl Rng) -> ModelParams {
         ObjectClass::Window => (
             weighted_color(rng, &[(&WHITES, 4), (&WOODS, 2), (&GRAYS, 2)]),
             // Glass keeps a pale blue-grey bias.
-            weighted_color(rng, &[(&[[188u8, 214, 234], [206, 226, 240], [170, 200, 224]][..], 3), (&GRAYS, 1)]),
+            weighted_color(
+                rng,
+                &[(&[[188u8, 214, 234], [206, 226, 240], [170, 200, 224]][..], 3), (&GRAYS, 1)],
+            ),
         ),
         ObjectClass::Door => (
             weighted_color(rng, &[(&WOODS, 4), (&WHITES, 3), (&GRAYS, 1), (&DARKS, 1)]),
             weighted_color(rng, &[(&YELLOWS, 2), (&GRAYS, 1), (&DARKS, 1)]),
         ),
         ObjectClass::Sofa => (
-            weighted_color(rng, &[(&REDS, 2), (&BLUES, 2), (&GRAYS, 2), (&GREENS, 1), (&TANS, 1), (&DARKS, 1)]),
+            weighted_color(
+                rng,
+                &[(&REDS, 2), (&BLUES, 2), (&GRAYS, 2), (&GREENS, 1), (&TANS, 1), (&DARKS, 1)],
+            ),
             weighted_color(rng, &[(&DARKS, 2), (&GRAYS, 1)]),
         ),
         ObjectClass::Lamp => (
@@ -185,10 +199,7 @@ impl Frame {
         let x = if self.view.flip { -x } else { x } * self.aspect * self.view.stretch_x;
         let y = y * self.elongation * self.view.stretch_y;
         let x = x + self.view.shear * y;
-        let p = p2(
-            self.view.cx + x * self.view.scale,
-            self.view.cy + y * self.view.scale,
-        );
+        let p = p2(self.view.cx + x * self.view.scale, self.view.cy + y * self.view.scale);
         p.rotated(p2(self.view.cx, self.view.cy), self.view.rotation)
     }
 
@@ -251,7 +262,11 @@ pub fn draw_object(canvas: &mut Canvas, m: &ModelParams, view: ViewParams) {
             _ => {
                 // Stool: seat disc + splayed legs, no backrest.
                 f.ellipse(canvas, 0.0, -0.3, 0.55, 0.18, m.primary);
-                f.poly(canvas, &[(-0.45, -0.2), (-0.7, 0.9), (-0.55, 0.9), (-0.3, -0.2)], m.secondary);
+                f.poly(
+                    canvas,
+                    &[(-0.45, -0.2), (-0.7, 0.9), (-0.55, 0.9), (-0.3, -0.2)],
+                    m.secondary,
+                );
                 f.poly(canvas, &[(0.45, -0.2), (0.7, 0.9), (0.55, 0.9), (0.3, -0.2)], m.secondary);
                 f.rect(canvas, -0.06, -0.2, 0.06, 0.9, m.secondary);
             }
@@ -261,7 +276,11 @@ pub fn draw_object(canvas: &mut Canvas, m: &ModelParams, view: ViewParams) {
                 // Wine bottle: tall, thin neck.
                 let neck_w = 0.1 + 0.06 * d;
                 f.rect(canvas, -0.32, -0.3, 0.32, 0.9, m.primary);
-                f.poly(canvas, &[(-0.32, -0.3), (-neck_w, -0.62), (neck_w, -0.62), (0.32, -0.3)], m.primary);
+                f.poly(
+                    canvas,
+                    &[(-0.32, -0.3), (-neck_w, -0.62), (neck_w, -0.62), (0.32, -0.3)],
+                    m.primary,
+                );
                 f.rect(canvas, -neck_w, -1.0, neck_w, -0.55, m.primary);
                 f.rect(canvas, -neck_w - 0.02, -1.05, neck_w + 0.02, -0.94, m.secondary);
                 if m.style == 0 && d > 0.4 {
@@ -354,8 +373,16 @@ pub fn draw_object(canvas: &mut Canvas, m: &ModelParams, view: ViewParams) {
             1 => {
                 // Open box with raised flaps.
                 f.rect(canvas, -0.65, -0.4, 0.65, 0.8, m.primary);
-                f.poly(canvas, &[(-0.65, -0.4), (-0.95, -0.85), (-0.75, -0.9), (-0.5, -0.4)], m.secondary);
-                f.poly(canvas, &[(0.65, -0.4), (0.95, -0.85), (0.75, -0.9), (0.5, -0.4)], m.secondary);
+                f.poly(
+                    canvas,
+                    &[(-0.65, -0.4), (-0.95, -0.85), (-0.75, -0.9), (-0.5, -0.4)],
+                    m.secondary,
+                );
+                f.poly(
+                    canvas,
+                    &[(0.65, -0.4), (0.95, -0.85), (0.75, -0.9), (0.5, -0.4)],
+                    m.secondary,
+                );
             }
             _ => {
                 // Flat parcel.
@@ -428,21 +455,33 @@ pub fn draw_object(canvas: &mut Canvas, m: &ModelParams, view: ViewParams) {
             0 => {
                 // Floor lamp: tall thin pole, trapezoid shade.
                 let top = 0.22 + 0.15 * d;
-                f.poly(canvas, &[(-top, -1.0), (top, -1.0), (0.45, -0.55), (-0.45, -0.55)], m.primary);
+                f.poly(
+                    canvas,
+                    &[(-top, -1.0), (top, -1.0), (0.45, -0.55), (-0.45, -0.55)],
+                    m.primary,
+                );
                 f.rect(canvas, -0.04, -0.55, 0.04, 0.8, m.secondary);
                 f.ellipse(canvas, 0.0, 0.85, 0.35, 0.1, m.secondary);
             }
             1 => {
                 // Desk lamp: big shade, short bent arm, heavy base.
                 f.ellipse(canvas, -0.2, -0.5, 0.55, 0.35, m.primary);
-                f.poly(canvas, &[(0.1, -0.3), (0.55, 0.5), (0.45, 0.55), (0.0, -0.25)], m.secondary);
+                f.poly(
+                    canvas,
+                    &[(0.1, -0.3), (0.55, 0.5), (0.45, 0.55), (0.0, -0.25)],
+                    m.secondary,
+                );
                 f.rect(canvas, 0.15, 0.5, 0.85, 0.7, m.secondary);
             }
             _ => {
                 // Bedside lamp: round shade on a squat base.
                 f.ellipse(canvas, 0.0, -0.4, 0.5, 0.42, m.primary);
                 f.rect(canvas, -0.08, 0.0, 0.08, 0.45, m.secondary);
-                f.poly(canvas, &[(-0.4, 0.85), (0.4, 0.85), (0.15, 0.4), (-0.15, 0.4)], m.secondary);
+                f.poly(
+                    canvas,
+                    &[(-0.4, 0.85), (0.4, 0.85), (0.15, 0.4), (-0.15, 0.4)],
+                    m.secondary,
+                );
             }
         },
     }
@@ -458,11 +497,7 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         let m = sample_model(class, &mut rng);
         let mut canvas = Canvas::new(96, 96, [255, 255, 255]);
-        draw_object(
-            &mut canvas,
-            &m,
-            ViewParams::frontal(36.0, 48.0, 48.0),
-        );
+        draw_object(&mut canvas, &m, ViewParams::frontal(36.0, 48.0, 48.0));
         canvas.into_image()
     }
 
@@ -470,11 +505,8 @@ mod tests {
     fn every_class_draws_something() {
         for class in ObjectClass::ALL {
             let img = render(class, 7);
-            let non_white = img
-                .as_raw()
-                .chunks_exact(3)
-                .filter(|px| *px != &[255, 255, 255])
-                .count();
+            let non_white =
+                img.as_raw().chunks_exact(3).filter(|px| *px != [255, 255, 255]).count();
             assert!(non_white > 200, "{class:?} drew only {non_white} pixels");
         }
     }

@@ -24,7 +24,7 @@ proptest! {
                 .image
                 .as_raw()
                 .chunks_exact(3)
-                .filter(|px| *px != &[255, 255, 255])
+                .filter(|px| *px != [255, 255, 255])
                 .count();
             // Thin-silhouette classes (desk lamps) at minimum scale and
             // stretch can render barely above 100 px.
@@ -38,7 +38,7 @@ proptest! {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         let model = sample_model(class, &mut rng);
         let crop = render_scene_crop(&model, &mut rng);
-        let visible = crop.as_raw().chunks_exact(3).filter(|px| *px != &[0, 0, 0]).count();
+        let visible = crop.as_raw().chunks_exact(3).filter(|px| *px != [0, 0, 0]).count();
         prop_assert!(visible > 120, "{class:?} nearly invisible: {visible}");
     }
 

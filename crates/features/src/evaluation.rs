@@ -107,10 +107,7 @@ mod tests {
     #[test]
     fn empty_inputs_are_zero() {
         assert_eq!(repeatability(&[], &[kp(0.0, 0.0)], &Similarity::identity(), 1.0), 0.0);
-        assert_eq!(
-            matching_score(&[], &[], &[], &Similarity::identity(), 1.0),
-            0.0
-        );
+        assert_eq!(matching_score(&[], &[], &[], &Similarity::identity(), 1.0), 0.0);
     }
 
     #[test]

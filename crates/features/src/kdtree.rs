@@ -24,6 +24,13 @@ enum Node {
     },
 }
 
+/// A neighbour as `(descriptor index, squared-L2 distance)`.
+pub type Neighbour = (usize, f32);
+
+/// 2-NN query result: the best neighbour plus, when one exists, the
+/// second best (`None` for a single-descriptor index).
+pub type Knn2 = Option<(usize, f32, Option<Neighbour>)>;
+
 /// kd-tree over a borrowed descriptor matrix.
 #[derive(Debug)]
 pub struct KdTree<'a> {
@@ -61,8 +68,7 @@ impl<'a> KdTree<'a> {
         let mut best_var = -1.0f32;
         for d in 0..w {
             let mean: f32 = items.iter().map(|&i| descs.row(i)[d]).sum::<f32>() / n;
-            let var: f32 =
-                items.iter().map(|&i| (descs.row(i)[d] - mean).powi(2)).sum::<f32>() / n;
+            let var: f32 = items.iter().map(|&i| (descs.row(i)[d] - mean).powi(2)).sum::<f32>() / n;
             if var > best_var {
                 best_var = var;
                 best_dim = d;
@@ -95,7 +101,7 @@ impl<'a> KdTree<'a> {
 
     /// Approximate 2-NN query: best and second-best indices with squared-L2
     /// distances. Returns `None` when the index is empty.
-    pub fn knn2(&self, query: &[f32]) -> Option<(usize, f32, Option<(usize, f32)>)> {
+    pub fn knn2(&self, query: &[f32]) -> Knn2 {
         if self.descs.is_empty() {
             return None;
         }
@@ -163,8 +169,11 @@ impl<'a> KdTree<'a> {
             if let Some((bi, bd, sec)) = self.knn2(query.row(qi)) {
                 out.push(RatioMatch {
                     best: DMatch { query_idx: qi, train_idx: bi, distance: bd },
-                    second: sec
-                        .map(|(si, sd)| DMatch { query_idx: qi, train_idx: si, distance: sd }),
+                    second: sec.map(|(si, sd)| DMatch {
+                        query_idx: qi,
+                        train_idx: si,
+                        distance: sd,
+                    }),
                 });
             }
         }
@@ -211,11 +220,8 @@ mod tests {
         let tree = KdTree::build(&train, 32).unwrap();
         let approx = tree.knn_match(&query).unwrap();
         let exact = knn_match_float(&query, &train).unwrap();
-        let hits = approx
-            .iter()
-            .zip(&exact)
-            .filter(|(a, e)| a.best.train_idx == e.best.train_idx)
-            .count();
+        let hits =
+            approx.iter().zip(&exact).filter(|(a, e)| a.best.train_idx == e.best.train_idx).count();
         // kd-trees degrade in high dimensions (the reason FLANN uses
         // randomised forests); 60 % exact-NN recall at 32 checks out of ~64
         // leaves is the expected regime.

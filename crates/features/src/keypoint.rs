@@ -45,7 +45,7 @@ impl FloatDescriptors {
 
     /// Number of descriptors.
     pub fn len(&self) -> usize {
-        if self.width == 0 { 0 } else { self.data.len() / self.width }
+        self.data.len().checked_div(self.width).unwrap_or(0)
     }
 
     /// Whether the container is empty.
@@ -91,7 +91,7 @@ impl BinaryDescriptors {
 
     /// Number of descriptors.
     pub fn len(&self) -> usize {
-        if self.width_bytes == 0 { 0 } else { self.data.len() / self.width_bytes }
+        self.data.len().checked_div(self.width_bytes).unwrap_or(0)
     }
 
     /// Whether the container is empty.

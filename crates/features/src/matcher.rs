@@ -75,7 +75,7 @@ pub fn knn_match_float(
             if d < best.distance {
                 second = Some(best);
                 best = DMatch { query_idx: qi, train_idx: ti, distance: d };
-            } else if second.map_or(true, |s| d < s.distance) {
+            } else if second.is_none_or(|s| d < s.distance) {
                 second = Some(DMatch { query_idx: qi, train_idx: ti, distance: d });
             }
         }
@@ -111,7 +111,7 @@ pub fn knn_match_binary(
             if d < best.distance {
                 second = Some(best);
                 best = DMatch { query_idx: qi, train_idx: ti, distance: d };
-            } else if second.map_or(true, |s| d < s.distance) {
+            } else if second.is_none_or(|s| d < s.distance) {
                 second = Some(DMatch { query_idx: qi, train_idx: ti, distance: d });
             }
         }

@@ -35,7 +35,12 @@ pub struct OrbParams {
 
 impl Default for OrbParams {
     fn default() -> Self {
-        OrbParams { max_features: 500, fast_threshold: 20, patch_size: 31, pattern_seed: 0x2011_0b1f }
+        OrbParams {
+            max_features: 500,
+            fast_threshold: 20,
+            patch_size: 31,
+            pattern_seed: 0x2011_0b1f,
+        }
     }
 }
 
@@ -114,9 +119,11 @@ fn harris_response(img: &GrayF32, x: u32, y: u32, block: i64) -> f32 {
     let yi = y as i64;
     for dy in -block..=block {
         for dx in -block..=block {
-            let gx = (img.get_clamped(xi + dx + 1, yi + dy) - img.get_clamped(xi + dx - 1, yi + dy))
+            let gx = (img.get_clamped(xi + dx + 1, yi + dy)
+                - img.get_clamped(xi + dx - 1, yi + dy))
                 * 0.5;
-            let gy = (img.get_clamped(xi + dx, yi + dy + 1) - img.get_clamped(xi + dx, yi + dy - 1))
+            let gy = (img.get_clamped(xi + dx, yi + dy + 1)
+                - img.get_clamped(xi + dx, yi + dy - 1))
                 * 0.5;
             sxx += gx * gx;
             syy += gy * gy;
@@ -165,9 +172,7 @@ fn brief_pattern(patch_size: u32, seed: u64) -> Vec<(f32, f32, f32, f32)> {
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
         (z * sigma).clamp(-half, half)
     };
-    (0..256)
-        .map(|_| (gauss(&mut rng), gauss(&mut rng), gauss(&mut rng), gauss(&mut rng)))
-        .collect()
+    (0..256).map(|_| (gauss(&mut rng), gauss(&mut rng), gauss(&mut rng), gauss(&mut rng))).collect()
 }
 
 /// Detect ORB keypoints and compute 256-bit steered-BRIEF descriptors.
@@ -234,18 +239,14 @@ pub fn orb_detect_and_compute(
 
     // --- Harris ranking, keep the strongest `max_features`.
     let img_f = img.to_f32();
-    let mut ranked: Vec<(u32, u32, f32, f32)> = scores
-        .into_iter()
-        .map(|(x, y, s)| (x, y, s, harris_response(&img_f, x, y, 3)))
-        .collect();
+    let mut ranked: Vec<(u32, u32, f32, f32)> =
+        scores.into_iter().map(|(x, y, s)| (x, y, s, harris_response(&img_f, x, y, 3))).collect();
     ranked.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("harris responses are finite"));
     ranked.truncate(params.max_features);
 
     // --- Orientation + steered BRIEF over a smoothed image (BRIEF needs
     // pre-smoothing to be stable; Calonder et al. use a Gaussian).
-    let smoothed = gaussian_blur(&img_f, 2.0)
-        .expect("fixed sigma is valid")
-        .to_u8();
+    let smoothed = gaussian_blur(&img_f, 2.0).expect("fixed sigma is valid").to_u8();
     let pattern = brief_pattern(params.patch_size, params.pattern_seed);
     let radius = (params.patch_size / 2) as i64 - 1;
 
@@ -365,10 +366,7 @@ mod tests {
         let mean_best = |q: &BinaryDescriptors, t: &BinaryDescriptors| -> f32 {
             let mut acc = 0.0;
             for i in 0..q.len() {
-                let best = (0..t.len())
-                    .map(|j| hamming(q.row(i), t.row(j)))
-                    .min()
-                    .unwrap();
+                let best = (0..t.len()).map(|j| hamming(q.row(i), t.row(j))).min().unwrap();
                 acc += best as f32;
             }
             acc / q.len() as f32

@@ -190,7 +190,11 @@ mod tests {
     }
 
     /// Build a correspondence set under a known transform plus outliers.
-    fn scenario(t: &Similarity, n_in: usize, n_out: usize) -> (Vec<KeyPoint>, Vec<KeyPoint>, Vec<DMatch>) {
+    fn scenario(
+        t: &Similarity,
+        n_in: usize,
+        n_out: usize,
+    ) -> (Vec<KeyPoint>, Vec<KeyPoint>, Vec<DMatch>) {
         let mut q = Vec::new();
         let mut r = Vec::new();
         let mut matches = Vec::new();

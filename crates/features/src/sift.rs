@@ -102,11 +102,8 @@ fn build_dog(pyr: &Pyramid) -> Vec<Vec<GrayF32>> {
                 .map(|pair| {
                     let (w, h) = pair[0].dimensions();
                     let mut d = GrayF32::new(w, h);
-                    for ((a, b), out) in pair[1]
-                        .as_raw()
-                        .iter()
-                        .zip(pair[0].as_raw())
-                        .zip(d.as_raw_mut())
+                    for ((a, b), out) in
+                        pair[1].as_raw().iter().zip(pair[0].as_raw()).zip(d.as_raw_mut())
                     {
                         *out = a - b;
                     }
@@ -325,8 +322,7 @@ fn compute_descriptor(img: &GrayF32, x: f32, y: f32, angle: f32, scale: f32) -> 
                     }
                     for (oi, ow) in [(o0 as i64, 1.0 - dob), (o0 as i64 + 1, dob)] {
                         let ob = (oi.rem_euclid(B as i64)) as usize;
-                        hist[(ri as usize * D + ci as usize) * B + ob] +=
-                            contrib * rw * cw * ow;
+                        hist[(ri as usize * D + ci as usize) * B + ob] += contrib * rw * cw * ow;
                     }
                 }
             }
@@ -433,8 +429,7 @@ pub fn sift_detect_and_compute(
         }
     }
 
-    keypoints
-        .sort_by(|a, b| b.0.response.partial_cmp(&a.0.response).expect("finite responses"));
+    keypoints.sort_by(|a, b| b.0.response.partial_cmp(&a.0.response).expect("finite responses"));
     if params.max_features > 0 {
         keypoints.truncate(params.max_features);
     }
@@ -487,7 +482,7 @@ mod tests {
             // which can push them back up (same as OpenCV); 0.5 is a loose
             // post-renormalisation ceiling.
             for &v in d {
-                assert!(v >= 0.0 && v <= 0.5, "bin value {v} out of clamped range");
+                assert!((0.0..=0.5).contains(&v), "bin value {v} out of clamped range");
             }
         }
     }

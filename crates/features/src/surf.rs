@@ -198,10 +198,9 @@ pub fn surf_detect_and_compute(
     let mut keypoints: Vec<KeyPoint> = Vec::new();
     for octave in 0..params.octaves {
         let step = 1i64 << octave; // sampling stride
-        // Filter sizes: size_k = 3 · (2^(octave+1) · (k+1) + 1), giving
-        // {9, 15, 21, 27} at octave 0, {15, 27, 39, 51} at octave 1, …
-        let sizes: Vec<i64> =
-            (0..4).map(|k| 3 * ((1i64 << (octave + 1)) * (k + 1) + 1)).collect();
+                                   // Filter sizes: size_k = 3 · (2^(octave+1) · (k+1) + 1), giving
+                                   // {9, 15, 21, 27} at octave 0, {15, 27, 39, 51} at octave 1, …
+        let sizes: Vec<i64> = (0..4).map(|k| 3 * ((1i64 << (octave + 1)) * (k + 1) + 1)).collect();
 
         // Response maps for the 4 scales of this octave.
         let gw = (w / step) as usize;
@@ -305,9 +304,7 @@ mod tests {
         assert_eq!(descs.width(), 64);
         // At least one detection near each disc centre.
         for &(cx, cy) in &[(40.0f32, 40.0f32), (90.0, 70.0)] {
-            let close = kps
-                .iter()
-                .any(|k| ((k.x - cx).powi(2) + (k.y - cy).powi(2)).sqrt() < 12.0);
+            let close = kps.iter().any(|k| ((k.x - cx).powi(2) + (k.y - cy).powi(2)).sqrt() < 12.0);
             assert!(close, "no keypoint near ({cx},{cy}): {kps:?}");
         }
     }

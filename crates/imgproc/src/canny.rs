@@ -139,9 +139,8 @@ mod tests {
         let edges = canny(&img, 1.0, 15.0, 100.0).unwrap();
         // Some edge pixel exists in the weak middle zone, attached to the
         // strong flanks. (The exact row depends on NMS.)
-        let weak_zone: usize = (25..35)
-            .map(|x| (5..15).filter(|&y| edges.get(x, y) > 0).count())
-            .sum();
+        let weak_zone: usize =
+            (25..35).map(|x| (5..15).filter(|&y| edges.get(x, y) > 0).count()).sum();
         assert!(weak_zone > 0, "hysteresis lost the weak segment");
     }
 

@@ -87,16 +87,8 @@ impl Contour {
 }
 
 /// Moore neighbourhood in clockwise order starting from west.
-const NEIGHBOURS: [(i32, i32); 8] = [
-    (-1, 0),
-    (-1, -1),
-    (0, -1),
-    (1, -1),
-    (1, 0),
-    (1, 1),
-    (0, 1),
-    (-1, 1),
-];
+const NEIGHBOURS: [(i32, i32); 8] =
+    [(-1, 0), (-1, -1), (0, -1), (1, -1), (1, 0), (1, 1), (0, 1), (-1, 1)];
 
 /// Find the outer contour of every 8-connected foreground component
 /// (`pixel > 0`). Components are discovered in raster order, so output
@@ -145,7 +137,8 @@ pub fn find_contours(bin: &GrayImage) -> Vec<Contour> {
 fn trace_boundary(bin: &GrayImage, sx: u32, sy: u32) -> Contour {
     let start = Point::new(sx as i32, sy as i32);
     let mut points = vec![start];
-    let fg = |p: Point| bin.in_bounds(p.x as i64, p.y as i64) && bin.get(p.x as u32, p.y as u32) > 0;
+    let fg =
+        |p: Point| bin.in_bounds(p.x as i64, p.y as i64) && bin.get(p.x as u32, p.y as u32) > 0;
 
     // The raster-first pixel was entered "from the west" (its west neighbour
     // is background by construction), so begin the clockwise scan there.
@@ -190,9 +183,7 @@ fn trace_boundary(bin: &GrayImage, sx: u32, sy: u32) -> Contour {
 /// The contour with the largest shoelace area, ties broken by first
 /// occurrence (raster order).
 pub fn largest_contour(contours: &[Contour]) -> Option<&Contour> {
-    contours
-        .iter()
-        .max_by(|a, b| a.area().partial_cmp(&b.area()).expect("areas are finite"))
+    contours.iter().max_by(|a, b| a.area().partial_cmp(&b.area()).expect("areas are finite"))
 }
 
 /// Crop `img` to the bounding rectangle of the largest contour of `bin`.

@@ -9,7 +9,7 @@ use crate::image::GrayF32;
 /// Build a normalised 1-D Gaussian kernel for standard deviation `sigma`.
 /// Radius is `ceil(3σ)` (99.7 % of mass), matching common practice.
 pub fn gaussian_kernel(sigma: f32) -> Result<Vec<f32>> {
-    if !(sigma > 0.0) || !sigma.is_finite() {
+    if sigma <= 0.0 || !sigma.is_finite() {
         return Err(ImgError::InvalidParameter {
             name: "sigma",
             msg: format!("{sigma} must be finite and > 0"),

@@ -243,10 +243,7 @@ impl<T: Copy + Default, const C: usize> ImageBuf<T, C> {
         }
         if rect.x + rect.width > self.width || rect.y + rect.height > self.height {
             return Err(ImgError::InvalidRect {
-                msg: format!(
-                    "crop {:?} exceeds image {}x{}",
-                    rect, self.width, self.height
-                ),
+                msg: format!("crop {:?} exceeds image {}x{}", rect, self.width, self.height),
             });
         }
         let mut out = Self::new(rect.width, rect.height);

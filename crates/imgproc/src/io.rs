@@ -53,18 +53,14 @@ fn parse_header(data: &[u8], magic: &[u8; 2]) -> Result<(u32, u32, usize)> {
             pos += 1;
         }
         if start == pos {
-            return Err(ImgError::InvalidParameter {
-                name: "pnm",
-                msg: "truncated header".into(),
-            });
+            return Err(ImgError::InvalidParameter { name: "pnm", msg: "truncated header".into() });
         }
-        *field = std::str::from_utf8(&data[start..pos])
-            .expect("digits are utf8")
-            .parse()
-            .map_err(|_| ImgError::InvalidParameter {
+        *field = std::str::from_utf8(&data[start..pos]).expect("digits are utf8").parse().map_err(
+            |_| ImgError::InvalidParameter {
                 name: "pnm",
                 msg: "numeric overflow in header".into(),
-            })?;
+            },
+        )?;
     }
     if fields[2] != 255 {
         return Err(ImgError::InvalidParameter {

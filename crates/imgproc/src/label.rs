@@ -41,7 +41,7 @@ impl Labels {
     pub fn filtered(&self, min_area: usize) -> Vec<&Component> {
         let mut out: Vec<&Component> =
             self.components.iter().filter(|c| c.area >= min_area).collect();
-        out.sort_by(|a, b| b.area.cmp(&a.area));
+        out.sort_by_key(|c| std::cmp::Reverse(c.area));
         out
     }
 }

@@ -61,20 +61,20 @@ pub mod warp;
 pub mod prelude {
     pub use crate::canny::canny;
     pub use crate::color::{rgb_to_gray, rgb_to_hsv, Hsv};
-    pub use crate::contour::{
-        crop_to_largest_contour, find_contours, largest_contour, Contour,
-    };
+    pub use crate::contour::{crop_to_largest_contour, find_contours, largest_contour, Contour};
     pub use crate::draw::Canvas;
     pub use crate::error::{ImgError, Result};
     pub use crate::filter::{gaussian_blur, sobel};
-    pub use crate::histogram::{compare_hist, rgb_histogram, HistCompare, RgbHistogram};
+    pub use crate::histogram::{
+        compare_hist, compare_hist_bounded, rgb_histogram, HistCompare, RgbHistogram,
+    };
     pub use crate::image::{GrayF32, GrayImage, ImageBuf, Rect, RgbImage};
     pub use crate::integral::IntegralImage;
     pub use crate::io::{read_pgm, read_ppm, write_pgm, write_ppm};
     pub use crate::label::{label_components, Component, Labels};
     pub use crate::moments::{
-        hu_moments, match_shapes, moments, moments_of_contour, HuMoments, MatchShapesMode,
-        Moments,
+        hu_moments, match_shapes, match_shapes_bounded, moments, moments_of_contour, HuMoments,
+        MatchShapesMode, Moments,
     };
     pub use crate::morphology::{close, dilate, erode, open};
     pub use crate::resize::{resize_bilinear, resize_bilinear_rgb, resize_nearest};

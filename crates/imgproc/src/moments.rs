@@ -147,8 +147,10 @@ pub fn moments_of_contour(contour: &Contour) -> Moments {
         a02 += dxy * (yi_1 * yii_1 + yi2);
         a30 += dxy * xii_1 * (xi_12 + xi2);
         a03 += dxy * yii_1 * (yi_12 + yi2);
-        a21 += dxy * (xi_12 * (3.0 * yi_1 + yi) + 2.0 * xi * xi_1 * yii_1 + xi2 * (yi_1 + 3.0 * yi));
-        a12 += dxy * (yi_12 * (3.0 * xi_1 + xi) + 2.0 * yi * yi_1 * xii_1 + yi2 * (xi_1 + 3.0 * xi));
+        a21 +=
+            dxy * (xi_12 * (3.0 * yi_1 + yi) + 2.0 * xi * xi_1 * yii_1 + xi2 * (yi_1 + 3.0 * yi));
+        a12 +=
+            dxy * (yi_12 * (3.0 * xi_1 + xi) + 2.0 * yi * yi_1 * xii_1 + yi2 * (xi_1 + 3.0 * xi));
     }
 
     if a00.abs() < f64::EPSILON {
@@ -246,6 +248,24 @@ fn log_sign(h: f64) -> Option<f64> {
 /// returning 0 would make degenerate references universal attractors in
 /// argmin classification.
 pub fn match_shapes(a: &HuMoments, b: &HuMoments, mode: MatchShapesMode) -> f64 {
+    match_shapes_bounded(a, b, mode, f64::INFINITY)
+}
+
+/// [`match_shapes`] with early abandon: every mode accumulates
+/// monotonically (I1/I2 sum non-negative terms, I3 takes a running max),
+/// so once the partial distance reaches `bound` the final value cannot
+/// fall back below it and the scan stops.
+///
+/// The result is exact whenever it is `< bound`; otherwise it is some
+/// value `≥ bound` (a valid lower bound of the true distance). Argmin
+/// searches that pass their current best as `bound` and compare with
+/// strict `<` are unaffected by the truncation.
+pub fn match_shapes_bounded(
+    a: &HuMoments,
+    b: &HuMoments,
+    mode: MatchShapesMode,
+    bound: f64,
+) -> f64 {
     let mut acc = 0.0f64;
     let mut compared = 0usize;
     for i in 0..7 {
@@ -262,6 +282,9 @@ pub fn match_shapes(a: &HuMoments, b: &HuMoments, mode: MatchShapesMode) -> f64 
                     acc = d;
                 }
             }
+        }
+        if acc >= bound {
+            return acc;
         }
     }
     if compared == 0 {

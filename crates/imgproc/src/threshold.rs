@@ -33,8 +33,8 @@ pub fn otsu_threshold(img: &GrayImage) -> u8 {
     let mut weight_bg = 0.0;
     let mut best_t = 0u8;
     let mut best_var = -1.0;
-    for t in 0..256usize {
-        weight_bg += hist[t] as f64;
+    for (t, &count) in hist.iter().enumerate() {
+        weight_bg += count as f64;
         if weight_bg == 0.0 {
             continue;
         }
@@ -42,7 +42,7 @@ pub fn otsu_threshold(img: &GrayImage) -> u8 {
         if weight_fg == 0.0 {
             break;
         }
-        sum_bg += t as f64 * hist[t] as f64;
+        sum_bg += t as f64 * count as f64;
         let mean_bg = sum_bg / weight_bg;
         let mean_fg = (sum_all - sum_bg) / weight_fg;
         let var = weight_bg * weight_fg * (mean_bg - mean_fg).powi(2);

@@ -31,18 +31,13 @@ impl Affine {
         let (s, c) = angle.sin_cos();
         let (a, b) = (scale * c, scale * s);
         // p' = R(p - c) + c
-        Affine {
-            m: [a, -b, cx - a * cx + b * cy, b, a, cy - b * cx - a * cy],
-        }
+        Affine { m: [a, -b, cx - a * cx + b * cy, b, a, cy - b * cx - a * cy] }
     }
 
     /// Apply to a point.
     #[inline]
     pub fn apply(&self, x: f32, y: f32) -> (f32, f32) {
-        (
-            self.m[0] * x + self.m[1] * y + self.m[2],
-            self.m[3] * x + self.m[4] * y + self.m[5],
-        )
+        (self.m[0] * x + self.m[1] * y + self.m[2], self.m[3] * x + self.m[4] * y + self.m[5])
     }
 
     /// Inverse transform; errors when the linear part is singular.
@@ -57,10 +52,7 @@ impl Affine {
         }
         let inv = 1.0 / det;
         let (ia, ib, ic, id) = (d * inv, -b * inv, -c * inv, a * inv);
-        Affine {
-            m: [ia, ib, -(ia * tx + ib * ty), ic, id, -(ic * tx + id * ty)],
-        }
-        .into_ok()
+        Affine { m: [ia, ib, -(ia * tx + ib * ty), ic, id, -(ic * tx + id * ty)] }.into_ok()
     }
 
     fn into_ok(self) -> Result<Affine> {

@@ -5,19 +5,17 @@ use taor_imgproc::prelude::*;
 
 /// Arbitrary small grayscale image with at least one foreground pixel.
 fn arb_gray(max_side: u32) -> impl Strategy<Value = GrayImage> {
-    (2..=max_side, 2..=max_side)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(any::<u8>(), (w * h) as usize)
-                .prop_map(move |data| GrayImage::from_vec(w, h, data).unwrap())
-        })
+    (2..=max_side, 2..=max_side).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), (w * h) as usize)
+            .prop_map(move |data| GrayImage::from_vec(w, h, data).unwrap())
+    })
 }
 
 fn arb_rgb(max_side: u32) -> impl Strategy<Value = RgbImage> {
-    (2..=max_side, 2..=max_side)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(any::<u8>(), (w * h * 3) as usize)
-                .prop_map(move |data| RgbImage::from_vec(w, h, data).unwrap())
-        })
+    (2..=max_side, 2..=max_side).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), (w * h * 3) as usize)
+            .prop_map(move |data| RgbImage::from_vec(w, h, data).unwrap())
+    })
 }
 
 proptest! {

@@ -1,0 +1,514 @@
+//! Cache-blocked, register-tiled GEMM for `f32` — the single hot kernel
+//! under every conv/dense forward and backward pass.
+//!
+//! Classic BLIS-style structure: the operand matrices are cut into
+//! `KC × NC` panels of B and `MC × KC` blocks of A, packed into
+//! contiguous scratch so the innermost microkernel streams both with
+//! unit stride, then an `MR × NR` register tile is accumulated per
+//! `(i, j)` position. On x86-64 with AVX2+FMA the microkernel uses
+//! twelve 256-bit accumulators (6 rows × 2 vectors of 8 lanes);
+//! elsewhere a portable unrolled tile that LLVM auto-vectorises.
+//!
+//! Row blocks of C are distributed with rayon (`par_chunks_mut`): each
+//! task packs its own A block into a thread-local scratch while the B
+//! panel is packed once and shared read-only. On a single-core host the
+//! adapters degrade to the caller's thread with zero overhead.
+//!
+//! The `nt`/`tn` entry points fold operand transposition into the pack
+//! step, so backward passes never materialise a transposed matrix.
+
+use rayon::prelude::*;
+use std::cell::RefCell;
+
+/// Microkernel tile rows.
+pub const MR: usize = 6;
+/// Microkernel tile columns (two 8-lane AVX2 vectors).
+pub const NR: usize = 16;
+/// Rows of C per parallel task (multiple of `MR`).
+pub const MC: usize = 72;
+/// Depth of one packed slice of A/B (L1-resident panel depth).
+pub const KC: usize = 256;
+/// Columns of B packed per outer iteration (multiple of `NR`).
+pub const NC: usize = 1024;
+
+/// How the logical `A[m,k]`/`B[k,n]` operands are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// `a` is `[m,k]`, `b` is `[k,n]` — plain product.
+    Nn,
+    /// `a` is `[m,k]`, `b` is `[n,k]` — product with Bᵀ.
+    Nt,
+    /// `a` is `[k,m]`, `b` is `[k,n]` — product with Aᵀ.
+    Tn,
+}
+
+thread_local! {
+    /// Per-thread packed-A scratch (`MC × KC` worst case).
+    static PACKED_A: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `C = A·B` (or `+=` with `accumulate`): `a` is `[m,k]`, `b` is
+/// `[k,n]`, `c` is `[m,n]`, all row-major and contiguous.
+pub fn gemm_nn(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    gemm(m, n, k, a, b, c, accumulate, Layout::Nn)
+}
+
+/// `C = A·Bᵀ`: `a` is `[m,k]`, `bt` is `[n,k]` — the dense backward
+/// `dx = g · Wᵀ` shape, without materialising `Wᵀ`.
+pub fn gemm_nt(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    bt: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bt.len(), n * k);
+    gemm(m, n, k, a, bt, c, accumulate, Layout::Nt)
+}
+
+/// `C = Aᵀ·B`: `at` is `[k,m]`, `b` is `[k,n]` — the weight-gradient
+/// `dW = xᵀ · g` shape, without materialising `xᵀ`.
+pub fn gemm_tn(
+    m: usize,
+    n: usize,
+    k: usize,
+    at: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    debug_assert_eq!(at.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    gemm(m, n, k, at, b, c, accumulate, Layout::Tn)
+}
+
+/// Reference kernel: the seed's naive ikj loop, kept for property tests
+/// and as the bench baseline the blocked kernel is measured against.
+pub fn matmul_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    c[..m * n].fill(0.0);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let row = &b[kk * n..(kk + 1) * n];
+            let dst = &mut c[i * n..(i + 1) * n];
+            for (d, &bv) in dst.iter_mut().zip(row) {
+                *d += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn have_avx2_fma() -> bool {
+    use std::sync::OnceLock;
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+    layout: Layout,
+) {
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c.fill(0.0);
+        }
+        return;
+    }
+    // Shared packed-B panel for the current (jc, pc) iteration. One
+    // allocation per call, reused across panel iterations.
+    let mut packed_b = vec![0.0f32; KC.min(k) * NC.min(n.next_multiple_of(NR))];
+
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let nc_tiles = nc.div_ceil(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(&mut packed_b, b, n, k, jc, pc, nc, kc, layout);
+            // First k-slice either overwrites or accumulates depending
+            // on the caller's flag; later slices always accumulate.
+            let acc_this = accumulate || pc > 0;
+            let pb = &packed_b;
+            c.par_chunks_mut(MC * n).enumerate().for_each(|(bi, cblock)| {
+                let ic = bi * MC;
+                let mc = MC.min(m - ic);
+                PACKED_A.with(|pa_cell| {
+                    let mut pa = pa_cell.borrow_mut();
+                    pa.resize(MC * KC, 0.0);
+                    pack_a(&mut pa, a, m, k, ic, pc, mc, kc, layout);
+                    for it in 0..mc.div_ceil(MR) {
+                        let rows = MR.min(mc - it * MR);
+                        for jt in 0..nc_tiles {
+                            let cols = NR.min(nc - jt * NR);
+                            microkernel(
+                                &pa[it * MR * kc..],
+                                &pb[jt * NR * kc..],
+                                kc,
+                                cblock,
+                                it * MR,
+                                jc + jt * NR,
+                                n,
+                                rows,
+                                cols,
+                                acc_this,
+                            );
+                        }
+                    }
+                });
+            });
+        }
+    }
+}
+
+/// Pack the `mc × kc` block of A at `(ic, pc)` as `ceil(mc/MR)` tiles,
+/// each stored k-major with `MR` consecutive row entries per k step
+/// (zero-padded past `mc`).
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    pa: &mut [f32],
+    a: &[f32],
+    m: usize,
+    k: usize,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    layout: Layout,
+) {
+    let _ = m;
+    for it in 0..mc.div_ceil(MR) {
+        let tile = &mut pa[it * MR * kc..(it + 1) * MR * kc];
+        let rows = MR.min(mc - it * MR);
+        match layout {
+            Layout::Nn | Layout::Nt => {
+                for p in 0..kc {
+                    for r in 0..MR {
+                        tile[p * MR + r] =
+                            if r < rows { a[(ic + it * MR + r) * k + pc + p] } else { 0.0 };
+                    }
+                }
+            }
+            Layout::Tn => {
+                // A is stored `[k,m]`: rows of the logical block are
+                // contiguous per k step.
+                for p in 0..kc {
+                    let src = &a[(pc + p) * m + ic + it * MR..];
+                    for r in 0..MR {
+                        tile[p * MR + r] = if r < rows { src[r] } else { 0.0 };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack the `kc × nc` panel of B at `(pc, jc)` as `ceil(nc/NR)` tiles,
+/// each stored k-major with `NR` consecutive column entries per k step
+/// (zero-padded past `nc`).
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    pb: &mut [f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    jc: usize,
+    pc: usize,
+    nc: usize,
+    kc: usize,
+    layout: Layout,
+) {
+    for jt in 0..nc.div_ceil(NR) {
+        let tile = &mut pb[jt * NR * kc..(jt + 1) * NR * kc];
+        let cols = NR.min(nc - jt * NR);
+        match layout {
+            Layout::Nn | Layout::Tn => {
+                for p in 0..kc {
+                    let src = &b[(pc + p) * n + jc + jt * NR..];
+                    for cc in 0..NR {
+                        tile[p * NR + cc] = if cc < cols { src[cc] } else { 0.0 };
+                    }
+                }
+            }
+            Layout::Nt => {
+                // B is stored `[n,k]`: one packed column entry per source
+                // row; strided reads, unit-stride writes.
+                for p in 0..kc {
+                    for cc in 0..NR {
+                        tile[p * NR + cc] =
+                            if cc < cols { b[(jc + jt * NR + cc) * k + pc + p] } else { 0.0 };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accumulate one `rows × cols` tile of C at `(row0, col0)` from packed
+/// operand tiles (`pa`: `kc × MR`, `pb`: `kc × NR`).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn microkernel(
+    pa: &[f32],
+    pb: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    row0: usize,
+    col0: usize,
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+    accumulate: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2_fma() {
+        // SAFETY: AVX2+FMA presence was runtime-checked above.
+        unsafe {
+            microkernel_avx2(pa, pb, kc, c, row0, col0, ldc, rows, cols, accumulate);
+        }
+        return;
+    }
+    microkernel_portable(pa, pb, kc, c, row0, col0, ldc, rows, cols, accumulate);
+}
+
+/// Portable `MR × NR` register tile; the fixed-size inner loops
+/// auto-vectorise on any SIMD target.
+#[allow(clippy::too_many_arguments)]
+fn microkernel_portable(
+    pa: &[f32],
+    pb: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    row0: usize,
+    col0: usize,
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+    accumulate: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let bp = &pb[p * NR..(p + 1) * NR];
+        let ap = &pa[p * MR..(p + 1) * MR];
+        for r in 0..MR {
+            let av = ap[r];
+            let dst = &mut acc[r];
+            for (d, &bv) in dst.iter_mut().zip(bp) {
+                *d += av * bv;
+            }
+        }
+    }
+    store_tile(&acc, c, row0, col0, ldc, rows, cols, accumulate);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn store_tile(
+    acc: &[[f32; NR]; MR],
+    c: &mut [f32],
+    row0: usize,
+    col0: usize,
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+    accumulate: bool,
+) {
+    for r in 0..rows {
+        let dst = &mut c[(row0 + r) * ldc + col0..(row0 + r) * ldc + col0 + cols];
+        if accumulate {
+            for (d, &v) in dst.iter_mut().zip(&acc[r][..cols]) {
+                *d += v;
+            }
+        } else {
+            dst.copy_from_slice(&acc[r][..cols]);
+        }
+    }
+}
+
+/// AVX2+FMA microkernel: 6×16 tile in twelve ymm accumulators.
+///
+/// # Safety
+/// Caller must ensure AVX2 and FMA are available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn microkernel_avx2(
+    pa: &[f32],
+    pb: &[f32],
+    kc: usize,
+    c: &mut [f32],
+    row0: usize,
+    col0: usize,
+    ldc: usize,
+    rows: usize,
+    cols: usize,
+    accumulate: bool,
+) {
+    use std::arch::x86_64::*;
+    let mut acc0 = [_mm256_setzero_ps(); MR];
+    let mut acc1 = [_mm256_setzero_ps(); MR];
+    let mut ap = pa.as_ptr();
+    let mut bp = pb.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        // Fully unrolled over the six rows: one broadcast feeds two FMAs.
+        for r in 0..MR {
+            let av = _mm256_broadcast_ss(&*ap.add(r));
+            acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+            acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+        }
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    if rows == MR && cols == NR {
+        for r in 0..MR {
+            let dst = c.as_mut_ptr().add((row0 + r) * ldc + col0);
+            if accumulate {
+                let cur0 = _mm256_loadu_ps(dst);
+                let cur1 = _mm256_loadu_ps(dst.add(8));
+                _mm256_storeu_ps(dst, _mm256_add_ps(cur0, acc0[r]));
+                _mm256_storeu_ps(dst.add(8), _mm256_add_ps(cur1, acc1[r]));
+            } else {
+                _mm256_storeu_ps(dst, acc0[r]);
+                _mm256_storeu_ps(dst.add(8), acc1[r]);
+            }
+        }
+    } else {
+        // Edge tile: spill to a stack buffer, then copy the valid part.
+        let mut tile = [[0.0f32; NR]; MR];
+        for r in 0..MR {
+            _mm256_storeu_ps(tile[r].as_mut_ptr(), acc0[r]);
+            _mm256_storeu_ps(tile[r].as_mut_ptr().add(8), acc1[r]);
+        }
+        store_tile(&tile, c, row0, col0, ldc, rows, cols, accumulate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_pattern(len: usize, seed: u32) -> Vec<f32> {
+        // Cheap deterministic pseudo-random values in [-1, 1].
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1u32 << 23) as f32 - 1.0
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol, "idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_shapes() {
+        // Shapes straddle every blocking boundary: below MR/NR, exact
+        // multiples, one past a boundary, and > KC depth.
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (6, 16, 8),
+            (7, 17, 9),
+            (12, 32, 300),
+            (73, 33, 70),
+            (25, 1025, 13),
+        ] {
+            let a = fill_pattern(m * k, (m * 31 + n) as u32);
+            let b = fill_pattern(k * n, (n * 17 + k) as u32);
+            let mut want = vec![0.0; m * n];
+            matmul_naive(m, n, k, &a, &b, &mut want);
+            let mut got = vec![0.0; m * n];
+            gemm_nn(m, n, k, &a, &b, &mut got, false);
+            assert_close(&got, &want, 1e-4 * k as f32);
+        }
+    }
+
+    #[test]
+    fn nt_and_tn_match_explicit_transposes() {
+        let (m, n, k) = (13, 21, 17);
+        let a = fill_pattern(m * k, 3);
+        let b = fill_pattern(k * n, 4);
+        let mut want = vec![0.0; m * n];
+        matmul_naive(m, n, k, &a, &b, &mut want);
+
+        // bt[j*k + l] = b[l*n + j]
+        let mut bt = vec![0.0; n * k];
+        for l in 0..k {
+            for j in 0..n {
+                bt[j * k + l] = b[l * n + j];
+            }
+        }
+        let mut got = vec![0.0; m * n];
+        gemm_nt(m, n, k, &a, &bt, &mut got, false);
+        assert_close(&got, &want, 1e-4);
+
+        // at[l*m + i] = a[i*k + l]
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for l in 0..k {
+                at[l * m + i] = a[i * k + l];
+            }
+        }
+        let mut got_tn = vec![0.0; m * n];
+        gemm_tn(m, n, k, &at, &b, &mut got_tn, false);
+        assert_close(&got_tn, &want, 1e-4);
+    }
+
+    #[test]
+    fn accumulate_adds_to_existing() {
+        let (m, n, k) = (9, 20, 33);
+        let a = fill_pattern(m * k, 5);
+        let b = fill_pattern(k * n, 6);
+        let mut base = fill_pattern(m * n, 7);
+        let mut want = vec![0.0; m * n];
+        matmul_naive(m, n, k, &a, &b, &mut want);
+        for (w, &x) in want.iter_mut().zip(&base) {
+            *w += x;
+        }
+        gemm_nn(m, n, k, &a, &b, &mut base, true);
+        assert_close(&base, &want, 1e-4);
+    }
+
+    #[test]
+    fn zero_k_clears_or_keeps() {
+        let mut c = vec![1.0f32; 6];
+        gemm_nn(2, 3, 0, &[], &[], &mut c, true);
+        assert_eq!(c, vec![1.0; 6]);
+        gemm_nn(2, 3, 0, &[], &[], &mut c, false);
+        assert_eq!(c, vec![0.0; 6]);
+    }
+}

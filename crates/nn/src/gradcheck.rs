@@ -80,8 +80,7 @@ mod tests {
     fn detects_correct_gradient() {
         // f(x) = Σ x², df/dx = 2x.
         let x = Tensor::from_vec(&[4], vec![1.0, -2.0, 0.5, 3.0]).unwrap();
-        let analytic =
-            Tensor::from_vec(&[4], x.data().iter().map(|v| 2.0 * v).collect()).unwrap();
+        let analytic = Tensor::from_vec(&[4], x.data().iter().map(|v| 2.0 * v).collect()).unwrap();
         let report = check_gradient(
             |t| t.data().iter().map(|v| v * v).sum(),
             &x,
@@ -97,13 +96,8 @@ mod tests {
     fn detects_wrong_gradient() {
         let x = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]).unwrap();
         let wrong = Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]).unwrap();
-        let report = check_gradient(
-            |t| t.data().iter().map(|v| v * v).sum(),
-            &x,
-            &wrong,
-            &[0, 1, 2],
-            1e-3,
-        );
+        let report =
+            check_gradient(|t| t.data().iter().map(|v| v * v).sum(), &x, &wrong, &[0, 1, 2], 1e-3);
         assert!(!report.passes(0.1), "a wrong gradient must fail the check");
     }
 

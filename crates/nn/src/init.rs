@@ -11,9 +11,7 @@ use rand::{Rng, SeedableRng};
 pub fn glorot_uniform(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
-    let data = (0..shape.iter().product::<usize>())
-        .map(|_| rng.gen_range(-limit..limit))
-        .collect();
+    let data = (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(-limit..limit)).collect();
     Tensor::from_vec(shape, data).expect("shape/product consistent by construction")
 }
 
@@ -21,9 +19,7 @@ pub fn glorot_uniform(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64)
 pub fn he_uniform(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let limit = (6.0 / fan_in as f32).sqrt();
-    let data = (0..shape.iter().product::<usize>())
-        .map(|_| rng.gen_range(-limit..limit))
-        .collect();
+    let data = (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(-limit..limit)).collect();
     Tensor::from_vec(shape, data).expect("shape/product consistent by construction")
 }
 

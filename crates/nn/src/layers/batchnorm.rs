@@ -78,7 +78,7 @@ impl BatchNorm2D {
         let mut out = x.clone();
         let mut x_hat = Tensor::zeros(x.shape());
         let mut inv_std = vec![0.0f32; c];
-        for ci in 0..c {
+        for (ci, istd_slot) in inv_std.iter_mut().enumerate() {
             let mut mean = 0.0f32;
             for ni in 0..n {
                 for hi in 0..h {
@@ -98,7 +98,7 @@ impl BatchNorm2D {
             }
             var /= per_ch;
             let istd = 1.0 / (var + self.eps).sqrt();
-            inv_std[ci] = istd;
+            *istd_slot = istd;
             let (g, b) = (self.gamma.data()[ci], self.beta.data()[ci]);
             for ni in 0..n {
                 for hi in 0..h {
@@ -207,8 +207,7 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
         }

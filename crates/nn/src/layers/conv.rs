@@ -1,5 +1,14 @@
 //! 2-D convolution via im2col.
+//!
+//! Forward and backward are fully batched: one im2col matrix covers the
+//! whole `[N, C, H, W]` input, so each pass costs exactly one GEMM
+//! (`taor_nn::gemm`) regardless of batch size. All large temporaries —
+//! the im2col matrix, the gathered gradient panel, the col2im staging
+//! buffer — come from the [`Scratch`] arena, so steady-state passes
+//! allocate nothing per sample.
 
+use crate::gemm::{gemm_nn, gemm_nt, gemm_tn};
+use crate::scratch::{Scratch, ScratchBuf};
 use crate::tensor::{Tensor, TensorError};
 
 /// A 2-D convolution with stride 1 and symmetric zero padding.
@@ -18,9 +27,10 @@ pub struct Conv2D {
 }
 
 /// Activation cache of one conv forward pass.
+#[derive(Debug)]
 pub struct ConvCache {
-    /// im2col matrix `[C·K·K, OH·OW]` per batch item, concatenated.
-    cols: Vec<Tensor>,
+    /// Batched im2col matrix `[C·K·K, N·OH·OW]` (arena-owned).
+    col: ScratchBuf,
     in_shape: [usize; 4],
     out_hw: (usize, usize),
 }
@@ -35,7 +45,13 @@ pub struct ConvGrads {
 impl Conv2D {
     /// New conv layer with He-uniform weights (it is always followed by a
     /// ReLU in the Normalized-X-Corr architecture).
-    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, padding: usize, seed: u64) -> Self {
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
         let fan_in = in_channels * kernel * kernel;
         Conv2D {
             weight: crate::init::he_uniform(&[out_channels, fan_in], fan_in, seed),
@@ -49,43 +65,72 @@ impl Conv2D {
 
     /// Fresh zeroed gradient accumulator.
     pub fn zero_grads(&self) -> ConvGrads {
-        ConvGrads { weight: Tensor::zeros(self.weight.shape()), bias: Tensor::zeros(self.bias.shape()) }
+        ConvGrads {
+            weight: Tensor::zeros(self.weight.shape()),
+            bias: Tensor::zeros(self.bias.shape()),
+        }
+    }
+
+    /// Output spatial size for an `h × w` input, or an error when the
+    /// kernel does not fit inside the padded input (the subtraction
+    /// underflowed silently in release builds before this guard).
+    pub fn try_out_size(&self, h: usize, w: usize) -> Result<(usize, usize), TensorError> {
+        let (ph, pw) = (h + 2 * self.padding, w + 2 * self.padding);
+        if self.kernel == 0 || self.kernel > ph || self.kernel > pw {
+            return Err(TensorError::KernelTooLarge {
+                kernel: self.kernel,
+                padded_h: ph,
+                padded_w: pw,
+            });
+        }
+        Ok((ph + 1 - self.kernel, pw + 1 - self.kernel))
     }
 
     /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Panics
+    /// Panics when the kernel exceeds the padded input; fallible callers
+    /// should use [`Conv2D::try_out_size`].
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        (h + 2 * self.padding + 1 - self.kernel, w + 2 * self.padding + 1 - self.kernel)
+        self.try_out_size(h, w).unwrap_or_else(|e| panic!("Conv2D::out_size: {e}"))
     }
 
-    fn im2col(&self, x: &Tensor, n: usize) -> Tensor {
-        let [_, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
-        let (oh, ow) = self.out_size(h, w);
+    /// Batched im2col: fills `col` as `[C·K·K, N·OH·OW]`, columns grouped
+    /// per batch item (`col[row, n·OH·OW + oy·OW + ox]`). `col` must be
+    /// zeroed — padding taps are skipped, not written.
+    fn im2col_batched(&self, x: &Tensor, col: &mut [f32], oh: usize, ow: usize) {
+        let [n, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
         let k = self.kernel;
-        let p = self.padding as i64;
-        let mut col = Tensor::zeros(&[c * k * k, oh * ow]);
-        let col_data = col.data_mut();
+        let p = self.padding;
+        let x_data = x.data();
+        let row_len = n * oh * ow;
         for ci in 0..c {
             for ky in 0..k {
                 for kx in 0..k {
                     let row = ((ci * k) + ky) * k + kx;
-                    for oy in 0..oh {
-                        let sy = oy as i64 + ky as i64 - p;
-                        if sy < 0 || sy >= h as i64 {
-                            continue;
-                        }
-                        for ox in 0..ow {
-                            let sx = ox as i64 + kx as i64 - p;
-                            if sx < 0 || sx >= w as i64 {
+                    let dst_row = &mut col[row * row_len..(row + 1) * row_len];
+                    for ni in 0..n {
+                        let src_plane = &x_data[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                        let dst_item = &mut dst_row[ni * oh * ow..(ni + 1) * oh * ow];
+                        for oy in 0..oh {
+                            let sy = oy + ky;
+                            if sy < p || sy >= h + p {
                                 continue;
                             }
-                            col_data[row * (oh * ow) + oy * ow + ox] =
-                                x.at4(n, ci, sy as usize, sx as usize);
+                            let sy = sy - p;
+                            // Valid ox range: p <= ox + kx < w + p.
+                            let ox_lo = p.saturating_sub(kx);
+                            let ox_hi = (w + p - kx).min(ow);
+                            if ox_lo >= ox_hi {
+                                continue;
+                            }
+                            let src = &src_plane[sy * w + ox_lo + kx - p..sy * w + ox_hi + kx - p];
+                            dst_item[oy * ow + ox_lo..oy * ow + ox_hi].copy_from_slice(src);
                         }
                     }
                 }
             }
         }
-        col
     }
 
     /// Forward pass: `x` is `[N, C, H, W]` → `[N, OC, OH, OW]`.
@@ -97,26 +142,34 @@ impl Conv2D {
                 got: shape.to_vec(),
             });
         }
-        let [n, _, h, w] = [shape[0], shape[1], shape[2], shape[3]];
-        let (oh, ow) = self.out_size(h, w);
+        let [n, c, h, w] = [shape[0], shape[1], shape[2], shape[3]];
+        let (oh, ow) = self.try_out_size(h, w)?;
+        let ckk = c * self.kernel * self.kernel;
+        let cols_n = n * oh * ow;
+
+        let mut col = Scratch::take_zeroed(ckk * cols_n);
+        self.im2col_batched(x, &mut col, oh, ow);
+
+        // One GEMM for the whole batch: [OC, CKK] × [CKK, N·OH·OW].
+        let mut y = Scratch::take(self.out_channels * cols_n);
+        gemm_nn(self.out_channels, cols_n, ckk, self.weight.data(), &col, &mut y, false);
+
+        // Permute [OC, N·OH·OW] → [N, OC, OH·OW] and add bias.
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
-        let mut cols = Vec::with_capacity(n);
-        for ni in 0..n {
-            let col = self.im2col(x, ni);
-            let y = self.weight.matmul(&col)?; // [OC, OH*OW]
-            let base = ni * self.out_channels * oh * ow;
-            let out_data = out.data_mut();
-            for oc in 0..self.out_channels {
-                let b = self.bias.data()[oc];
-                let src = &y.data()[oc * oh * ow..(oc + 1) * oh * ow];
-                let dst = &mut out_data[base + oc * oh * ow..base + (oc + 1) * oh * ow];
+        let out_data = out.data_mut();
+        let plane = oh * ow;
+        for oc in 0..self.out_channels {
+            let b = self.bias.data()[oc];
+            for ni in 0..n {
+                let src = &y[oc * cols_n + ni * plane..oc * cols_n + (ni + 1) * plane];
+                let dst = &mut out_data[(ni * self.out_channels + oc) * plane
+                    ..(ni * self.out_channels + oc + 1) * plane];
                 for (d, &s) in dst.iter_mut().zip(src) {
                     *d = s + b;
                 }
             }
-            cols.push(col);
         }
-        Ok((out, ConvCache { cols, in_shape: [n, shape[1], h, w], out_hw: (oh, ow) }))
+        Ok((out, ConvCache { col, in_shape: [n, c, h, w], out_hw: (oh, ow) }))
     }
 
     /// Backward pass: accumulates parameter gradients into `grads` and
@@ -130,48 +183,62 @@ impl Conv2D {
         let [n, c, h, w] = cache.in_shape;
         let (oh, ow) = cache.out_hw;
         let k = self.kernel;
-        let p = self.padding as i64;
-        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        let p = self.padding;
+        let ckk = c * k * k;
+        let plane = oh * ow;
+        let cols_n = n * plane;
 
-        for ni in 0..n {
-            // Slice grad_out for this batch item as [OC, OH*OW].
-            let mut gy = Tensor::zeros(&[self.out_channels, oh * ow]);
-            {
-                let gy_data = gy.data_mut();
-                for oc in 0..self.out_channels {
-                    for i in 0..oh * ow {
-                        gy_data[oc * oh * ow + i] =
-                            grad_out.data()[((ni * self.out_channels + oc) * oh * ow) + i];
-                    }
-                }
+        // Gather grad_out [N, OC, OH·OW] → gy [OC, N·OH·OW], matching the
+        // batched column layout of the cache.
+        let mut gy = Scratch::take(self.out_channels * cols_n);
+        for oc in 0..self.out_channels {
+            for ni in 0..n {
+                let src = &grad_out.data()[(ni * self.out_channels + oc) * plane
+                    ..(ni * self.out_channels + oc + 1) * plane];
+                gy[oc * cols_n + ni * plane..oc * cols_n + (ni + 1) * plane].copy_from_slice(src);
             }
-            // dW += gy · colᵀ ; db += row-sums of gy.
-            let colt = cache.cols[ni].transpose2()?;
-            let dw = gy.matmul(&colt)?;
-            grads.weight.add_assign(&dw)?;
-            for oc in 0..self.out_channels {
-                let s: f32 = gy.data()[oc * oh * ow..(oc + 1) * oh * ow].iter().sum();
-                grads.bias.data_mut()[oc] += s;
-            }
-            // dcol = Wᵀ · gy, then col2im scatter-add.
-            let wt = self.weight.transpose2()?;
-            let dcol = wt.matmul(&gy)?; // [C*K*K, OH*OW]
-            for ci in 0..c {
-                for ky in 0..k {
-                    for kx in 0..k {
-                        let row = ((ci * k) + ky) * k + kx;
+        }
+
+        // dW += gy · colᵀ, accumulated straight into the gradient store
+        // (no temporary product or add_assign pass).
+        gemm_nt(self.out_channels, ckk, cols_n, &gy, &cache.col, grads.weight.data_mut(), true);
+        // db += row sums of gy.
+        for oc in 0..self.out_channels {
+            let s: f32 = gy[oc * cols_n..(oc + 1) * cols_n].iter().sum();
+            grads.bias.data_mut()[oc] += s;
+        }
+
+        // dcol = Wᵀ · gy — the transposed-operand kernel reads W in place.
+        let mut dcol = Scratch::take(ckk * cols_n);
+        gemm_tn(ckk, cols_n, self.out_channels, self.weight.data(), &gy, &mut dcol, false);
+
+        // col2im scatter-add back to input geometry.
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        let gin = grad_in.data_mut();
+        for ci in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = ((ci * k) + ky) * k + kx;
+                    let src_row = &dcol[row * cols_n..(row + 1) * cols_n];
+                    for ni in 0..n {
+                        let dst_plane = &mut gin[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                        let src_item = &src_row[ni * plane..(ni + 1) * plane];
                         for oy in 0..oh {
-                            let sy = oy as i64 + ky as i64 - p;
-                            if sy < 0 || sy >= h as i64 {
+                            let sy = oy + ky;
+                            if sy < p || sy >= h + p {
                                 continue;
                             }
-                            for ox in 0..ow {
-                                let sx = ox as i64 + kx as i64 - p;
-                                if sx < 0 || sx >= w as i64 {
-                                    continue;
-                                }
-                                *grad_in.at4_mut(ni, ci, sy as usize, sx as usize) +=
-                                    dcol.data()[row * (oh * ow) + oy * ow + ox];
+                            let sy = sy - p;
+                            let ox_lo = p.saturating_sub(kx);
+                            let ox_hi = (w + p - kx).min(ow);
+                            if ox_lo >= ox_hi {
+                                continue;
+                            }
+                            let dst =
+                                &mut dst_plane[sy * w + ox_lo + kx - p..sy * w + ox_hi + kx - p];
+                            let src = &src_item[oy * ow + ox_lo..oy * ow + ox_hi];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += s;
                             }
                         }
                     }
@@ -189,8 +256,8 @@ mod tests {
     fn tiny_conv() -> Conv2D {
         let mut c = Conv2D::new(1, 1, 3, 0, 1);
         // Identity-ish kernel: centre 1.
-        c.weight = Tensor::from_vec(&[1, 9], vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0])
-            .unwrap();
+        c.weight =
+            Tensor::from_vec(&[1, 9], vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
         c.bias = Tensor::from_vec(&[1], vec![0.5]).unwrap();
         c
     }
@@ -221,14 +288,42 @@ mod tests {
     }
 
     #[test]
+    fn oversized_kernel_is_a_typed_error_not_an_underflow() {
+        // Regression: `out_size` computed `h + 2p + 1 - k` with usize
+        // arithmetic, which underflowed (debug panic / release wrap) for
+        // kernels larger than the padded input.
+        let conv = Conv2D::new(1, 1, 5, 0, 3);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        match conv.forward(&x) {
+            Err(TensorError::KernelTooLarge { kernel: 5, padded_h: 2, padded_w: 2 }) => {}
+            other => panic!("expected KernelTooLarge, got {other:?}"),
+        }
+        assert!(conv.try_out_size(2, 2).is_err());
+        assert_eq!(conv.try_out_size(5, 7), Ok((1, 3)));
+    }
+
+    #[test]
+    fn batched_forward_matches_per_sample() {
+        // Two items through one batched pass == each item alone.
+        let conv = Conv2D::new(2, 3, 3, 1, 21);
+        let data: Vec<f32> = (0..2 * 2 * 6 * 5).map(|v| (v as f32 * 0.31).sin()).collect();
+        let x = Tensor::from_vec(&[2, 2, 6, 5], data.clone()).unwrap();
+        let (y, _) = conv.forward(&x).unwrap();
+        for ni in 0..2 {
+            let xi =
+                Tensor::from_vec(&[1, 2, 6, 5], data[ni * 60..(ni + 1) * 60].to_vec()).unwrap();
+            let (yi, _) = conv.forward(&xi).unwrap();
+            let plane = 3 * 6 * 5;
+            assert_eq!(&y.data()[ni * plane..(ni + 1) * plane], yi.data());
+        }
+    }
+
+    #[test]
     fn gradient_check_weights() {
         // Finite-difference check of dL/dW for L = sum(conv(x)).
         let mut conv = Conv2D::new(2, 2, 3, 1, 11);
-        let x = Tensor::from_vec(
-            &[1, 2, 5, 5],
-            (0..50).map(|v| (v as f32 * 0.17).sin()).collect(),
-        )
-        .unwrap();
+        let x = Tensor::from_vec(&[1, 2, 5, 5], (0..50).map(|v| (v as f32 * 0.17).sin()).collect())
+            .unwrap();
         let (y, cache) = conv.forward(&x).unwrap();
         let grad_out = Tensor::full(y.shape(), 1.0);
         let mut grads = conv.zero_grads();
@@ -242,12 +337,8 @@ mod tests {
             conv.weight.data_mut()[idx] = orig - eps;
             let (y2, _) = conv.forward(&x).unwrap();
             conv.weight.data_mut()[idx] = orig;
-            let num: f32 = y1
-                .data()
-                .iter()
-                .zip(y2.data())
-                .map(|(a, b)| (a - b) / (2.0 * eps))
-                .sum();
+            let num: f32 =
+                y1.data().iter().zip(y2.data()).map(|(a, b)| (a - b) / (2.0 * eps)).sum();
             let ana = grads.weight.data()[idx];
             assert!(
                 (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
@@ -259,11 +350,8 @@ mod tests {
     #[test]
     fn gradient_check_input() {
         let conv = Conv2D::new(1, 2, 3, 0, 13);
-        let x = Tensor::from_vec(
-            &[1, 1, 5, 5],
-            (0..25).map(|v| (v as f32 * 0.23).cos()).collect(),
-        )
-        .unwrap();
+        let x = Tensor::from_vec(&[1, 1, 5, 5], (0..25).map(|v| (v as f32 * 0.23).cos()).collect())
+            .unwrap();
         let (y, cache) = conv.forward(&x).unwrap();
         let grad_out = Tensor::full(y.shape(), 1.0);
         let mut grads = conv.zero_grads();

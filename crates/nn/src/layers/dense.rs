@@ -74,17 +74,35 @@ impl Dense {
         grad_out: &Tensor,
         grads: &mut DenseGrads,
     ) -> Result<Tensor, TensorError> {
-        let xt = cache.x.transpose2()?;
-        let dw = xt.matmul(grad_out)?;
-        grads.weight.add_assign(&dw)?;
         let n = grad_out.shape()[0];
+        // dW += xᵀ·g via the transposed-operand kernel: x is read in place
+        // and the product accumulates straight into the gradient store.
+        crate::gemm::gemm_tn(
+            self.in_features,
+            self.out_features,
+            n,
+            cache.x.data(),
+            grad_out.data(),
+            grads.weight.data_mut(),
+            true,
+        );
         for i in 0..n {
             for j in 0..self.out_features {
                 grads.bias.data_mut()[j] += grad_out.data()[i * self.out_features + j];
             }
         }
-        let wt = self.weight.transpose2()?;
-        grad_out.matmul(&wt)
+        // dx = g·Wᵀ, again without materialising the transpose.
+        let mut dx = Tensor::zeros(&[n, self.in_features]);
+        crate::gemm::gemm_nt(
+            n,
+            self.in_features,
+            self.out_features,
+            grad_out.data(),
+            self.weight.data(),
+            dx.data_mut(),
+            false,
+        );
+        Ok(dx)
     }
 }
 

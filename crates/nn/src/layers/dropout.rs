@@ -34,10 +34,7 @@ impl Dropout {
     /// training run deterministic).
     pub fn forward_train(&self, x: &Tensor, seed: u64) -> (Tensor, DropoutCache) {
         if self.rate == 0.0 {
-            return (
-                x.clone(),
-                DropoutCache { scale_mask: vec![1.0; x.len()] },
-            );
+            return (x.clone(), DropoutCache { scale_mask: vec![1.0; x.len()] });
         }
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         let keep = 1.0 - self.rate;

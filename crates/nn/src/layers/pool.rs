@@ -25,7 +25,10 @@ impl MaxPool2D {
 
     /// Output spatial size.
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        ((h.saturating_sub(self.size)) / self.stride + 1, (w.saturating_sub(self.size)) / self.stride + 1)
+        (
+            (h.saturating_sub(self.size)) / self.stride + 1,
+            (w.saturating_sub(self.size)) / self.stride + 1,
+        )
     }
 
     /// Forward: `[N, C, H, W] → [N, C, OH, OW]`.
@@ -51,7 +54,8 @@ impl MaxPool2D {
                         let mut best_idx = 0;
                         for ky in 0..self.size {
                             for kx in 0..self.size {
-                                let idx = plane + (oy * self.stride + ky) * w + ox * self.stride + kx;
+                                let idx =
+                                    plane + (oy * self.stride + ky) * w + ox * self.stride + kx;
                                 if data[idx] > best {
                                     best = data[idx];
                                     best_idx = idx;

@@ -99,8 +99,7 @@ mod tests {
 
     #[test]
     fn gradient_check() {
-        let logits =
-            Tensor::from_vec(&[2, 3], vec![0.5, -0.2, 0.1, 1.5, 0.3, -1.0]).unwrap();
+        let logits = Tensor::from_vec(&[2, 3], vec![0.5, -0.2, 0.1, 1.5, 0.3, -1.0]).unwrap();
         let targets = [2usize, 0];
         let (_, grad) = softmax_cross_entropy(&logits, &targets).unwrap();
         let eps = 1e-3f32;

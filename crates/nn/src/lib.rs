@@ -24,11 +24,13 @@
 //! which makes the Siamese weight sharing exact: the same layer applied to
 //! both inputs accumulates gradients from both applications.
 
+pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod layers;
 pub mod model;
 pub mod optim;
+pub mod scratch;
 pub mod tensor;
 pub mod train;
 pub mod xcorr;
@@ -37,6 +39,7 @@ pub use gradcheck::{check_gradient, probe_indices, GradCheckReport};
 pub use layers::{softmax_cross_entropy, softmax_probs, Conv2D, Dense, MaxPool2D, Relu};
 pub use model::{NetConfig, NetGrads, NormXCorrNet};
 pub use optim::Adam;
+pub use scratch::{Scratch, ScratchBuf};
 pub use tensor::{Tensor, TensorError};
 pub use train::{predict_labels, train, EpochStats, PairSample, TrainConfig, TrainReport};
 pub use xcorr::NormXCorr;

@@ -22,10 +22,10 @@
 
 use crate::layers::conv::{Conv2D, ConvGrads};
 use crate::layers::dense::{Dense, DenseGrads};
+use crate::layers::dropout::{Dropout, DropoutCache};
 use crate::layers::flatten::{flatten, unflatten};
 use crate::layers::pool::MaxPool2D;
 use crate::layers::softmax::softmax_probs;
-use crate::layers::dropout::{Dropout, DropoutCache};
 use crate::layers::Relu;
 use crate::tensor::{Tensor, TensorError};
 use crate::xcorr::NormXCorr;
@@ -197,10 +197,7 @@ impl NormXCorrNet {
             stage(config.width).and_then(stage).map(|v| v / 2),
         ) {
             (Some(h), Some(w)) if h >= 1 && w >= 1 => (h, w),
-            _ => panic!(
-                "input {}x{} too small for the architecture",
-                config.width, config.height
-            ),
+            _ => panic!("input {}x{} too small for the architecture", config.width, config.height),
         };
         // xcorr keeps spatial dims; conv3/conv4 are 3x3 pad 1; final pool /2.
         let flat = config.c3 * h3 * w3;
@@ -296,21 +293,7 @@ impl NormXCorrNet {
         let (logits, d2) = self.dense2.forward(&y)?;
         Ok((
             logits,
-            NetCache {
-                tower_a,
-                tower_b,
-                xc,
-                c3,
-                r3,
-                c4,
-                r4,
-                p3,
-                pre_flat_shape,
-                d1,
-                r5,
-                drop,
-                d2,
-            },
+            NetCache { tower_a, tower_b, xc, c3, r3, c4, r4, p3, pre_flat_shape, d1, r5, drop, d2 },
         ))
     }
 
@@ -464,10 +447,7 @@ mod tests {
             last = loss.min(last);
             let mut grads = net.zero_grads();
             net.backward(&cache, &grad, &mut grads).unwrap();
-            let gvec = NormXCorrNet::grads_vec(&grads)
-                .into_iter()
-                .cloned()
-                .collect::<Vec<_>>();
+            let gvec = NormXCorrNet::grads_vec(&grads).into_iter().cloned().collect::<Vec<_>>();
             let grefs: Vec<&Tensor> = gvec.iter().collect();
             adam.step(&mut net.params_mut(), &grefs);
         }

@@ -14,6 +14,8 @@ pub enum TensorError {
     ShapeMismatch { expected: Vec<usize>, got: Vec<usize> },
     /// The flat data length does not match the product of the shape.
     LengthMismatch { shape: Vec<usize>, len: usize },
+    /// A convolution kernel does not fit inside the padded input.
+    KernelTooLarge { kernel: usize, padded_h: usize, padded_w: usize },
 }
 
 impl fmt::Display for TensorError {
@@ -24,6 +26,9 @@ impl fmt::Display for TensorError {
             }
             TensorError::LengthMismatch { shape, len } => {
                 write!(f, "data length {len} does not match shape {shape:?}")
+            }
+            TensorError::KernelTooLarge { kernel, padded_h, padded_w } => {
+                write!(f, "kernel {kernel}x{kernel} exceeds padded input {padded_h}x{padded_w}")
             }
         }
     }
@@ -91,7 +96,10 @@ impl Tensor {
     pub fn reshape(&self, shape: &[usize]) -> Result<Tensor, TensorError> {
         let expected: usize = shape.iter().product();
         if expected != self.data.len() {
-            return Err(TensorError::LengthMismatch { shape: shape.to_vec(), len: self.data.len() });
+            return Err(TensorError::LengthMismatch {
+                shape: shape.to_vec(),
+                len: self.data.len(),
+            });
         }
         Ok(Tensor { shape: shape.to_vec(), data: self.data.clone() })
     }
@@ -163,20 +171,7 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let n = other.shape[1];
         let mut out = Tensor::zeros(&[m, n]);
-        // ikj loop order for cache-friendly access of `other`.
-        for i in 0..m {
-            for kk in 0..k {
-                let a = self.data[i * k + kk];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[kk * n..(kk + 1) * n];
-                let dst = &mut out.data[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row) {
-                    *d += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm_nn(m, n, k, &self.data, &other.data, &mut out.data, false);
         Ok(out)
     }
 

@@ -127,10 +127,8 @@ impl NormXCorr {
                             for kx in 0..k_side {
                                 let dy = ky - self.radius as i64;
                                 let dx = kx - self.radius as i64;
-                                let nb =
-                                    self.centred_patch(b, ni, ci, x + dx, y + dy, &mut pb);
-                                let dot: f32 =
-                                    pa.iter().zip(&pb).map(|(&u, &v)| u * v).sum();
+                                let nb = self.centred_patch(b, ni, ci, x + dx, y + dy, &mut pb);
+                                let dot: f32 = pa.iter().zip(&pb).map(|(&u, &v)| u * v).sum();
                                 let ncc = dot / (na * nb + EPS);
                                 let oc = ci * koff + (ky * k_side + kx) as usize;
                                 *out.at4_mut(ni, oc, y as usize, x as usize) = ncc;
@@ -206,11 +204,9 @@ impl NormXCorr {
                                 if g == 0.0 {
                                     continue;
                                 }
-                                let nb = self.centred_patch(
-                                    &cache.b, ni, ci, x + dx, y + dy, &mut pb,
-                                );
-                                let dot: f32 =
-                                    pa.iter().zip(&pb).map(|(&u, &v)| u * v).sum();
+                                let nb =
+                                    self.centred_patch(&cache.b, ni, ci, x + dx, y + dy, &mut pb);
+                                let dot: f32 = pa.iter().zip(&pb).map(|(&u, &v)| u * v).sum();
                                 let denom = na * nb + EPS;
                                 let inv = 1.0 / denom;
                                 // d(ncc)/dâ = b̂/denom − dot·nb·(â/‖â‖)/denom²
@@ -224,14 +220,7 @@ impl NormXCorr {
                                     db[i] = g * (pa[i] * inv - coef_b * pb[i]);
                                 }
                                 self.scatter_patch_grad(&mut grad_a, ni, ci, x, y, &da);
-                                self.scatter_patch_grad(
-                                    &mut grad_b,
-                                    ni,
-                                    ci,
-                                    x + dx,
-                                    y + dy,
-                                    &db,
-                                );
+                                self.scatter_patch_grad(&mut grad_b, ni, ci, x + dx, y + dy, &db);
                             }
                         }
                     }

@@ -1,8 +1,35 @@
 //! Property-based tests for the neural-network substrate.
 
 use proptest::prelude::*;
-use taor_nn::layers::{flatten, softmax_cross_entropy, softmax_probs, Conv2D, Dense, MaxPool2D, Relu};
+use taor_nn::gemm::{gemm_nn, gemm_nt, gemm_tn, matmul_naive};
+use taor_nn::layers::{
+    flatten, softmax_cross_entropy, softmax_probs, Conv2D, Dense, MaxPool2D, Relu,
+};
 use taor_nn::{Adam, NormXCorr, Tensor};
+
+/// Random GEMM problem: shapes crossing the micro/macro tile boundaries
+/// (MR=6, NR=16) plus matching operand data.
+fn arb_gemm() -> impl Strategy<Value = (usize, usize, usize, Vec<f32>, Vec<f32>)> {
+    (1usize..80, 1usize..60, 1usize..80).prop_flat_map(|(m, n, k)| {
+        (
+            proptest::strategy::Just(m),
+            proptest::strategy::Just(n),
+            proptest::strategy::Just(k),
+            proptest::collection::vec(-1.0f32..1.0, m * k),
+            proptest::collection::vec(-1.0f32..1.0, k * n),
+        )
+    })
+}
+
+fn transpose(rows: usize, cols: usize, x: &[f32]) -> Vec<f32> {
+    let mut t = vec![0.0f32; x.len()];
+    for i in 0..rows {
+        for j in 0..cols {
+            t[j * rows + i] = x[i * cols + j];
+        }
+    }
+    t
+}
 
 fn arb_tensor(shape: &'static [usize]) -> impl Strategy<Value = Tensor> {
     let len: usize = shape.iter().product();
@@ -51,7 +78,7 @@ proptest! {
         prop_assert!(max_out <= max_in + 1e-6);
         // Every pooled value exists in the input.
         for &v in y.data() {
-            prop_assert!(t.data().iter().any(|&u| u == v));
+            prop_assert!(t.data().contains(&v));
         }
     }
 
@@ -131,6 +158,75 @@ proptest! {
         let prod = kt.matmul(&i3).unwrap();
         for (a, b) in prod.data().iter().zip(t.data()) {
             prop_assert!((a - b * k).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive_on_random_shapes((m, n, k, a, b) in arb_gemm()) {
+        // The blocked kernel (packed panels, AVX2 microkernel when
+        // available) must agree with the seed's ikj reference loop; the
+        // tolerance scales with k because summation order differs.
+        let tol = 1e-4 * k as f32;
+        let mut reference = vec![0.0f32; m * n];
+        matmul_naive(m, n, k, &a, &b, &mut reference);
+
+        let mut c = vec![0.0f32; m * n];
+        gemm_nn(m, n, k, &a, &b, &mut c, false);
+        for (i, (x, y)) in c.iter().zip(&reference).enumerate() {
+            prop_assert!((x - y).abs() <= tol, "nn ({m},{n},{k}) at {}: {} vs {}", i, x, y);
+        }
+
+        // The transposed-operand entry points must match the same
+        // reference when fed explicit transposes.
+        let bt = transpose(k, n, &b);
+        c.fill(0.0);
+        gemm_nt(m, n, k, &a, &bt, &mut c, false);
+        for (i, (x, y)) in c.iter().zip(&reference).enumerate() {
+            prop_assert!((x - y).abs() <= tol, "nt ({m},{n},{k}) at {}: {} vs {}", i, x, y);
+        }
+
+        let at = transpose(m, k, &a);
+        c.fill(0.0);
+        gemm_tn(m, n, k, &at, &b, &mut c, false);
+        for (i, (x, y)) in c.iter().zip(&reference).enumerate() {
+            prop_assert!((x - y).abs() <= tol, "tn ({m},{n},{k}) at {}: {} vs {}", i, x, y);
+        }
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_differences(x in arb_tensor(&[2, 2, 5, 5])) {
+        // With L = ½‖conv(x)‖², dL/dy = y, so backward(y) must return
+        // dL/dx and fill dL/dW — both checkable by central differences.
+        // Pins that the scratch-arena + batched-GEMM backward still
+        // computes the same gradients as the definition.
+        let conv = Conv2D::new(2, 3, 3, 1, 11);
+        let loss = |c: &Conv2D, x: &Tensor| -> f32 {
+            let (y, _) = c.forward(x).unwrap();
+            0.5 * y.data().iter().map(|v| v * v).sum::<f32>()
+        };
+        let (y, cache) = conv.forward(&x).unwrap();
+        let mut grads = conv.zero_grads();
+        let dx = conv.backward(&cache, &y, &mut grads).unwrap();
+
+        let eps = 1e-2f32;
+        let close = |fd: f32, an: f32| (fd - an).abs() < 1e-2 * (1.0 + fd.abs().max(an.abs()));
+        for idx in [0, 7, x.len() / 2, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&conv, &xp) - loss(&conv, &xm)) / (2.0 * eps);
+            prop_assert!(close(fd, dx.data()[idx]), "dx[{}]: fd {} vs {}", idx, fd, dx.data()[idx]);
+        }
+        let wlen = conv.weight.len();
+        for idx in [0, wlen / 3, wlen - 1] {
+            let mut cp = conv.clone();
+            cp.weight.data_mut()[idx] += eps;
+            let mut cm = conv.clone();
+            cm.weight.data_mut()[idx] -= eps;
+            let fd = (loss(&cp, &x) - loss(&cm, &x)) / (2.0 * eps);
+            let an = grads.weight.data()[idx];
+            prop_assert!(close(fd, an), "dW[{}]: fd {} vs {}", idx, fd, an);
         }
     }
 }

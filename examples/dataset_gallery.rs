@@ -5,10 +5,10 @@
 //! cargo run --release --example dataset_gallery [-- out_dir]
 //! ```
 
-use taor::data::{nyu_set_subsampled, shapenet_set1, ObjectClass};
-use taor::imgproc::RgbImage;
 use std::io::Write;
 use std::path::Path;
+use taor::data::{nyu_set_subsampled, shapenet_set1, ObjectClass};
+use taor::imgproc::RgbImage;
 
 /// Write a binary PPM (P6) — viewable with any image tool, zero deps.
 fn write_ppm(path: &Path, img: &RgbImage) -> std::io::Result<()> {
@@ -44,23 +44,16 @@ fn main() {
 
     println!("writing gallery to {out_dir}/\n");
     for class in ObjectClass::ALL {
-        let view = catalog
-            .of_class(class)
-            .next()
-            .expect("every class has catalog views");
+        let view = catalog.of_class(class).next().expect("every class has catalog views");
         let crop = scenes.of_class(class).next().expect("every class has crops");
 
-        let v_path = Path::new(&out_dir).join(format!("{}_catalog.ppm", class.name().to_lowercase()));
+        let v_path =
+            Path::new(&out_dir).join(format!("{}_catalog.ppm", class.name().to_lowercase()));
         let c_path = Path::new(&out_dir).join(format!("{}_scene.ppm", class.name().to_lowercase()));
         write_ppm(&v_path, &view.image).expect("write catalog view");
         write_ppm(&c_path, &crop.image).expect("write scene crop");
 
-        println!(
-            "{} — synset {} ({})",
-            class.name(),
-            class.synset().id,
-            class.synset().gloss
-        );
+        println!("{} — synset {} ({})", class.name(), class.synset().id, class.synset().gloss);
         println!("{}", ascii_preview(&view.image, 40));
     }
     println!("wrote {} PPM files", 2 * ObjectClass::ALL.len());

@@ -26,12 +26,8 @@ fn main() {
 
     // 4. Classify with the hybrid Hu-L3 + Hellinger scorer at the paper's
     //    alpha = 0.3 / beta = 0.7 weighting.
-    let preds = classify_hybrid(
-        &queries,
-        &refs,
-        &HybridConfig::default(),
-        Aggregation::WeightedSum,
-    );
+    let preds =
+        classify_hybrid(&queries, &refs, &HybridConfig::default(), Aggregation::WeightedSum);
 
     // 5. Evaluate and report.
     let truth = truth_of(&queries);

@@ -38,9 +38,7 @@ fn main() {
         }
         println!(
             "\n         detected {}/{}, correct {}",
-            eval.detected,
-            eval.total_objects,
-            eval.correctly_classified
+            eval.detected, eval.total_objects, eval.correctly_classified
         );
         agg.total_objects += eval.total_objects;
         agg.detected += eval.detected;
@@ -52,10 +50,7 @@ fn main() {
     println!("detection rate (IoU >= 0.3):   {:.3}", agg.detection_rate());
     println!("classification | detected:     {:.3}", agg.classification_rate());
     println!("end-to-end recall:             {:.3}", agg.end_to_end_rate());
-    println!(
-        "false positives per frame:     {:.2}",
-        agg.false_positives as f64 / n_frames as f64
-    );
+    println!("false positives per frame:     {:.2}", agg.false_positives as f64 / n_frames as f64);
     println!(
         "\nThe gap between 'classification | detected' and the controlled-crop\n\
          accuracy of the paper's Table 2 is exactly the segmentation fault\n\

@@ -10,16 +10,14 @@
 //! unseen pairs — is visible in the printed precision/recall blocks.
 
 use taor::core::prelude::*;
-use taor::data::{nyu_set_subsampled, nyu_sns1_test_pairs, shapenet_set1, shapenet_set2, sns1_test_pairs};
+use taor::data::{
+    nyu_set_subsampled, nyu_sns1_test_pairs, shapenet_set1, shapenet_set2, sns1_test_pairs,
+};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let seed = 2019;
-    let cfg = if full {
-        SiameseConfig::default()
-    } else {
-        SiameseConfig::quick()
-    };
+    let cfg = if full { SiameseConfig::default() } else { SiameseConfig::quick() };
     println!(
         "training Normalized-X-Corr: {} pairs, {}x{} inputs, <= {} epochs (lr {}, decay {})",
         cfg.n_train_pairs,
@@ -67,7 +65,9 @@ fn main() {
             eval.dissimilar.support
         );
         if eval.similar.recall > 0.95 && eval.dissimilar.recall < 0.05 {
-            println!("  -> collapsed to the majority \"similar\" class (the paper's Table 4 failure)");
+            println!(
+                "  -> collapsed to the majority \"similar\" class (the paper's Table 4 failure)"
+            );
         }
     }
 }

@@ -37,12 +37,7 @@ fn pair_set_cardinalities_match_section_3_4() {
 fn different_seeds_different_worlds() {
     let a = shapenet_set1(1);
     let b = shapenet_set1(2);
-    let identical = a
-        .images
-        .iter()
-        .zip(&b.images)
-        .filter(|(x, y)| x.image == y.image)
-        .count();
+    let identical = a.images.iter().zip(&b.images).filter(|(x, y)| x.image == y.image).count();
     assert_eq!(identical, 0, "{identical} images survived a seed change");
 }
 
@@ -70,11 +65,7 @@ fn catalog_and_scene_backgrounds_differ() {
     let nyu = nyu_set_subsampled(5, 2);
     // Corner pixels: white vs black conventions.
     assert_eq!(sns1.images[0].image.pixel(0, 0), [255, 255, 255]);
-    let black_corners = nyu
-        .images
-        .iter()
-        .filter(|i| i.image.pixel(0, 0) == [0, 0, 0])
-        .count();
+    let black_corners = nyu.images.iter().filter(|i| i.image.pixel(0, 0) == [0, 0, 0]).count();
     assert!(black_corners * 2 > nyu.len());
 }
 

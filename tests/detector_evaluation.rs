@@ -32,12 +32,8 @@ fn sift_repeatability_under_small_rotation() {
     assert!(!k1.is_empty() && !k2.is_empty());
 
     let (s, c) = angle.sin_cos();
-    let t = Similarity {
-        a: c,
-        b: s,
-        tx: 64.0 - c * 64.0 + s * 64.0,
-        ty: 64.0 - s * 64.0 - c * 64.0,
-    };
+    let t =
+        Similarity { a: c, b: s, tx: 64.0 - c * 64.0 + s * 64.0, ty: 64.0 - s * 64.0 - c * 64.0 };
     let rep = repeatability(&k1, &k2, &t, 4.0);
     assert!(rep > 0.3, "SIFT repeatability under 0.2 rad: {rep}");
 

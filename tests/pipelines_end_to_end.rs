@@ -73,10 +73,7 @@ fn controlled_setting_beats_nyu_setting() {
         &classify_hybrid(&q_sns, &refs1, &hybrid, Aggregation::WeightedSum),
         &truth_of(&q_sns),
     );
-    assert!(
-        acc_sns > acc_nyu,
-        "controlled {acc_sns} should beat scene-matching {acc_nyu}"
-    );
+    assert!(acc_sns > acc_nyu, "controlled {acc_sns} should beat scene-matching {acc_nyu}");
 }
 
 #[test]
@@ -93,8 +90,8 @@ fn descriptor_pipelines_beat_chance_and_stay_in_a_band() {
         accs.push(acc);
     }
     // A narrow band, like the paper's 0.22-0.25.
-    let spread = accs.iter().cloned().fold(0.0f64, f64::max)
-        - accs.iter().cloned().fold(1.0f64, f64::min);
+    let spread =
+        accs.iter().cloned().fold(0.0f64, f64::max) - accs.iter().cloned().fold(1.0f64, f64::min);
     assert!(spread < 0.25, "descriptor accuracies too spread out: {accs:?}");
 }
 
@@ -134,8 +131,9 @@ fn cosine_ablation_runs_end_to_end() {
     let eval = evaluate_binary(&truth, &preds);
     // Fitted on its own training data, the threshold must do at least as
     // well as the majority class.
-    let majority = truth.iter().filter(|&&l| l == 1).count().max(
-        truth.iter().filter(|&&l| l == 0).count(),
-    ) as f64 / truth.len() as f64;
+    let majority =
+        truth.iter().filter(|&&l| l == 1).count().max(truth.iter().filter(|&&l| l == 0).count())
+            as f64
+            / truth.len() as f64;
     assert!(eval.accuracy >= majority - 1e-9, "{} < {majority}", eval.accuracy);
 }

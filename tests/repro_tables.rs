@@ -15,7 +15,10 @@ fn mini() -> ReproConfig {
 #[test]
 fn table1_lists_all_classes_and_totals() {
     let out = table1(&mini());
-    for name in ["Chair", "Bottle", "Paper", "Book", "Table", "Box", "Window", "Door", "Sofa", "Lamp", "Total"] {
+    for name in [
+        "Chair", "Bottle", "Paper", "Book", "Table", "Box", "Window", "Door", "Sofa", "Lamp",
+        "Total",
+    ] {
         assert!(out.text.contains(name), "missing {name}:\n{}", out.text);
     }
     assert!(out.text.contains("82"));

@@ -35,10 +35,7 @@ fn preprocessing_never_panics_on_poison() {
     for (name, img) in poison_crops() {
         for bg in [Background::White, Background::Black] {
             let p = preprocess(&img, bg, HIST_BINS);
-            assert!(
-                p.hu.iter().all(|v| v.is_finite()),
-                "{name}/{bg:?}: non-finite Hu"
-            );
+            assert!(p.hu.iter().all(|v| v.is_finite()), "{name}/{bg:?}: non-finite Hu");
             let mass: f64 = p.hist.as_slice().iter().sum();
             assert!((mass - 3.0).abs() < 1e-9, "{name}/{bg:?}: histogram mass {mass}");
         }
@@ -64,7 +61,9 @@ fn detectors_reject_or_survive_poison() {
         let sift = sift_detect_and_compute(&gray, &SiftParams::default());
         let surf = surf_detect_and_compute(&gray, &SurfParams::default());
         let orb = orb_detect_and_compute(&gray, &OrbParams::default());
-        for (det, result_empty_ok) in [("sift", sift.is_ok()), ("surf", surf.is_ok()), ("orb", orb.is_ok())] {
+        for (det, result_empty_ok) in
+            [("sift", sift.is_ok()), ("surf", surf.is_ok()), ("orb", orb.is_ok())]
+        {
             // Just force evaluation; the assert documents intent.
             let _ = (det, result_empty_ok);
         }

@@ -1,0 +1,201 @@
+//! Vendored minimal `criterion` stand-in so the workspace builds and
+//! benches run offline.
+//!
+//! Keeps the criterion 0.5 API shape this workspace's benches use
+//! (`Criterion::default().sample_size(..)`, `bench_function`,
+//! `benchmark_group`, `criterion_group!`/`criterion_main!`, `black_box`,
+//! `Bencher::iter`) and actually measures: each sample times a batch of
+//! iterations sized to ~2 ms, and the reported line shows
+//! min/median/max per-iteration time. No outlier analysis, HTML
+//! reports, or baseline persistence.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(2);
+const MAX_TOTAL_TIME: Duration = Duration::from_secs(3);
+
+/// Top-level driver: holds the sample count and prints results.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+}
+
+/// A named group of related benchmarks (`group/function` ids).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` does the measuring.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, recording per-iteration nanoseconds over
+    /// `sample_size` samples of auto-scaled batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow until one batch takes long
+        // enough to time reliably.
+        let mut batch: u64 = 1;
+        let mut once = Duration::ZERO;
+        for _ in 0..12 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            once = start.elapsed();
+            if once >= TARGET_SAMPLE_TIME {
+                break;
+            }
+            let grow = if once.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos().max(1) + 1) as u64
+            };
+            batch = batch.saturating_mul(grow.clamp(2, 16)).min(1 << 24);
+        }
+        let budget_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+            if budget_start.elapsed() > MAX_TOTAL_TIME {
+                break;
+            }
+        }
+        // `once` keeps the final warm-up timing alive for size-1 runs.
+        if self.samples.is_empty() {
+            self.samples.push(once.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher { sample_size, samples: Vec::with_capacity(sample_size) };
+    f(&mut b);
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let max = sorted.last().copied().unwrap_or(0.0);
+    let median = sorted[sorted.len() / 2];
+    println!("{id:<50} time: [{} {} {}]", fmt_ns(min), fmt_ns(median), fmt_ns(max));
+}
+
+/// Mirrors criterion's two `criterion_group!` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_spin(c: &mut Criterion) {
+        c.bench_function("spin_sum", |b| b.iter(|| (0..100u64).map(black_box).sum::<u64>()));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(3u64) * 7));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = bench_spin
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

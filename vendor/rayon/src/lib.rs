@@ -1,0 +1,184 @@
+//! Vendored minimal `rayon` stand-in so the workspace builds offline.
+//!
+//! Exposes the rayon 1.x iterator surface this workspace uses
+//! (`par_iter`, `into_par_iter`, `par_iter_mut`, `par_chunks_mut`,
+//! `map`/`enumerate`/`collect`/…) as thin sequential adapters over std
+//! iterators. On the current single-core target this matches what real
+//! rayon degrades to at one worker thread; call sites keep the parallel
+//! idiom so a future swap back to crates.io rayon is a manifest change.
+
+/// Number of worker threads the "pool" would use (reported in bench
+/// records; the sequential adapters always run on the caller).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+pub mod iter {
+    /// Marker mirroring rayon's `ParallelIterator`; all adapter methods
+    /// are inherent, so this exists for `use rayon::prelude::*` parity.
+    pub trait ParallelIterator {}
+
+    /// Sequential adapter wrapping a std iterator.
+    pub struct Par<I>(pub(crate) I);
+
+    impl<I> ParallelIterator for Par<I> {}
+
+    impl<I: Iterator> Par<I> {
+        pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> Par<std::iter::Map<I, F>> {
+            Par(self.0.map(f))
+        }
+
+        pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+            Par(self.0.enumerate())
+        }
+
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+            Par(self.0.filter(f))
+        }
+
+        pub fn filter_map<T, F: FnMut(I::Item) -> Option<T>>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FilterMap<I, F>> {
+            Par(self.0.filter_map(f))
+        }
+
+        pub fn flat_map<T, U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+        where
+            U: IntoIterator<Item = T>,
+            F: FnMut(I::Item) -> U,
+        {
+            Par(self.0.flat_map(f))
+        }
+
+        pub fn zip<J: IntoIterator>(self, other: J) -> Par<std::iter::Zip<I, J::IntoIter>> {
+            Par(self.0.zip(other))
+        }
+
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        pub fn reduce<ID, F>(self, identity: ID, f: F) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            F: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            let mut f = f;
+            self.0.fold(identity(), &mut f)
+        }
+
+        pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+            self,
+            f: F,
+        ) -> Option<I::Item> {
+            self.0.max_by(f)
+        }
+
+        pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+            self,
+            f: F,
+        ) -> Option<I::Item> {
+            self.0.min_by(f)
+        }
+
+        pub fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+
+        pub fn with_max_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+
+    /// `collection.into_par_iter()`.
+    pub trait IntoParallelIterator {
+        type Iter;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = Par<std::vec::IntoIter<T>>;
+        fn into_par_iter(self) -> Self::Iter {
+            Par(self.into_iter())
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = Par<std::ops::Range<usize>>;
+        fn into_par_iter(self) -> Self::Iter {
+            Par(self)
+        }
+    }
+
+    /// `slice.par_iter()` / `slice.par_chunks(..)`.
+    pub trait IntoParallelRefIterator {
+        type Item;
+        #[allow(clippy::type_complexity)]
+        fn par_iter(&self) -> Par<std::slice::Iter<'_, Self::Item>>;
+        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, Self::Item>>;
+    }
+
+    impl<T: Sync> IntoParallelRefIterator for [T] {
+        type Item = T;
+        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+            Par(self.iter())
+        }
+        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+            Par(self.chunks(size))
+        }
+    }
+
+    /// `slice.par_iter_mut()` / `slice.par_chunks_mut(..)`.
+    pub trait IntoParallelRefMutIterator {
+        type Item;
+        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, Self::Item>>;
+        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, Self::Item>>;
+    }
+
+    impl<T: Send> IntoParallelRefMutIterator for [T] {
+        type Item = T;
+        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+            Par(self.iter_mut())
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+            Par(self.chunks_mut(size))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let idx: Vec<(usize, u32)> = v.clone().into_par_iter().enumerate().collect();
+        assert_eq!(idx[3], (3, 4));
+        let mut w = vec![0u32; 6];
+        w.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i as u32));
+        assert_eq!(w, vec![0, 0, 1, 1, 2, 2]);
+        assert!(crate::current_num_threads() >= 1);
+    }
+}

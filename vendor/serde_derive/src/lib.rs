@@ -1,0 +1,336 @@
+//! Vendored minimal `serde_derive` stand-in so the workspace builds
+//! offline without syn/quote.
+//!
+//! Supports exactly the shapes this workspace derives: named-field
+//! structs and unit enums, with the field attributes `#[serde(default)]`
+//! and `#[serde(skip, default = "path")]`. The input item is parsed by
+//! walking the token stream directly and the impl is emitted as source
+//! text parsed back into a `TokenStream`. Anything outside that subset
+//! (tuple structs, generics, payload variants) becomes a
+//! `compile_error!` so unsupported uses fail loudly at the derive site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone, PartialEq)]
+enum FieldDefault {
+    Required,
+    DefaultTrait,
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+    skip: bool,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("literal compile_error parses")
+}
+
+/// Extract `skip` / `default` / `default = "path"` flags from the bodies
+/// of every `#[serde(...)]` attribute preceding a field.
+fn apply_serde_args(args: TokenStream, skip: &mut bool, default: &mut FieldDefault) {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => *skip = true,
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                if let Some(TokenTree::Punct(p)) = tokens.get(i + 1) {
+                    if p.as_char() == '=' {
+                        if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
+                            let s = lit.to_string();
+                            *default = FieldDefault::Path(s.trim_matches('"').to_string());
+                            i += 2;
+                        }
+                    } else {
+                        *default = FieldDefault::DefaultTrait;
+                    }
+                } else {
+                    *default = FieldDefault::DefaultTrait;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// If `tokens[i]` starts an attribute (`#[...]`), return its body when it
+/// is a `#[serde(...)]` attribute plus the index just past the attribute.
+fn take_attr(tokens: &[TokenTree], i: usize) -> Option<(Option<TokenStream>, usize)> {
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let serde_args = match (inner.first(), inner.get(1)) {
+                    (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+                        if id.to_string() == "serde" =>
+                    {
+                        Some(args.stream())
+                    }
+                    _ => None,
+                };
+                Some((serde_args, i + 2))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Skip a `pub` / `pub(...)` visibility prefix.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        let mut default = FieldDefault::Required;
+        while let Some((serde_args, next)) = take_attr(&tokens, i) {
+            if let Some(args) = serde_args {
+                apply_serde_args(args, &mut skip, &mut default);
+            }
+            i = next;
+        }
+        i = skip_visibility(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in struct body: {other}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}` (named fields only)")),
+        }
+        // Consume the type: everything up to the next comma outside angle
+        // brackets (generic argument commas hide at positive depth, tuple
+        // and array commas inside groups are atomic tokens here).
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some((_, next)) = take_attr(&tokens, i) {
+            i = next;
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                i += 1;
+            }
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err("only unit enum variants are supported".to_string())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err("explicit enum discriminants are not supported".to_string())
+            }
+            None => break,
+            Some(other) => return Err(format!("unexpected token after enum variant: {other}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility down to the item keyword.
+    loop {
+        if let Some((_, next)) = take_attr(&tokens, i) {
+            i = next;
+            continue;
+        }
+        let j = skip_visibility(&tokens, i);
+        if j != i {
+            i = j;
+            continue;
+        }
+        break;
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".to_string()),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "derive on `{name}`: only brace-bodied, non-generic items are supported"
+            ))
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct { name, fields: parse_struct_fields(body)? }),
+        "enum" => Ok(Item::Enum { name, variants: parse_enum_variants(body)? }),
+        other => Err(format!("cannot derive for item kind `{other}`")),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return error(&e),
+    };
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let _ = write!(
+                out,
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 let mut m: std::vec::Vec<(std::string::String, serde::Value)> = \
+                 std::vec::Vec::new();\n"
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                let _ = write!(
+                    out,
+                    "m.push((std::string::String::from({n:?}), \
+                     serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                );
+            }
+            out.push_str("serde::Value::Map(m)\n}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Str(std::string::String::from(match self {{\n"
+            );
+            for v in &variants {
+                let _ = write!(out, "{name}::{v} => {v:?},\n");
+            }
+            out.push_str("}))\n}\n}\n");
+        }
+    }
+    out.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return error(&e),
+    };
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let _ = write!(
+                out,
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {{\n\
+                 let m = match v {{\n\
+                 serde::Value::Map(m) => m,\n\
+                 _ => return std::result::Result::Err(serde::Error::msg(\
+                 \"expected map for {name}\")),\n\
+                 }};\n\
+                 std::result::Result::Ok({name} {{\n"
+            );
+            for f in &fields {
+                let n = &f.name;
+                let expr = if f.skip {
+                    match &f.default {
+                        FieldDefault::Path(p) => format!("{p}()"),
+                        _ => "std::default::Default::default()".to_string(),
+                    }
+                } else {
+                    let missing = match &f.default {
+                        FieldDefault::Required => format!(
+                            "return std::result::Result::Err(serde::Error::msg(\
+                             \"missing field `{n}`\"))"
+                        ),
+                        FieldDefault::DefaultTrait => "std::default::Default::default()".into(),
+                        FieldDefault::Path(p) => format!("{p}()"),
+                    };
+                    format!(
+                        "match serde::field(m, {n:?}) {{\n\
+                         std::option::Option::Some(fv) => serde::Deserialize::from_value(fv)?,\n\
+                         std::option::Option::None => {missing},\n\
+                         }}"
+                    )
+                };
+                let _ = write!(out, "{n}: {expr},\n");
+            }
+            out.push_str("})\n}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            let _ = write!(
+                out,
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {{\n\
+                 match v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{\n"
+            );
+            for v in &variants {
+                let _ = write!(out, "{v:?} => std::result::Result::Ok({name}::{v}),\n");
+            }
+            let _ = write!(
+                out,
+                "_ => std::result::Result::Err(serde::Error::msg(\
+                 \"unknown {name} variant\")),\n\
+                 }},\n\
+                 _ => std::result::Result::Err(serde::Error::msg(\
+                 \"expected string for {name}\")),\n\
+                 }}\n}}\n}}\n"
+            );
+        }
+    }
+    out.parse().expect("generated Deserialize impl parses")
+}
