@@ -36,7 +36,7 @@ fn bench_xcorr(c: &mut Criterion) {
         dense: 32,
         ..NetConfig::default()
     };
-    let net = NormXCorrNet::new(cfg.clone());
+    let net = NormXCorrNet::new(cfg.clone()).expect("bench config is large enough");
     let x = Tensor::full(&[1, 3, cfg.height, cfg.width], 0.1);
     c.bench_function("net_forward_32x24", |bch| {
         bch.iter(|| net.forward(black_box(&x), black_box(&x)).unwrap())

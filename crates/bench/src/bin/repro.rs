@@ -142,7 +142,13 @@ fn main() {
                 out
             }
             3 => table3_ex_with(&prep, args.ablate),
-            4 => table4_with(&prep, args.ablate, args.verbose),
+            4 => match table4_with(&prep, args.ablate, args.verbose) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("error: table 4 failed: {e}");
+                    std::process::exit(1);
+                }
+            },
             5 => table5_with(&prep),
             6 => table6_with(&prep),
             7 => table7or8_with(&prep, 7),
@@ -157,6 +163,16 @@ fn main() {
         }
         timings.push(TablePerf::new(t, elapsed.as_secs_f64(), out.pairs));
         records.extend(out.records);
+    }
+
+    // Degradation counters go to stderr, and only when nonzero, so the
+    // table output on stdout stays byte-stable for clean runs.
+    let diag = prep.diagnostics();
+    if !diag.is_clean() {
+        eprintln!(
+            "[diagnostics] nan_scores={} degraded={} (see DESIGN.md: NaN quarantine)",
+            diag.nan_scores, diag.degraded
+        );
     }
 
     if args.extensions {

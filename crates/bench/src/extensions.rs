@@ -47,21 +47,34 @@ pub fn table_e1(cfg: &ReproConfig, n_frames: usize) -> TableOutput {
         // background model so both conditions see the NYU format.
         let bg = border_colors(&scene.image, seg_cfg.background_colors);
         for obj in &scene.objects {
-            let crop = scene.image.crop(obj.bbox).expect("gt bbox inside frame");
-            let mask = mask_against(&crop, &bg, seg_cfg.color_threshold);
-            let mut masked = taor_imgproc::RgbImage::new(crop.width(), crop.height());
-            for (x, y, px) in crop.enumerate_pixels() {
-                if mask.get(x, y) > 0 {
-                    masked.put_pixel(x, y, px);
+            let Ok(crop) = scene.image.crop(obj.bbox) else {
+                // A ground-truth box outside the frame is a data fault:
+                // skip the crop rather than aborting the whole table.
+                continue;
+            };
+            // An empty background model is a typed error now; degrade to
+            // the raw crop instead of a fabricated full-frame mask.
+            let masked = match mask_against(&crop, &bg, seg_cfg.color_threshold) {
+                Ok(mask) => {
+                    let mut masked = taor_imgproc::RgbImage::new(crop.width(), crop.height());
+                    for (x, y, px) in crop.enumerate_pixels() {
+                        if mask.get(x, y) > 0 {
+                            masked.put_pixel(x, y, px);
+                        }
+                    }
+                    masked
                 }
-            }
+                Err(_) => crop.clone(),
+            };
             gt_total += 1;
             if classify(&masked) == obj.class {
                 gt_correct += 1;
             }
         }
-        // Condition (b): automatic segmentation.
-        let detections = recognise_frame(&scene.image, &seg_cfg, classify);
+        // Condition (b): automatic segmentation. A segmentation error on
+        // a frame contributes zero detections (its objects count as
+        // missed) — never a full-frame "detection".
+        let detections = try_recognise_frame(&scene.image, &seg_cfg, classify).unwrap_or_default();
         let eval = evaluate_scene(scene, &detections);
         agg.total_objects += eval.total_objects;
         agg.detected += eval.detected;
@@ -106,12 +119,18 @@ pub fn table_e2(cfg: &ReproConfig, verbose: bool) -> TableOutput {
     let sns1 = shapenet_set1(cfg.seed);
     let test_pairs = nyu_sns1_test_pairs(&nyu, &sns1, cfg.seed);
 
-    // Condition (a): the paper's catalog-only training.
-    let (net_a, _) = taor_core::train_siamese(&sns2, &cfg.siamese, |s| {
+    // Condition (a): the paper's catalog-only training. An undersized
+    // net resolution is a typed error; surface it as a degraded table
+    // rather than a panic.
+    let trained = taor_core::try_train_siamese(&sns2, &cfg.siamese, |s| {
         if verbose {
             eprintln!("  [catalog] epoch {} loss {:.5}", s.epoch, s.mean_loss);
         }
     });
+    let (net_a, _) = match trained {
+        Ok(out) => out,
+        Err(e) => return degraded_e2(&e),
+    };
     let eval_a = evaluate_siamese(&net_a, &test_pairs, &cfg.siamese.net);
 
     // Condition (b): mixed-domain pairs + regularisation.
@@ -121,7 +140,10 @@ pub fn table_e2(cfg: &ReproConfig, verbose: bool) -> TableOutput {
     train_cfg.weight_decay = 1e-4;
     let pairs = mixed_training_pairs(&sns2, &nyu, cfg.siamese.n_train_pairs, cfg.seed);
     let samples = pairs_to_samples(&pairs, &net_cfg);
-    let mut net_b = NormXCorrNet::new(net_cfg.clone());
+    let mut net_b = match NormXCorrNet::new(net_cfg.clone()) {
+        Ok(net) => net,
+        Err(e) => return degraded_e2(&taor_core::Error::from(e)),
+    };
     train(&mut net_b, &samples, &train_cfg, |s| {
         if verbose {
             eprintln!("  [mixed]   epoch {} loss {:.5}", s.epoch, s.mean_loss);
@@ -164,6 +186,17 @@ pub fn table_e2(cfg: &ReproConfig, verbose: bool) -> TableOutput {
         },
     ];
     TableOutput { table: 102, text: t.render(), records, pairs: 0 }
+}
+
+/// A degraded E2 table: the typed error in place of results, so a bad
+/// configuration reports itself instead of crashing the run.
+fn degraded_e2(e: &taor_core::Error) -> TableOutput {
+    let mut t = TextTable::new(
+        "Extension E2: catalog-only vs heterogeneous training, NYU+SNS1 pairs.",
+        &["Training", "Error"],
+    );
+    t.row(vec!["(degraded)".into(), e.to_string()]);
+    TableOutput { table: 102, text: t.render(), records: Vec::new(), pairs: 0 }
 }
 
 /// E3: reference-set cardinality scaling ("augmenting the cardinality of

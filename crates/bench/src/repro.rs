@@ -85,6 +85,7 @@ impl ReproConfig {
 /// datasets it actually touches.
 pub struct PreparedRepro {
     cfg: ReproConfig,
+    diag: Diagnostics,
     sns1: OnceCell<Dataset>,
     sns2: OnceCell<Dataset>,
     nyu: OnceCell<Dataset>,
@@ -99,6 +100,7 @@ impl PreparedRepro {
     pub fn new(cfg: ReproConfig) -> Self {
         PreparedRepro {
             cfg,
+            diag: Diagnostics::new(),
             sns1: OnceCell::new(),
             sns2: OnceCell::new(),
             nyu: OnceCell::new(),
@@ -112,6 +114,17 @@ impl PreparedRepro {
 
     pub fn cfg(&self) -> &ReproConfig {
         &self.cfg
+    }
+
+    /// The run-wide degradation counters accumulated by every table that
+    /// went through this cache.
+    pub fn diagnostics(&self) -> DiagnosticsReport {
+        self.diag.report()
+    }
+
+    /// Shared counters for the fallible pipeline entry points.
+    pub fn diag(&self) -> &Diagnostics {
+        &self.diag
     }
 
     pub fn sns1(&self) -> &Dataset {
@@ -173,24 +186,68 @@ pub struct TableOutput {
     pub pairs: usize,
 }
 
+/// Score through the fallible per-view entry point so NaN quarantine and
+/// degradation events land in the run-wide [`Diagnostics`]. An empty
+/// reference set is still fatal here — a table with no references is a
+/// harness configuration error, not an input fault to degrade around.
+fn per_view(
+    queries: &[RefView],
+    views: &[RefView],
+    scorer: &dyn MatchScorer,
+    diag: &Diagnostics,
+) -> Vec<ObjectClass> {
+    match try_classify_per_view(queries, views, scorer, diag) {
+        Ok(preds) => preds,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Hybrid counterpart of [`per_view`].
+fn hybrid_preds(
+    queries: &[RefView],
+    views: &[RefView],
+    cfg: &HybridConfig,
+    agg: Aggregation,
+    diag: &Diagnostics,
+) -> Vec<ObjectClass> {
+    match try_classify_hybrid(queries, views, cfg, agg, diag) {
+        Ok(preds) => preds,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Descriptor counterpart of [`per_view`].
+fn descriptor_preds(
+    queries: &DescriptorIndex,
+    reference: &DescriptorIndex,
+    ratio: f32,
+    diag: &Diagnostics,
+) -> Vec<ObjectClass> {
+    match try_classify_descriptors(queries, reference, ratio, diag) {
+        Ok(preds) => preds,
+        Err(e) => panic!("{e}"),
+    }
+}
+
 /// All approaches of Table 2, in row order, as (label, classifier) pairs.
 fn exploratory_rows(
     cfg: &ReproConfig,
     queries: &[RefView],
     views: &[RefView],
+    diag: &Diagnostics,
 ) -> Vec<(String, Vec<ObjectClass>)> {
     let truth = truth_of(queries);
     let mut rows = Vec::new();
     rows.push(("Baseline".to_string(), random_baseline(&truth, cfg.seed ^ 0xBA5E)));
     for scorer in ShapeScorer::ALL {
-        rows.push((scorer.name(), classify_per_view(queries, views, &scorer)));
+        rows.push((scorer.name(), per_view(queries, views, &scorer, diag)));
     }
     for scorer in ColorScorer::ALL {
-        rows.push((scorer.name(), classify_per_view(queries, views, &scorer)));
+        rows.push((scorer.name(), per_view(queries, views, &scorer, diag)));
     }
     let hybrid = HybridConfig { alpha: cfg.alpha, beta: cfg.beta, ..Default::default() };
     for agg in Aggregation::ALL {
-        rows.push((agg.label().to_string(), classify_hybrid(queries, views, &hybrid, agg)));
+        rows.push((agg.label().to_string(), hybrid_preds(queries, views, &hybrid, agg, diag)));
     }
     rows
 }
@@ -250,8 +307,8 @@ pub fn table2_with(prep: &PreparedRepro) -> TableOutput {
     // views: same dataset, same white background.
     let q_sns1 = refs_sns1;
 
-    let nyu_rows = exploratory_rows(cfg, q_nyu, refs_sns1);
-    let sns_rows = exploratory_rows(cfg, q_sns1, refs_sns2);
+    let nyu_rows = exploratory_rows(cfg, q_nyu, refs_sns1, prep.diag());
+    let sns_rows = exploratory_rows(cfg, q_sns1, refs_sns2, prep.diag());
     let t_nyu = truth_of(q_nyu);
     let t_sns = truth_of(q_sns1);
 
@@ -310,7 +367,7 @@ pub fn table2_sweep_with(prep: &PreparedRepro) -> TableOutput {
     );
     for &(a, b) in &weights {
         let hybrid = HybridConfig { alpha: a, beta: b, ..Default::default() };
-        let preds = classify_hybrid(queries, refs, &hybrid, Aggregation::WeightedSum);
+        let preds = hybrid_preds(queries, refs, &hybrid, Aggregation::WeightedSum, prep.diag());
         let e = evaluate(&truth, &preds);
         t.row(vec![format!("{a:.1}"), format!("{b:.1}"), fmt_f(e.cumulative_accuracy, 3)]);
     }
@@ -353,7 +410,7 @@ pub fn table3_ex_with(prep: &PreparedRepro, ablate: bool) -> TableOutput {
         DescriptorKind::ALL.iter().zip(prep.descriptors_sns1().iter().zip(prep.descriptors_sns2()))
     {
         let acc_of = |ratio: f32| {
-            let preds = classify_descriptors(q, r, ratio);
+            let preds = descriptor_preds(q, r, ratio, prep.diag());
             evaluate(&truth, &preds)
         };
         let e05 = acc_of(0.5);
@@ -389,25 +446,36 @@ pub fn table3(cfg: &ReproConfig) -> TableOutput {
 
 /// Table 4: Normalized-X-Corr binary evaluation on both pair test sets.
 /// With `ablate`, also reports the cosine "exact matching" baseline.
-pub fn table4(cfg: &ReproConfig, ablate: bool, verbose: bool) -> TableOutput {
+///
+/// Fallible: an input resolution too small for the architecture is a
+/// typed [`taor_core::Error`] instead of a panic.
+pub fn table4(
+    cfg: &ReproConfig,
+    ablate: bool,
+    verbose: bool,
+) -> Result<TableOutput, taor_core::Error> {
     table4_with(&PreparedRepro::new(cfg.clone()), ablate, verbose)
 }
 
 /// Table 4 over a shared [`PreparedRepro`] cache.
-pub fn table4_with(prep: &PreparedRepro, ablate: bool, verbose: bool) -> TableOutput {
+pub fn table4_with(
+    prep: &PreparedRepro,
+    ablate: bool,
+    verbose: bool,
+) -> Result<TableOutput, taor_core::Error> {
     let cfg = prep.cfg();
     let sns1 = prep.sns1();
     let sns2 = prep.sns2();
     let nyu = prep.nyu();
 
-    let (net, report) = taor_core::train_siamese(sns2, &cfg.siamese, |s| {
+    let (net, report) = taor_core::try_train_siamese(sns2, &cfg.siamese, |s| {
         if verbose {
             eprintln!(
                 "  epoch {:>3}  loss {:.5}  train-acc {:.3}",
                 s.epoch, s.mean_loss, s.accuracy
             );
         }
-    });
+    })?;
     let trained_epochs = report.epochs.len();
 
     let pairs_sns1 = sns1_test_pairs(sns1);
@@ -503,7 +571,7 @@ pub fn table4_with(prep: &PreparedRepro, ablate: bool, verbose: bool) -> TableOu
         text.push_str(&t2.render());
     }
     let pairs = (pairs_sns1.len() + pairs_nyu.len()) * (1 + usize::from(ablate));
-    TableOutput { table: 4, text, records, pairs }
+    Ok(TableOutput { table: 4, text, records, pairs })
 }
 
 /// Shared builder for the class-wise tables 5–8.
@@ -546,7 +614,7 @@ pub fn table5_with(prep: &PreparedRepro) -> TableOutput {
     let mut rows =
         vec![("Baseline".to_string(), random_baseline(&truth, prep.cfg().seed ^ 0xBA5E))];
     for scorer in ShapeScorer::ALL {
-        rows.push((scorer.name(), classify_per_view(queries, refs, &scorer)));
+        rows.push((scorer.name(), per_view(queries, refs, &scorer, prep.diag())));
     }
     classwise_table(
         5,
@@ -569,8 +637,10 @@ pub fn table6_with(prep: &PreparedRepro) -> TableOutput {
     let refs = prep.refs_sns1();
     let queries = prep.q_nyu();
     let truth = truth_of(queries);
-    let rows: Vec<_> =
-        ColorScorer::ALL.iter().map(|s| (s.name(), classify_per_view(queries, refs, s))).collect();
+    let rows: Vec<_> = ColorScorer::ALL
+        .iter()
+        .map(|s| (s.name(), per_view(queries, refs, s, prep.diag())))
+        .collect();
     classwise_table(
         6,
         "Table 6: Class-wise results, RGB-histogram matching (NYU v. SNS1).",
@@ -602,7 +672,9 @@ pub fn table7or8_with(prep: &PreparedRepro, table: usize) -> TableOutput {
     let hybrid = HybridConfig { alpha: cfg.alpha, beta: cfg.beta, ..Default::default() };
     let rows: Vec<_> = Aggregation::ALL
         .iter()
-        .map(|&agg| (agg.label().to_string(), classify_hybrid(queries, refs, &hybrid, agg)))
+        .map(|&agg| {
+            (agg.label().to_string(), hybrid_preds(queries, refs, &hybrid, agg, prep.diag()))
+        })
         .collect();
     let title = format!(
         "Table {table}: Class-wise results, hybrid Hu-L3 + Hellinger (alpha=0.3, beta=0.7), {dataset}.",
@@ -629,7 +701,7 @@ pub fn table9_with(prep: &PreparedRepro) -> TableOutput {
     let rows: Vec<_> = DescriptorKind::ALL
         .iter()
         .zip(prep.descriptors_sns1().iter().zip(prep.descriptors_sns2()))
-        .map(|(kind, (q, r))| (kind.label().to_string(), classify_descriptors(q, r, 0.5)))
+        .map(|(kind, (q, r))| (kind.label().to_string(), descriptor_preds(q, r, 0.5, prep.diag())))
         .collect();
     classwise_table(
         9,
@@ -703,6 +775,26 @@ mod tests {
         assert_eq!(table2_with(&prep).text, table2(&cfg).text);
         assert_eq!(table5_with(&prep).text, table5(&cfg).text);
         assert_eq!(table7or8_with(&prep, 8).text, table7or8(&cfg, 8).text);
+    }
+
+    #[test]
+    fn table4_undersized_net_is_a_typed_error() {
+        let mut cfg = tiny();
+        cfg.siamese.net.height = 6;
+        cfg.siamese.net.width = 6;
+        match table4(&cfg, false, false) {
+            Err(taor_core::Error::Nn(taor_nn::TensorError::InputTooSmall { .. })) => {}
+            Err(e) => panic!("expected InputTooSmall, got {e}"),
+            Ok(_) => panic!("expected InputTooSmall, got a table"),
+        }
+    }
+
+    #[test]
+    fn clean_inputs_leave_diagnostics_clean() {
+        let prep = PreparedRepro::new(tiny());
+        let _ = table5_with(&prep);
+        let _ = table7or8_with(&prep, 8);
+        assert!(prep.diagnostics().is_clean());
     }
 
     #[test]

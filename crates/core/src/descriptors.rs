@@ -6,6 +6,8 @@
 //! L2, ORB uses Hamming. The predicted label is the class of the reference
 //! view accumulating the most ratio-test survivors.
 
+use crate::diag::Diagnostics;
+use crate::error::{Error, Result};
 use rayon::prelude::*;
 use taor_data::{Dataset, ObjectClass};
 use taor_features::{
@@ -13,6 +15,7 @@ use taor_features::{
     sift_detect_and_compute, surf_detect_and_compute, verify_matches, BinaryDescriptors,
     FloatDescriptors, KeyPoint, OrbParams, RansacParams, SiftParams, SurfParams,
 };
+use taor_imgproc::cmp::nan_last_f32;
 use taor_imgproc::color::rgb_to_gray;
 
 /// Which descriptor family to run.
@@ -121,9 +124,35 @@ pub fn classify_descriptors_verified(
     ratio: f32,
     ransac: &RansacParams,
 ) -> Vec<ObjectClass> {
-    assert_eq!(queries.kind, reference.kind, "descriptor kinds must match");
-    assert!(!reference.is_empty(), "reference index is empty");
-    queries
+    let diag = Diagnostics::new();
+    match try_classify_descriptors_verified(queries, reference, ratio, ransac, &diag) {
+        Ok(preds) => preds,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`classify_descriptors_verified`]: kind mismatches and empty
+/// reference indices are typed errors; per-query failures (no
+/// descriptors, no geometrically consistent view, a matcher error on a
+/// single view) degrade to the deterministic fallback label and are
+/// counted in `diag` instead of aborting the batch.
+pub fn try_classify_descriptors_verified(
+    queries: &DescriptorIndex,
+    reference: &DescriptorIndex,
+    ratio: f32,
+    ransac: &RansacParams,
+    diag: &Diagnostics,
+) -> Result<Vec<ObjectClass>> {
+    if queries.kind != reference.kind {
+        return Err(Error::KindMismatch {
+            query: queries.kind.label(),
+            reference: reference.kind.label(),
+        });
+    }
+    if reference.is_empty() {
+        return Err(Error::EmptyReference("reference index is empty"));
+    }
+    Ok(queries
         .descs
         .par_iter()
         .enumerate()
@@ -133,12 +162,13 @@ pub fn classify_descriptors_verified(
             let mut best_inliers = 0usize;
             let mut best_dist = f32::INFINITY;
             for (vi, v) in reference.descs.iter().enumerate() {
+                // Widths are uniform per kind by construction; a matcher
+                // error on one view degrades that view to "no matches"
+                // rather than poisoning the whole batch.
                 let matches = match (q, v) {
-                    (Descs::Float(q), Descs::Float(v)) => {
-                        knn_match_float(q, v).expect("widths uniform per kind")
-                    }
+                    (Descs::Float(q), Descs::Float(v)) => knn_match_float(q, v).unwrap_or_default(),
                     (Descs::Binary(q), Descs::Binary(v)) => {
-                        knn_match_binary(q, v).expect("widths uniform per kind")
+                        knn_match_binary(q, v).unwrap_or_default()
                     }
                     _ => unreachable!("index holds a single descriptor kind"),
                 };
@@ -146,18 +176,24 @@ pub fn classify_descriptors_verified(
                     continue;
                 }
                 let survivors = ratio_test_matches(&matches, ratio);
-                let verification =
-                    verify_matches(q_kps, &reference.keypoints[vi], &survivors, ransac)
-                        .expect("indices are internally consistent");
+                // A RANSAC failure on one view means that view offers no
+                // verified inliers.
+                let inliers = verify_matches(q_kps, &reference.keypoints[vi], &survivors, ransac)
+                    .map(|v| v.inliers.len())
+                    .unwrap_or(0);
                 let mean_dist = if survivors.is_empty() {
                     f32::INFINITY
                 } else {
                     survivors.iter().map(|m| m.distance).sum::<f32>() / survivors.len() as f32
                 };
-                if verification.inliers.len() > best_inliers
-                    || (verification.inliers.len() == best_inliers && mean_dist < best_dist)
+                if mean_dist.is_nan() {
+                    diag.record_nan_scores(1);
+                }
+                if inliers > best_inliers
+                    || (inliers == best_inliers
+                        && nan_last_f32(mean_dist, best_dist) == std::cmp::Ordering::Less)
                 {
-                    best_inliers = verification.inliers.len();
+                    best_inliers = inliers;
                     best_dist = mean_dist;
                     best_class = reference.classes[vi];
                 }
@@ -165,13 +201,14 @@ pub fn classify_descriptors_verified(
             if best_inliers == 0 {
                 // Nothing geometrically consistent anywhere: deterministic
                 // pseudo-random fallback (as in `classify_descriptors`).
+                diag.record_degraded(1);
                 ObjectClass::from_index((qi * 7 + 3) % ObjectClass::COUNT)
-                    .expect("modulo keeps the index in range")
+                    .unwrap_or(reference.classes[0])
             } else {
                 best_class
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Classify every query of `queries` against the `reference` index.
@@ -191,8 +228,32 @@ pub fn classify_descriptors(
     reference: &DescriptorIndex,
     ratio: f32,
 ) -> Vec<ObjectClass> {
-    assert_eq!(queries.kind, reference.kind, "descriptor kinds must match");
-    assert!(!reference.is_empty(), "reference index is empty");
+    let diag = Diagnostics::new();
+    match try_classify_descriptors(queries, reference, ratio, &diag) {
+        Ok(preds) => preds,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`classify_descriptors`]: kind mismatches and empty
+/// reference indices are typed errors; featureless queries and queries
+/// whose keypoints all fail the ratio test degrade per-item (counted in
+/// `diag`) instead of aborting the batch.
+pub fn try_classify_descriptors(
+    queries: &DescriptorIndex,
+    reference: &DescriptorIndex,
+    ratio: f32,
+    diag: &Diagnostics,
+) -> Result<Vec<ObjectClass>> {
+    if queries.kind != reference.kind {
+        return Err(Error::KindMismatch {
+            query: queries.kind.label(),
+            reference: reference.kind.label(),
+        });
+    }
+    if reference.is_empty() {
+        return Err(Error::EmptyReference("reference index is empty"));
+    }
 
     // Pool all reference descriptors, remembering each one's class.
     let (pool, owners): (Descs, Vec<ObjectClass>) = match &reference.descs[0] {
@@ -221,27 +282,33 @@ pub fn classify_descriptors(
             (Descs::Binary(pool), owners)
         }
     };
-    assert!(!owners.is_empty(), "reference index has no descriptors");
+    if owners.is_empty() {
+        return Err(Error::EmptyReference("reference index has no descriptors"));
+    }
 
-    queries
+    Ok(queries
         .descs
         .par_iter()
         .enumerate()
         .map(|(qi, q)| {
+            // Widths are uniform per kind by construction; a matcher error
+            // degrades this query to "featureless" rather than poisoning
+            // the whole batch.
             let matches = match (q, &pool) {
-                (Descs::Float(q), Descs::Float(p)) => {
-                    knn_match_float(q, p).expect("widths uniform per kind")
-                }
-                (Descs::Binary(q), Descs::Binary(p)) => {
-                    knn_match_binary(q, p).expect("widths uniform per kind")
-                }
+                (Descs::Float(q), Descs::Float(p)) => knn_match_float(q, p).unwrap_or_default(),
+                (Descs::Binary(q), Descs::Binary(p)) => knn_match_binary(q, p).unwrap_or_default(),
                 _ => unreachable!("index holds a single descriptor kind"),
             };
+            let fallback = ObjectClass::from_index((qi * 7 + 3) % ObjectClass::COUNT)
+                .unwrap_or(reference.classes[0]);
             if matches.is_empty() {
                 // Deterministic fallback for featureless queries.
-                return ObjectClass::from_index((qi * 7 + 3) % ObjectClass::COUNT)
-                    .expect("modulo keeps the index in range");
+                diag.record_degraded(1);
+                return fallback;
             }
+            diag.record_nan_scores(
+                matches.iter().filter(|m| m.best.distance.is_nan()).count() as u64
+            );
             let mut votes = [0usize; ObjectClass::COUNT];
             let mut dist_sum = [0.0f32; ObjectClass::COUNT];
             for m in ratio_test_matches(&matches, ratio) {
@@ -250,14 +317,13 @@ pub fn classify_descriptors(
                 dist_sum[class.index()] += m.distance;
             }
             if votes.iter().all(|&v| v == 0) {
-                // No survivor: fall back to the best unfiltered match.
-                let best = matches
+                // No survivor: fall back to the best unfiltered match
+                // (a NaN distance never wins the argmin).
+                return matches
                     .iter()
-                    .min_by(|a, b| {
-                        a.best.distance.partial_cmp(&b.best.distance).expect("distances are finite")
-                    })
-                    .expect("non-empty matches");
-                return owners[best.best.train_idx];
+                    .min_by(|a, b| nan_last_f32(a.best.distance, b.best.distance))
+                    .map(|best| owners[best.best.train_idx])
+                    .unwrap_or(fallback);
             }
             // Majority vote; ties broken by smaller mean distance.
             let mut best_class = 0usize;
@@ -271,9 +337,9 @@ pub fn classify_descriptors(
                     best_class = c;
                 }
             }
-            ObjectClass::from_index(best_class).expect("index below COUNT")
+            ObjectClass::from_index(best_class).unwrap_or(fallback)
         })
-        .collect()
+        .collect())
 }
 
 /// Ground-truth classes of an index, in image order.

@@ -1,0 +1,156 @@
+//! Per-run diagnostics for the inference core.
+//!
+//! The pipelines never abort on bad data; they quarantine it and keep
+//! going. [`Diagnostics`] is the ledger of how often that happened in a
+//! run: NaN scores pushed to the back of a ranking, and per-item
+//! fallback predictions emitted for degenerate crops. Counters are
+//! atomic so the rayon-parallel scoring loops can record through a
+//! shared reference; relaxed ordering is enough because the counts are
+//! only read after the parallel section joins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters describing how much a run had to degrade.
+///
+/// A fresh instance is "clean"; pipelines increment it as they
+/// quarantine NaNs or substitute fallback predictions. Snapshot it with
+/// [`Diagnostics::report`] for serialisation.
+#[derive(Debug, Default)]
+pub struct Diagnostics {
+    nan_scores: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl Diagnostics {
+    /// A clean ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` NaN match scores quarantined (ranked last, never
+    /// winning an argmin/argmax).
+    pub fn record_nan_scores(&self, n: u64) {
+        if n > 0 {
+            self.nan_scores.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` per-item fallback predictions (degenerate crop,
+    /// featureless query, empty match set).
+    pub fn record_degraded(&self, n: u64) {
+        if n > 0 {
+            self.degraded.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// NaN scores quarantined so far.
+    pub fn nan_scores(&self) -> u64 {
+        self.nan_scores.load(Ordering::Relaxed)
+    }
+
+    /// Fallback predictions emitted so far.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Whether the run saw no quarantined NaNs and no fallbacks.
+    pub fn is_clean(&self) -> bool {
+        self.nan_scores() == 0 && self.degraded() == 0
+    }
+
+    /// Fold another ledger's counts into this one.
+    pub fn merge(&self, other: &Diagnostics) {
+        self.record_nan_scores(other.nan_scores());
+        self.record_degraded(other.degraded());
+    }
+
+    /// Immutable snapshot for reporting.
+    pub fn report(&self) -> DiagnosticsReport {
+        DiagnosticsReport { nan_scores: self.nan_scores(), degraded: self.degraded() }
+    }
+}
+
+impl Clone for Diagnostics {
+    fn clone(&self) -> Self {
+        Diagnostics {
+            nan_scores: AtomicU64::new(self.nan_scores()),
+            degraded: AtomicU64::new(self.degraded()),
+        }
+    }
+}
+
+/// Serialisable snapshot of a [`Diagnostics`] ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DiagnosticsReport {
+    /// NaN match scores quarantined during ranking.
+    pub nan_scores: u64,
+    /// Per-item fallback predictions emitted instead of aborting.
+    pub degraded: u64,
+}
+
+impl DiagnosticsReport {
+    /// Whether the run saw no quarantined NaNs and no fallbacks.
+    pub fn is_clean(&self) -> bool {
+        self.nan_scores == 0 && self.degraded == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let d = Diagnostics::new();
+        assert!(d.is_clean());
+        d.record_nan_scores(3);
+        d.record_degraded(1);
+        d.record_nan_scores(0); // no-op
+        assert_eq!(d.nan_scores(), 3);
+        assert_eq!(d.degraded(), 1);
+        assert!(!d.is_clean());
+        let r = d.report();
+        assert_eq!(r, DiagnosticsReport { nan_scores: 3, degraded: 1 });
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn merge_folds_counts() {
+        let a = Diagnostics::new();
+        let b = Diagnostics::new();
+        b.record_nan_scores(2);
+        b.record_degraded(5);
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.nan_scores(), 4);
+        assert_eq!(a.degraded(), 10);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let d = std::sync::Arc::new(Diagnostics::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        d.record_nan_scores(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.nan_scores(), 400);
+    }
+
+    #[test]
+    fn report_serialises() {
+        let d = Diagnostics::new();
+        d.record_degraded(7);
+        let json = serde_json::to_string(&d.report()).unwrap();
+        let back: DiagnosticsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.degraded, 7);
+    }
+}

@@ -152,7 +152,7 @@ pub fn roc_auc(truth: &[usize], scores: &[f32]) -> f64 {
     }
     // Rank the scores (average ranks for ties).
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    order.sort_by(|&a, &b| taor_imgproc::cmp::nan_last_f32(scores[a], scores[b]));
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {

@@ -14,10 +14,13 @@
 //! β = 0.7 as its most consistent hybrid; those are the defaults here.
 
 use crate::color_only::ColorScorer;
+use crate::diag::Diagnostics;
+use crate::error::{Error, Result};
 use crate::pipeline::{MatchScorer, RefView};
 use crate::shape_only::ShapeScorer;
 use rayon::prelude::*;
 use taor_data::ObjectClass;
+use taor_imgproc::cmp::nan_last_f64;
 use taor_imgproc::histogram::HistCompare;
 use taor_imgproc::moments::MatchShapesMode;
 
@@ -81,18 +84,43 @@ impl HybridConfig {
 }
 
 /// Classify queries with the hybrid pipeline under one aggregation rule.
+///
+/// Legacy wrapper over [`try_classify_hybrid`]: panics on an empty
+/// reference set and discards diagnostics.
 pub fn classify_hybrid(
     queries: &[RefView],
     views: &[RefView],
     cfg: &HybridConfig,
     agg: Aggregation,
 ) -> Vec<ObjectClass> {
-    assert!(!views.is_empty(), "reference set is empty");
-    queries
+    let diag = Diagnostics::new();
+    match try_classify_hybrid(queries, views, cfg, agg, &diag) {
+        Ok(preds) => preds,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`classify_hybrid`]: an empty reference set is an
+/// [`Error::EmptyReference`]; NaN θ scores are quarantined (counted in
+/// `diag`, never winning the argmin under any aggregation); a query for
+/// which no group produced a finite mean falls back to the first
+/// reference view's class and is counted as degraded.
+pub fn try_classify_hybrid(
+    queries: &[RefView],
+    views: &[RefView],
+    cfg: &HybridConfig,
+    agg: Aggregation,
+    diag: &Diagnostics,
+) -> Result<Vec<ObjectClass>> {
+    if views.is_empty() {
+        return Err(Error::EmptyReference("reference set is empty"));
+    }
+    Ok(queries
         .par_iter()
         .map(|q| {
             let thetas: Vec<f64> = views.iter().map(|v| cfg.theta(&q.feat, &v.feat)).collect();
-            match agg {
+            diag.record_nan_scores(thetas.iter().filter(|t| t.is_nan()).count() as u64);
+            let (best, best_class) = match agg {
                 Aggregation::WeightedSum => {
                     let (mut best, mut best_class) = (f64::INFINITY, views[0].class);
                     for (v, &t) in views.iter().zip(&thetas) {
@@ -101,7 +129,7 @@ pub fn classify_hybrid(
                             best_class = v.class;
                         }
                     }
-                    best_class
+                    (best, best_class)
                 }
                 Aggregation::MicroAverage => {
                     // Average per (class, model) group.
@@ -110,18 +138,25 @@ pub fn classify_hybrid(
                 Aggregation::MacroAverage => {
                     argmin_grouped(views, &thetas, |v| (v.class.index(), 0))
                 }
+            };
+            if !best.is_finite() {
+                diag.record_degraded(1);
             }
+            best_class
         })
-        .collect()
+        .collect())
 }
 
-/// Argmin over group means; groups are keyed by `key(view)` and resolve to
-/// the group's class.
+/// Argmin over group means; groups are keyed by `key(view)` and resolve
+/// to `(mean, class)` of the winning group. A NaN group mean never wins
+/// unless every mean is NaN; `views` must be non-empty (the caller
+/// checks), and the all-NaN case still resolves deterministically to the
+/// first group in key order.
 fn argmin_grouped(
     views: &[RefView],
     thetas: &[f64],
     key: impl Fn(&RefView) -> (usize, usize),
-) -> ObjectClass {
+) -> (f64, ObjectClass) {
     use std::collections::HashMap;
     let mut sums: HashMap<(usize, usize), (f64, usize, ObjectClass)> = HashMap::new();
     for (v, &t) in views.iter().zip(thetas) {
@@ -135,9 +170,8 @@ fn argmin_grouped(
     entries
         .into_iter()
         .map(|(_, (sum, n, class))| (sum / n as f64, class))
-        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"))
-        .expect("non-empty reference set")
-        .1
+        .min_by(|a, b| nan_last_f64(a.0, b.0))
+        .unwrap_or((f64::INFINITY, views[0].class))
 }
 
 #[cfg(test)]

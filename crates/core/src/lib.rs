@@ -37,7 +37,10 @@
 
 pub mod color_only;
 pub mod descriptors;
+pub mod diag;
+pub mod error;
 pub mod eval;
+pub mod fault;
 pub mod hybrid;
 pub mod pipeline;
 pub mod preprocess;
@@ -52,14 +55,21 @@ pub mod prelude {
     pub use crate::color_only::ColorScorer;
     pub use crate::descriptors::{
         classify_descriptors, classify_descriptors_verified, extract_index, index_truth,
-        DescriptorIndex, DescriptorKind,
+        try_classify_descriptors, try_classify_descriptors_verified, DescriptorIndex,
+        DescriptorKind,
     };
+    pub use crate::diag::{Diagnostics, DiagnosticsReport};
     pub use crate::eval::{
         evaluate, evaluate_binary, random_baseline, BinaryEvaluation, ClassMetrics, Evaluation,
     };
-    pub use crate::hybrid::{classify_hybrid, Aggregation, HybridConfig};
+    pub use crate::fault::{
+        adversarial_corpus, run_fault_injection, AdversarialCase, FaultReport, NanScorer,
+        PipelineOutcome,
+    };
+    pub use crate::hybrid::{classify_hybrid, try_classify_hybrid, Aggregation, HybridConfig};
     pub use crate::pipeline::{
-        classify_per_view, classify_per_view_ranked, prepare_views, truth_of, MatchScorer, RefView,
+        classify_per_view, classify_per_view_ranked, prepare_views, truth_of,
+        try_classify_per_view, try_classify_per_view_ranked, MatchScorer, RefView,
     };
     pub use crate::preprocess::{binarise, preprocess, Background, Preprocessed, HIST_BINS};
     pub use crate::recognizer::{Method, Recognition, Recognizer};
@@ -68,13 +78,18 @@ pub mod prelude {
     };
     pub use crate::segment::{
         border_colors, evaluate_scene, foreground_mask, iou, mask_against, recognise_frame,
-        segment_frame, Detection, SceneEvaluation, SegmentConfig, SegmentedObject,
+        segment_frame, try_foreground_mask, try_recognise_frame, try_segment_frame, Detection,
+        SceneEvaluation, SegmentConfig, SegmentedObject,
     };
     pub use crate::shape_only::ShapeScorer;
     pub use crate::siamese::{
-        evaluate_siamese, image_to_tensor, pairs_to_samples, train_siamese, CosineSiamese,
-        SiameseConfig,
+        evaluate_siamese, image_to_tensor, pairs_to_samples, train_siamese, try_train_siamese,
+        CosineSiamese, SiameseConfig,
     };
 }
 
 pub use prelude::*;
+
+// The error taxonomy is re-exported at the root only (not via the
+// prelude) so glob-importers keep the std `Result`.
+pub use crate::error::{Error, Result};

@@ -11,9 +11,12 @@
 //! a (query, view) pair into a *distance* (lower = more similar);
 //! [`classify_per_view`] predicts by argmin over every reference view.
 
+use crate::diag::Diagnostics;
+use crate::error::{Error, Result};
 use crate::preprocess::{preprocess, Background, Preprocessed, HIST_BINS};
 use rayon::prelude::*;
 use taor_data::{Dataset, ObjectClass};
+use taor_imgproc::cmp::nan_last_f64;
 
 /// One preprocessed reference view (or query crop).
 #[derive(Debug, Clone)]
@@ -68,35 +71,65 @@ const QUERY_BLOCK: usize = 8;
 
 /// Classify every query by the class of its argmin view (the paper's
 /// ΘT rule; also how the shape-only and colour-only pipelines decide).
+///
+/// Legacy wrapper over [`try_classify_per_view`]: panics on an empty
+/// reference set and discards diagnostics. New code should call the
+/// `try_` variant and choose its own degradation policy.
 pub fn classify_per_view(
     queries: &[RefView],
     views: &[RefView],
     scorer: &dyn MatchScorer,
 ) -> Vec<ObjectClass> {
-    assert!(!views.is_empty(), "reference set is empty");
+    let diag = Diagnostics::new();
+    match try_classify_per_view(queries, views, scorer, &diag) {
+        Ok(preds) => preds,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`classify_per_view`]: an empty reference set is an
+/// [`Error::EmptyReference`]; NaN match scores are quarantined (they
+/// never beat the running argmin) and counted in `diag`; a query for
+/// which *no* view produced a finite distance receives the first
+/// reference view's class as a deterministic fallback and is counted as
+/// degraded.
+pub fn try_classify_per_view(
+    queries: &[RefView],
+    views: &[RefView],
+    scorer: &dyn MatchScorer,
+    diag: &Diagnostics,
+) -> Result<Vec<ObjectClass>> {
+    if views.is_empty() {
+        return Err(Error::EmptyReference("reference set is empty"));
+    }
     // Tiled scan: a block of queries walks one tile of reference views at
     // a time, so tile features are reused across the block instead of
     // streaming the whole reference set per query. Each (query, view)
     // pair passes the query's running best as the abandon bound.
-    queries
+    Ok(queries
         .par_chunks(QUERY_BLOCK)
         .flat_map(|block| {
             let mut best = vec![f64::INFINITY; block.len()];
             let mut best_class = vec![views[0].class; block.len()];
+            let mut nan_seen = 0u64;
             for tile in views.chunks(VIEW_TILE) {
                 for (qi, q) in block.iter().enumerate() {
                     for v in tile {
                         let s = scorer.score_bounded(&q.feat, &v.feat, best[qi]);
-                        if s < best[qi] {
+                        if s.is_nan() {
+                            nan_seen += 1;
+                        } else if s < best[qi] {
                             best[qi] = s;
                             best_class[qi] = v.class;
                         }
                     }
                 }
             }
+            diag.record_nan_scores(nan_seen);
+            diag.record_degraded(best.iter().filter(|b| b.is_infinite()).count() as u64);
             best_class
         })
-        .collect()
+        .collect())
 }
 
 /// Ground-truth classes of a prepared query set.
@@ -113,11 +146,32 @@ pub fn classify_per_view_ranked(
     views: &[RefView],
     scorer: &dyn MatchScorer,
 ) -> Vec<Vec<ObjectClass>> {
-    assert!(!views.is_empty(), "reference set is empty");
-    queries
+    let diag = Diagnostics::new();
+    match try_classify_per_view_ranked(queries, views, scorer, &diag) {
+        Ok(ranked) => ranked,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`classify_per_view_ranked`] with the same NaN-quarantine
+/// and degradation accounting as [`try_classify_per_view`]. A query
+/// whose every class distance stayed infinite still yields a full,
+/// deterministic class permutation (index order) and counts as
+/// degraded.
+pub fn try_classify_per_view_ranked(
+    queries: &[RefView],
+    views: &[RefView],
+    scorer: &dyn MatchScorer,
+    diag: &Diagnostics,
+) -> Result<Vec<Vec<ObjectClass>>> {
+    if views.is_empty() {
+        return Err(Error::EmptyReference("reference set is empty"));
+    }
+    Ok(queries
         .par_chunks(QUERY_BLOCK)
         .flat_map(|block| {
             let mut best = vec![[f64::INFINITY; ObjectClass::COUNT]; block.len()];
+            let mut nan_seen = 0u64;
             for tile in views.chunks(VIEW_TILE) {
                 for (qi, q) in block.iter().enumerate() {
                     for v in tile {
@@ -125,26 +179,27 @@ pub fn classify_per_view_ranked(
                         // A view only matters if it improves its own
                         // class's best, so that is the abandon bound.
                         let s = scorer.score_bounded(&q.feat, &v.feat, best[qi][i]);
-                        if s < best[qi][i] {
+                        if s.is_nan() {
+                            nan_seen += 1;
+                        } else if s < best[qi][i] {
                             best[qi][i] = s;
                         }
                     }
                 }
             }
+            diag.record_nan_scores(nan_seen);
+            diag.record_degraded(
+                best.iter().filter(|pc| pc.iter().all(|d| d.is_infinite())).count() as u64,
+            );
             best.into_iter()
                 .map(|per_class| {
                     let mut order: Vec<usize> = (0..ObjectClass::COUNT).collect();
-                    order.sort_by(|&a, &b| {
-                        per_class[a].partial_cmp(&per_class[b]).expect("finite or inf")
-                    });
-                    order
-                        .into_iter()
-                        .map(|i| ObjectClass::from_index(i).expect("index below COUNT"))
-                        .collect::<Vec<_>>()
+                    order.sort_by(|&a, &b| nan_last_f64(per_class[a], per_class[b]));
+                    order.into_iter().filter_map(ObjectClass::from_index).collect::<Vec<_>>()
                 })
                 .collect::<Vec<_>>()
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

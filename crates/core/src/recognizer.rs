@@ -7,12 +7,15 @@
 //! any of the paper's matching pipelines.
 
 use crate::color_only::ColorScorer;
+use crate::diag::{Diagnostics, DiagnosticsReport};
+use crate::error::{Error, Result};
 use crate::eval::top_k_accuracy;
 use crate::hybrid::HybridConfig;
 use crate::pipeline::{prepare_views, MatchScorer, RefView};
 use crate::preprocess::{preprocess, Background, HIST_BINS};
 use crate::shape_only::ShapeScorer;
 use taor_data::{Dataset, ObjectClass};
+use taor_imgproc::cmp::nan_last_f64;
 use taor_imgproc::image::RgbImage;
 
 /// Which matching pipeline the recognizer runs.
@@ -54,15 +57,46 @@ pub struct Recognizer {
     refs: Vec<RefView>,
     method: Method,
     query_background: Background,
+    diag: Diagnostics,
 }
 
 impl Recognizer {
     /// Build from a catalog dataset (preprocessed once, white-background
     /// convention) and a matching method. `query_background` states which
     /// convention incoming crops use (black masks for robot/NYU crops).
+    ///
+    /// Legacy wrapper over [`Recognizer::try_new`]: panics when the
+    /// catalog is empty.
     pub fn new(catalog: &Dataset, method: Method, query_background: Background) -> Self {
-        assert!(!catalog.is_empty(), "reference catalog is empty");
-        Recognizer { refs: prepare_views(catalog, Background::White), method, query_background }
+        match Recognizer::try_new(catalog, method, query_background) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: an empty catalog is an
+    /// [`Error::EmptyReference`] instead of a panic.
+    pub fn try_new(
+        catalog: &Dataset,
+        method: Method,
+        query_background: Background,
+    ) -> Result<Self> {
+        if catalog.is_empty() {
+            return Err(Error::EmptyReference("reference catalog is empty"));
+        }
+        Ok(Recognizer {
+            refs: prepare_views(catalog, Background::White),
+            method,
+            query_background,
+            diag: Diagnostics::new(),
+        })
+    }
+
+    /// Snapshot of the degradation counters accumulated over every
+    /// [`Recognizer::recognize`] call so far (NaN distances quarantined,
+    /// crops answered via the uniform-confidence fallback).
+    pub fn diagnostics(&self) -> DiagnosticsReport {
+        self.diag.report()
     }
 
     /// Number of reference views held.
@@ -80,21 +114,28 @@ impl Recognizer {
         }
     }
 
-    /// Recognise one segmented crop.
+    /// Recognise one segmented crop. Never panics: NaN distances are
+    /// quarantined (counted in [`Recognizer::diagnostics`], never
+    /// winning the argmin) and a crop that matches nothing still yields
+    /// a full ranking with uniform confidence, counted as degraded.
     pub fn recognize(&self, crop: &RgbImage) -> Recognition {
         let q = preprocess(crop, self.query_background, HIST_BINS);
         let mut best = [f64::INFINITY; ObjectClass::COUNT];
+        let mut nan_seen = 0u64;
         for v in &self.refs {
             let d = self.distance(&q, v);
             let i = v.class.index();
-            if d < best[i] {
+            if d.is_nan() {
+                nan_seen += 1;
+            } else if d < best[i] {
                 best[i] = d;
             }
         }
+        self.diag.record_nan_scores(nan_seen);
         let mut order: Vec<usize> = (0..ObjectClass::COUNT).collect();
-        order.sort_by(|&a, &b| best[a].partial_cmp(&best[b]).expect("finite or inf"));
+        order.sort_by(|&a, &b| nan_last_f64(best[a], best[b]));
         let ranking: Vec<ObjectClass> =
-            order.iter().map(|&i| ObjectClass::from_index(i).expect("index below COUNT")).collect();
+            order.iter().copied().filter_map(ObjectClass::from_index).collect();
         let class = ranking[0];
 
         // Confidence: softmin margin between the best and second-best
@@ -102,6 +143,7 @@ impl Recognizer {
         let d1 = best[order[0]];
         let d2 = best[order[1]];
         let confidence = if !d1.is_finite() {
+            self.diag.record_degraded(1);
             1.0 / ObjectClass::COUNT as f64 // nothing matched: uniform
         } else if !d2.is_finite() {
             1.0

@@ -11,6 +11,7 @@
 //! the NYU extraction script produced, so the recognition pipelines apply
 //! unchanged.
 
+use crate::error::{Error, Result};
 use rayon::prelude::*;
 use taor_data::{ObjectClass, RoomScene};
 use taor_imgproc::image::{GrayImage, Rect, RgbImage};
@@ -84,14 +85,34 @@ fn l1(a: [u8; 3], b: [u8; 3]) -> u32 {
 }
 
 /// Foreground mask: pixels far from every modelled background colour.
+///
+/// Legacy wrapper over [`try_foreground_mask`]: panics when the
+/// background colour model comes out empty (`background_colors == 0`).
 pub fn foreground_mask(img: &RgbImage, cfg: &SegmentConfig) -> GrayImage {
+    match try_foreground_mask(img, cfg) {
+        Ok(mask) => mask,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`foreground_mask`]: an empty background colour model is an
+/// [`Error::EmptyInput`] instead of an all-foreground mask.
+pub fn try_foreground_mask(img: &RgbImage, cfg: &SegmentConfig) -> Result<GrayImage> {
     let bg = border_colors(img, cfg.background_colors);
     mask_against(img, &bg, cfg.color_threshold)
 }
 
 /// Foreground mask against an explicit background colour model (e.g. the
 /// model of a whole frame, applied to a crop of it).
-pub fn mask_against(img: &RgbImage, background: &[[u8; 3]], threshold: u32) -> GrayImage {
+///
+/// An empty model is an [`Error::EmptyInput`]: with nothing to compare
+/// against, every pixel would sit at infinite distance and the whole
+/// frame would silently be declared foreground — a full-frame
+/// "detection" that poisons downstream scene metrics.
+pub fn mask_against(img: &RgbImage, background: &[[u8; 3]], threshold: u32) -> Result<GrayImage> {
+    if background.is_empty() {
+        return Err(Error::EmptyInput("background color model"));
+    }
     let (w, h) = img.dimensions();
     let mut mask = GrayImage::new(w, h);
     for (x, y, px) in img.enumerate_pixels() {
@@ -100,7 +121,7 @@ pub fn mask_against(img: &RgbImage, background: &[[u8; 3]], threshold: u32) -> G
             mask.put(x, y, 255);
         }
     }
-    mask
+    Ok(mask)
 }
 
 /// Segment a frame into black-masked object crops.
@@ -115,9 +136,18 @@ pub fn mask_against(img: &RgbImage, background: &[[u8; 3]], threshold: u32) -> G
 /// assert!(!segments.is_empty());
 /// ```
 pub fn segment_frame(img: &RgbImage, cfg: &SegmentConfig) -> Vec<SegmentedObject> {
-    let mask = open(&foreground_mask(img, cfg), cfg.open_radius);
+    match try_segment_frame(img, cfg) {
+        Ok(segs) => segs,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`segment_frame`]: an empty background colour model is an
+/// [`Error::EmptyInput`] instead of one giant full-frame component.
+pub fn try_segment_frame(img: &RgbImage, cfg: &SegmentConfig) -> Result<Vec<SegmentedObject>> {
+    let mask = open(&try_foreground_mask(img, cfg)?, cfg.open_radius);
     let labels = label_components(&mask);
-    labels
+    Ok(labels
         .filtered(cfg.min_area)
         .into_iter()
         .map(|comp| {
@@ -133,7 +163,7 @@ pub fn segment_frame(img: &RgbImage, cfg: &SegmentConfig) -> Vec<SegmentedObject
             }
             SegmentedObject { bbox, crop, area: comp.area }
         })
-        .collect()
+        .collect())
 }
 
 /// A detection: segmented region plus predicted class.
@@ -151,10 +181,22 @@ pub fn recognise_frame(
     cfg: &SegmentConfig,
     classify: impl Fn(&RgbImage) -> ObjectClass + Sync,
 ) -> Vec<Detection> {
-    segment_frame(img, cfg)
+    match try_recognise_frame(img, cfg, classify) {
+        Ok(dets) => dets,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`recognise_frame`], propagating segmentation errors.
+pub fn try_recognise_frame(
+    img: &RgbImage,
+    cfg: &SegmentConfig,
+    classify: impl Fn(&RgbImage) -> ObjectClass + Sync,
+) -> Result<Vec<Detection>> {
+    Ok(try_segment_frame(img, cfg)?
         .into_par_iter()
         .map(|seg| Detection { bbox: seg.bbox, class: classify(&seg.crop) })
-        .collect()
+        .collect())
 }
 
 /// Intersection-over-union of two rectangles.
@@ -312,6 +354,32 @@ mod tests {
         let eval = evaluate_scene(&s, &[]);
         assert_eq!(eval.detected, 0);
         assert_eq!(eval.detection_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_background_model_is_an_error_not_full_frame_foreground() {
+        let s = scene(7, &[ObjectClass::Chair]);
+        // Explicit empty model: must refuse, not mark every pixel.
+        assert!(matches!(
+            mask_against(&s.image, &[], 40),
+            Err(crate::error::Error::EmptyInput("background color model"))
+        ));
+        // Zero modelled colours propagates the same error end to end.
+        let cfg = SegmentConfig { background_colors: 0, ..Default::default() };
+        assert!(try_foreground_mask(&s.image, &cfg).is_err());
+        assert!(try_segment_frame(&s.image, &cfg).is_err());
+        assert!(try_recognise_frame(&s.image, &cfg, |_| ObjectClass::Chair).is_err());
+    }
+
+    #[test]
+    fn nonempty_model_still_masks() {
+        let s = scene(8, &[ObjectClass::Lamp]);
+        let bg = border_colors(&s.image, 3);
+        let mask = mask_against(&s.image, &bg, 40).unwrap();
+        let lit = mask.as_raw().iter().filter(|&&v| v > 0).count();
+        let total = mask.as_raw().len();
+        assert!(lit > 0, "no foreground found");
+        assert!(lit < total, "whole frame marked foreground");
     }
 
     #[test]

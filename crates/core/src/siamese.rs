@@ -115,16 +115,33 @@ pub fn pairs_to_samples(pairs: &[ImagePair<'_>], cfg: &NetConfig) -> Vec<PairSam
 }
 
 /// Train the Normalized-X-Corr net on SNS2 pairs per the paper's recipe.
+///
+/// Legacy wrapper over [`try_train_siamese`]: panics when the configured
+/// input resolution is too small for the architecture.
 pub fn train_siamese(
     sns2: &Dataset,
     cfg: &SiameseConfig,
     on_epoch: impl FnMut(&taor_nn::EpochStats),
 ) -> (NormXCorrNet, TrainReport) {
+    match try_train_siamese(sns2, cfg, on_epoch) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`train_siamese`]: an undersized network input resolution is
+/// a typed [`crate::Error::Nn`] ([`taor_nn::TensorError::InputTooSmall`])
+/// instead of a panic.
+pub fn try_train_siamese(
+    sns2: &Dataset,
+    cfg: &SiameseConfig,
+    on_epoch: impl FnMut(&taor_nn::EpochStats),
+) -> crate::error::Result<(NormXCorrNet, TrainReport)> {
+    let mut net = NormXCorrNet::new(cfg.net.clone())?;
     let pairs = taor_data::training_pairs(sns2, cfg.n_train_pairs, cfg.seed);
     let samples = pairs_to_samples(&pairs, &cfg.net);
-    let mut net = NormXCorrNet::new(cfg.net.clone());
     let report = train(&mut net, &samples, &cfg.train, on_epoch);
-    (net, report)
+    Ok((net, report))
 }
 
 /// Evaluate a trained net on labelled pairs, producing Table-4-style

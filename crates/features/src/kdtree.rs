@@ -79,9 +79,7 @@ impl<'a> KdTree<'a> {
             return Node::Leaf { items };
         }
         items.sort_by(|&a, &b| {
-            descs.row(a)[best_dim]
-                .partial_cmp(&descs.row(b)[best_dim])
-                .expect("descriptor values are finite")
+            taor_imgproc::cmp::nan_last_f32(descs.row(a)[best_dim], descs.row(b)[best_dim])
         });
         let mid = items.len() / 2;
         let value = descs.row(items[mid])[best_dim];

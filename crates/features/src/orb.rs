@@ -241,7 +241,7 @@ pub fn orb_detect_and_compute(
     let img_f = img.to_f32();
     let mut ranked: Vec<(u32, u32, f32, f32)> =
         scores.into_iter().map(|(x, y, s)| (x, y, s, harris_response(&img_f, x, y, 3))).collect();
-    ranked.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("harris responses are finite"));
+    ranked.sort_by(|a, b| taor_imgproc::cmp::nan_last_desc_f32(a.3, b.3));
     ranked.truncate(params.max_features);
 
     // --- Orientation + steered BRIEF over a smoothed image (BRIEF needs

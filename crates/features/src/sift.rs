@@ -429,7 +429,7 @@ pub fn sift_detect_and_compute(
         }
     }
 
-    keypoints.sort_by(|a, b| b.0.response.partial_cmp(&a.0.response).expect("finite responses"));
+    keypoints.sort_by(|a, b| taor_imgproc::cmp::nan_last_desc_f32(a.0.response, b.0.response));
     if params.max_features > 0 {
         keypoints.truncate(params.max_features);
     }

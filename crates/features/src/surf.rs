@@ -267,7 +267,7 @@ pub fn surf_detect_and_compute(
         }
     }
 
-    keypoints.sort_by(|a, b| b.response.partial_cmp(&a.response).expect("finite responses"));
+    keypoints.sort_by(|a, b| taor_imgproc::cmp::nan_last_desc_f32(a.response, b.response));
     if params.max_features > 0 {
         keypoints.truncate(params.max_features);
     }

@@ -1,0 +1,141 @@
+//! NaN-quarantine float comparators.
+//!
+//! Scores, distances and responses flow through many `sort_by` /
+//! `min_by` / `max_by` sites across the workspace. `partial_cmp` +
+//! `expect` aborts the whole batch the first time a degenerate crop
+//! produces a NaN; these helpers implement the workspace NaN policy
+//! instead:
+//!
+//! * comparisons are **total** (never panic),
+//! * NaN values are **quarantined**: they rank after every real number
+//!   in whichever direction the site sorts, so a NaN score can never
+//!   win an argmin/argmax or displace a real candidate,
+//! * equal values (including `-0.0` vs `0.0`) compare `Equal`, so
+//!   stable sorts keep their pre-existing order and non-degenerate
+//!   outputs stay byte-identical to the `partial_cmp` era.
+//!
+//! Non-NaN, non-equal values defer to [`f64::total_cmp`] /
+//! [`f32::total_cmp`].
+
+use std::cmp::Ordering;
+
+macro_rules! nan_cmp_impls {
+    ($asc:ident, $desc:ident, $first:ident, $t:ty) => {
+        /// Ascending order; NaN sorts after every real value.
+        #[inline]
+        pub fn $asc(a: $t, b: $t) -> Ordering {
+            match (a.is_nan(), b.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => {
+                    if a == b {
+                        Ordering::Equal
+                    } else {
+                        a.total_cmp(&b)
+                    }
+                }
+            }
+        }
+
+        /// Descending order; NaN still sorts after every real value.
+        #[inline]
+        pub fn $desc(a: $t, b: $t) -> Ordering {
+            match (a.is_nan(), b.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => {
+                    if a == b {
+                        Ordering::Equal
+                    } else {
+                        b.total_cmp(&a)
+                    }
+                }
+            }
+        }
+
+        /// Ascending order; NaN sorts *before* every real value — for
+        /// `max_by` sites, where the quarantine direction flips (the
+        /// maximum under this ordering is never NaN).
+        #[inline]
+        pub fn $first(a: $t, b: $t) -> Ordering {
+            match (a.is_nan(), b.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                (false, false) => {
+                    if a == b {
+                        Ordering::Equal
+                    } else {
+                        a.total_cmp(&b)
+                    }
+                }
+            }
+        }
+    };
+}
+
+nan_cmp_impls!(nan_last_f64, nan_last_desc_f64, nan_first_f64, f64);
+nan_cmp_impls!(nan_last_f32, nan_last_desc_f32, nan_first_f32, f32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_quarantines_nan_at_the_end() {
+        let mut v = [3.0f64, f64::NAN, -1.0, f64::INFINITY, 0.0];
+        v.sort_by(|a, b| nan_last_f64(*a, *b));
+        assert_eq!(&v[..4], &[-1.0, 0.0, 3.0, f64::INFINITY]);
+        assert!(v[4].is_nan());
+    }
+
+    #[test]
+    fn descending_quarantines_nan_at_the_end() {
+        let mut v = [f32::NAN, 3.0f32, -1.0, 7.0];
+        v.sort_by(|a, b| nan_last_desc_f32(*a, *b));
+        assert_eq!(&v[..3], &[7.0, 3.0, -1.0]);
+        assert!(v[3].is_nan());
+    }
+
+    #[test]
+    fn max_by_with_nan_first_never_picks_nan() {
+        let v = [1.0f64, f64::NAN, 5.0, f64::NAN, 2.0];
+        let m = v.iter().copied().max_by(|a, b| nan_first_f64(*a, *b));
+        assert_eq!(m, Some(5.0));
+    }
+
+    #[test]
+    fn min_by_with_nan_last_never_picks_nan() {
+        let v = [f32::NAN, 4.0f32, 2.0, f32::NAN];
+        let m = v.iter().copied().min_by(|a, b| nan_last_f32(*a, *b));
+        assert_eq!(m, Some(2.0));
+    }
+
+    #[test]
+    fn signed_zeros_compare_equal_for_stable_sorts() {
+        assert_eq!(nan_last_f64(-0.0, 0.0), Ordering::Equal);
+        assert_eq!(nan_last_desc_f32(0.0, -0.0), Ordering::Equal);
+        assert_eq!(nan_first_f64(0.0, -0.0), Ordering::Equal);
+    }
+
+    #[test]
+    fn all_nan_inputs_are_well_defined() {
+        assert_eq!(nan_last_f64(f64::NAN, f64::NAN), Ordering::Equal);
+        let m = [f64::NAN, f64::NAN].iter().copied().max_by(|a, b| nan_first_f64(*a, *b));
+        assert!(m.is_some_and(f64::is_nan));
+    }
+
+    #[test]
+    fn agrees_with_partial_cmp_on_real_values() {
+        let vals = [-3.5f64, -0.0, 0.0, 1.0, f64::INFINITY, f64::NEG_INFINITY];
+        for &a in &vals {
+            for &b in &vals {
+                let expected = if a == b { Ordering::Equal } else { a.partial_cmp(&b).unwrap() };
+                assert_eq!(nan_last_f64(a, b), expected, "{a} vs {b}");
+                assert_eq!(nan_first_f64(a, b), expected, "{a} vs {b}");
+            }
+        }
+    }
+}

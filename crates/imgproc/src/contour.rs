@@ -181,9 +181,9 @@ fn trace_boundary(bin: &GrayImage, sx: u32, sy: u32) -> Contour {
 }
 
 /// The contour with the largest shoelace area, ties broken by first
-/// occurrence (raster order).
+/// occurrence (raster order). A NaN area never wins the maximum.
 pub fn largest_contour(contours: &[Contour]) -> Option<&Contour> {
-    contours.iter().max_by(|a, b| a.area().partial_cmp(&b.area()).expect("areas are finite"))
+    contours.iter().max_by(|a, b| crate::cmp::nan_first_f64(a.area(), b.area()))
 }
 
 /// Crop `img` to the bounding rectangle of the largest contour of `bin`.

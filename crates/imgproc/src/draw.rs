@@ -113,7 +113,7 @@ impl Canvas {
                     xs.push(a.x + t * (b.x - a.x));
                 }
             }
-            xs.sort_by(|p, q| p.partial_cmp(q).expect("finite crossings"));
+            xs.sort_by(|p, q| crate::cmp::nan_last_f32(*p, *q));
             for pair in xs.chunks_exact(2) {
                 let x0 = pair[0].round() as i64;
                 let x1 = pair[1].round() as i64;

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod canny;
+pub mod cmp;
 pub mod color;
 pub mod contour;
 pub mod draw;
@@ -60,6 +61,10 @@ pub mod warp;
 /// Convenient glob-import of the most common types and functions.
 pub mod prelude {
     pub use crate::canny::canny;
+    pub use crate::cmp::{
+        nan_first_f32, nan_first_f64, nan_last_desc_f32, nan_last_desc_f64, nan_last_f32,
+        nan_last_f64,
+    };
     pub use crate::color::{rgb_to_gray, rgb_to_hsv, Hsv};
     pub use crate::contour::{crop_to_largest_contour, find_contours, largest_contour, Contour};
     pub use crate::draw::Canvas;

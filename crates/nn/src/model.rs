@@ -175,17 +175,23 @@ struct TowerCache {
 impl NormXCorrNet {
     /// Build the network for a configuration.
     ///
+    /// Returns [`TensorError::InputTooSmall`] when the configured input
+    /// resolution cannot survive the two conv-5×5 + pool-2 stages of the
+    /// shared tower plus the final pool — undersized crops are a data
+    /// condition on a robot, not a programming error, so they must not
+    /// abort the process.
+    ///
     /// ```
     /// use taor_nn::{NetConfig, NormXCorrNet, Tensor};
     ///
     /// let cfg = NetConfig { height: 24, width: 20, c1: 3, c2: 4, c3: 4, dense: 8,
     ///                       ..NetConfig::default() };
-    /// let net = NormXCorrNet::new(cfg.clone());
+    /// let net = NormXCorrNet::new(cfg.clone()).unwrap();
     /// let x = Tensor::full(&[1, 3, cfg.height, cfg.width], 0.1);
     /// let (logits, _) = net.forward(&x, &x).unwrap();
     /// assert_eq!(logits.shape(), &[1, 2]);
     /// ```
-    pub fn new(config: NetConfig) -> Self {
+    pub fn new(config: NetConfig) -> Result<Self, TensorError> {
         let xcorr = NormXCorr::new(config.patch, config.radius);
         let xc_channels = xcorr.out_channels(config.c2);
         // Spatial bookkeeping to size the dense layer. Explicit checked
@@ -197,12 +203,17 @@ impl NormXCorrNet {
             stage(config.width).and_then(stage).map(|v| v / 2),
         ) {
             (Some(h), Some(w)) if h >= 1 && w >= 1 => (h, w),
-            _ => panic!("input {}x{} too small for the architecture", config.width, config.height),
+            _ => {
+                return Err(TensorError::InputTooSmall {
+                    width: config.width,
+                    height: config.height,
+                })
+            }
         };
         // xcorr keeps spatial dims; conv3/conv4 are 3x3 pad 1; final pool /2.
         let flat = config.c3 * h3 * w3;
 
-        NormXCorrNet {
+        Ok(NormXCorrNet {
             conv1: Conv2D::new(3, config.c1, 5, 0, config.seed ^ 0xC0_01),
             conv2: Conv2D::new(config.c1, config.c2, 5, 0, config.seed ^ 0xC0_02),
             conv3: Conv2D::new(xc_channels, config.c3, 3, 1, config.seed ^ 0xC0_03),
@@ -211,7 +222,7 @@ impl NormXCorrNet {
             dense2: Dense::new(config.dense, 2, config.seed ^ 0xD0_02),
             config,
             pool: default_pool(),
-        }
+        })
     }
 
     fn xcorr(&self) -> NormXCorr {
@@ -408,7 +419,7 @@ mod tests {
     #[test]
     fn forward_produces_two_logits() {
         let cfg = tiny_config();
-        let net = NormXCorrNet::new(cfg.clone());
+        let net = NormXCorrNet::new(cfg.clone()).expect("test config is large enough");
         let (a, b) = random_pair(&cfg, 1);
         let (logits, _) = net.forward(&a, &b).unwrap();
         assert_eq!(logits.shape(), &[1, 2]);
@@ -418,7 +429,7 @@ mod tests {
     #[test]
     fn backward_runs_and_produces_finite_grads() {
         let cfg = tiny_config();
-        let net = NormXCorrNet::new(cfg.clone());
+        let net = NormXCorrNet::new(cfg.clone()).expect("test config is large enough");
         let (a, b) = random_pair(&cfg, 2);
         let (logits, cache) = net.forward(&a, &b).unwrap();
         let (_, grad) = softmax_cross_entropy(&logits, &[1]).unwrap();
@@ -434,7 +445,7 @@ mod tests {
     #[test]
     fn single_step_reduces_loss_on_one_pair() {
         let cfg = tiny_config();
-        let mut net = NormXCorrNet::new(cfg.clone());
+        let mut net = NormXCorrNet::new(cfg.clone()).expect("test config is large enough");
         let (a, b) = random_pair(&cfg, 3);
         let mut adam = crate::optim::Adam::new(1e-3, 0.0);
         let mut last = f32::INFINITY;
@@ -458,7 +469,7 @@ mod tests {
         // Feeding (a, a) must give identical gradient contributions from
         // both tower applications — sanity of the weight sharing.
         let cfg = tiny_config();
-        let net = NormXCorrNet::new(cfg.clone());
+        let net = NormXCorrNet::new(cfg.clone()).expect("test config is large enough");
         let (a, _) = random_pair(&cfg, 4);
         let (logits, cache) = net.forward(&a, &a).unwrap();
         let (_, grad) = softmax_cross_entropy(&logits, &[1]).unwrap();
@@ -470,7 +481,7 @@ mod tests {
     #[test]
     fn serde_roundtrip_preserves_predictions() {
         let cfg = tiny_config();
-        let net = NormXCorrNet::new(cfg.clone());
+        let net = NormXCorrNet::new(cfg.clone()).expect("test config is large enough");
         let (a, b) = random_pair(&cfg, 5);
         let p1 = net.predict_similar(&a, &b).unwrap();
         let json = net.to_json();
@@ -482,7 +493,7 @@ mod tests {
     #[test]
     fn dropout_changes_training_forward_but_not_inference() {
         let cfg = NetConfig { dropout: 0.5, ..tiny_config() };
-        let net = NormXCorrNet::new(cfg.clone());
+        let net = NormXCorrNet::new(cfg.clone()).expect("test config is large enough");
         let (a, b) = random_pair(&cfg, 9);
         let (train1, _) = net.forward_ex(&a, &b, Some(1)).unwrap();
         let (train2, _) = net.forward_ex(&a, &b, Some(2)).unwrap();
@@ -495,7 +506,7 @@ mod tests {
     #[test]
     fn dropout_backward_runs() {
         let cfg = NetConfig { dropout: 0.3, ..tiny_config() };
-        let net = NormXCorrNet::new(cfg.clone());
+        let net = NormXCorrNet::new(cfg.clone()).expect("test config is large enough");
         let (a, b) = random_pair(&cfg, 10);
         let (logits, cache) = net.forward_ex(&a, &b, Some(5)).unwrap();
         let (_, grad) = softmax_cross_entropy(&logits, &[0]).unwrap();
@@ -505,9 +516,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "too small")]
-    fn absurdly_small_input_panics_at_construction() {
+    fn absurdly_small_input_is_a_typed_error() {
         let cfg = NetConfig { height: 10, width: 10, ..tiny_config() };
-        let _ = NormXCorrNet::new(cfg);
+        match NormXCorrNet::new(cfg) {
+            Err(TensorError::InputTooSmall { width: 10, height: 10 }) => {}
+            other => panic!("expected InputTooSmall, got {other:?}"),
+        }
     }
 }

@@ -16,6 +16,10 @@ pub enum TensorError {
     LengthMismatch { shape: Vec<usize>, len: usize },
     /// A convolution kernel does not fit inside the padded input.
     KernelTooLarge { kernel: usize, padded_h: usize, padded_w: usize },
+    /// A network input resolution is too small for the architecture to
+    /// produce a non-empty feature map (e.g. the Normalized-X-Corr tower
+    /// shrinks twice by conv 5x5 + pool 2 before the final pool).
+    InputTooSmall { width: usize, height: usize },
 }
 
 impl fmt::Display for TensorError {
@@ -29,6 +33,9 @@ impl fmt::Display for TensorError {
             }
             TensorError::KernelTooLarge { kernel, padded_h, padded_w } => {
                 write!(f, "kernel {kernel}x{kernel} exceeds padded input {padded_h}x{padded_w}")
+            }
+            TensorError::InputTooSmall { width, height } => {
+                write!(f, "input {width}x{height} too small for the architecture")
             }
         }
     }

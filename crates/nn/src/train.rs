@@ -210,6 +210,7 @@ mod tests {
             dense: 8,
             ..Default::default()
         })
+        .expect("test config is large enough")
     }
 
     /// Trivially separable data: "similar" pairs are both bright, others

@@ -66,7 +66,7 @@ fn training_is_deterministic_per_seed() {
 #[test]
 fn net_config_controls_input_resolution() {
     let cfg = NetConfig { height: 48, width: 32, ..NetConfig::default() };
-    let net = NormXCorrNet::new(cfg.clone());
+    let net = NormXCorrNet::new(cfg.clone()).unwrap();
     let sns2 = shapenet_set2(1);
     let t = image_to_tensor(&sns2.images[0].image, &cfg);
     assert_eq!(t.shape(), &[1, 3, 48, 32]);
