@@ -10,7 +10,10 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use taor_features::kdtree::KdTree;
-use taor_features::{knn_match_float, FloatDescriptors};
+use taor_features::{
+    knn_match_binary, knn_match_binary_naive, knn_match_float, knn_match_float_naive,
+    BinaryDescriptors, FloatDescriptors,
+};
 
 fn random_descs(n: usize, w: usize, seed: u64) -> FloatDescriptors {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
@@ -23,6 +26,51 @@ fn random_descs(n: usize, w: usize, seed: u64) -> FloatDescriptors {
         d.push(&row);
     }
     d
+}
+
+fn random_bdescs(n: usize, w: usize, seed: u64) -> BinaryDescriptors {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut d = BinaryDescriptors::new(w);
+    let mut row = vec![0u8; w];
+    for _ in 0..n {
+        for v in &mut row {
+            *v = rng.gen_range(0..=u8::MAX);
+        }
+        d.push(&row);
+    }
+    d
+}
+
+/// Pins for the fast matcher kernels against their retained naive oracles,
+/// at the PR's reference shape: 512 queries × 512 train rows. The GEMM-
+/// backed L2 path (D=128, SIFT width) must hold ≥1.5× over the naive loop
+/// on a single thread; the word-packed Hamming path (32 bytes, ORB width)
+/// is pinned alongside. `norms_sq`/`packed_words` caches are warmed before
+/// the naive timings too, so the comparison isolates the kernels.
+fn bench_matcher_pins(c: &mut Criterion) {
+    let query = random_descs(512, 128, 11);
+    let train = random_descs(512, 128, 12);
+    let _ = (query.norms_sq(), train.norms_sq());
+    let mut g = c.benchmark_group("pin_l2_512x512_d128");
+    g.bench_function("gemm", |b| {
+        b.iter(|| knn_match_float(black_box(&query), black_box(&train)).unwrap())
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| knn_match_float_naive(black_box(&query), black_box(&train)).unwrap())
+    });
+    g.finish();
+
+    let bquery = random_bdescs(512, 32, 13);
+    let btrain = random_bdescs(512, 32, 14);
+    let _ = (bquery.packed_words(), btrain.packed_words());
+    let mut g = c.benchmark_group("pin_hamming_512x512_256bit");
+    g.bench_function("words", |b| {
+        b.iter(|| knn_match_binary(black_box(&bquery), black_box(&btrain)).unwrap())
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| knn_match_binary_naive(black_box(&bquery), black_box(&btrain)).unwrap())
+    });
+    g.finish();
 }
 
 fn bench_matching(c: &mut Criterion) {
@@ -44,6 +92,6 @@ fn bench_matching(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_matching
+    targets = bench_matcher_pins, bench_matching
 }
 criterion_main!(benches);

@@ -41,7 +41,8 @@ pub struct PerfRecord {
     pub mode: String,
     /// Master seed the run used.
     pub seed: u64,
-    /// Worker threads available to the matching loops.
+    /// Actual width of the worker pool behind `par_iter` (1 = sequential):
+    /// `TAOR_THREADS` when set, otherwise `available_parallelism()`.
     pub threads: usize,
     /// Wall-clock seconds across all generated tables.
     pub total_seconds: f64,

@@ -1,0 +1,41 @@
+//! Thread-count determinism: quick-mode repro output must be byte-identical
+//! whether the worker pool is disabled (`TAOR_THREADS=1`, the sequential
+//! fast path in `vendor/rayon`) or running four workers (`TAOR_THREADS=4`).
+//!
+//! This is the end-to-end guarantee behind the pool's ordered-collect and
+//! deterministic-reduction contract: parallelism may change *when* work
+//! runs, never *what* it produces. The matcher's GEMM fast path rides the
+//! same guarantee via its exact-rescore step.
+//!
+//! Tables 2 and 3 cover both matcher families (float L2 and binary
+//! Hamming) plus the classification pipelines; table 4 is skipped here
+//! because its debug-mode runtime would dominate the whole test suite.
+
+use std::process::Command;
+
+fn repro_stdout(threads: &str, table: &str) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--table", table, "--seed", "7"])
+        .env("TAOR_THREADS", threads)
+        .output()
+        .expect("failed to spawn repro binary");
+    assert!(
+        out.status.success(),
+        "repro --table {table} failed with TAOR_THREADS={threads}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn quick_repro_is_byte_identical_across_thread_counts() {
+    for table in ["2", "3"] {
+        let one = repro_stdout("1", table);
+        let four = repro_stdout("4", table);
+        assert!(!one.is_empty(), "table {table} produced no output at TAOR_THREADS=1");
+        assert_eq!(
+            one, four,
+            "table {table}: stdout differs between TAOR_THREADS=1 and TAOR_THREADS=4"
+        );
+    }
+}

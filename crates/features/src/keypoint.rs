@@ -25,22 +25,35 @@ impl KeyPoint {
 }
 
 /// A row-major matrix of float descriptors: `len` rows × `width` columns.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Caches per-row squared norms (the `‖t‖²` term of the GEMM matcher's
+/// `‖q−t‖² = ‖q‖² + ‖t‖² − 2q·t` expansion) lazily on first use, so a
+/// reference index computes them once per build, not once per query
+/// image. The cache is invalidated by `push` and ignored by equality.
+#[derive(Debug, Clone, Default)]
 pub struct FloatDescriptors {
     width: usize,
     data: Vec<f32>,
+    norms: std::sync::OnceLock<Vec<f32>>,
+}
+
+impl PartialEq for FloatDescriptors {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width && self.data == other.data
+    }
 }
 
 impl FloatDescriptors {
     /// Create an empty container for descriptors of the given width.
     pub fn new(width: usize) -> Self {
-        FloatDescriptors { width, data: Vec::new() }
+        FloatDescriptors { width, data: Vec::new(), norms: std::sync::OnceLock::new() }
     }
 
     /// Append one descriptor; `desc.len()` must equal the width.
     pub fn push(&mut self, desc: &[f32]) {
         assert_eq!(desc.len(), self.width, "descriptor width mismatch");
         self.data.extend_from_slice(desc);
+        self.norms = std::sync::OnceLock::new();
     }
 
     /// Number of descriptors.
@@ -67,26 +80,49 @@ impl FloatDescriptors {
     pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
         self.data.chunks_exact(self.width.max(1))
     }
+
+    /// The whole matrix as one contiguous row-major slice (GEMM operand).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Per-row squared L2 norms, computed once and cached (thread-safe).
+    pub fn norms_sq(&self) -> &[f32] {
+        self.norms.get_or_init(|| self.iter().map(|row| row.iter().map(|&v| v * v).sum()).collect())
+    }
 }
 
 /// A row-major matrix of binary descriptors, each `width_bytes` bytes
 /// (ORB uses 32 bytes = 256 bits).
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Caches a zero-padded `u64` repacking of every row (lazily, like the
+/// float norms) so the Hamming matcher runs word-wide `count_ones`
+/// instead of byte-wide: equal padding XORs to zero, so distances are
+/// unchanged. Invalidated by `push`, ignored by equality.
+#[derive(Debug, Clone, Default)]
 pub struct BinaryDescriptors {
     width_bytes: usize,
     data: Vec<u8>,
+    words: std::sync::OnceLock<Vec<u64>>,
+}
+
+impl PartialEq for BinaryDescriptors {
+    fn eq(&self, other: &Self) -> bool {
+        self.width_bytes == other.width_bytes && self.data == other.data
+    }
 }
 
 impl BinaryDescriptors {
     /// Create an empty container for descriptors of the given byte width.
     pub fn new(width_bytes: usize) -> Self {
-        BinaryDescriptors { width_bytes, data: Vec::new() }
+        BinaryDescriptors { width_bytes, data: Vec::new(), words: std::sync::OnceLock::new() }
     }
 
     /// Append one descriptor; `desc.len()` must equal the byte width.
     pub fn push(&mut self, desc: &[u8]) {
         assert_eq!(desc.len(), self.width_bytes, "descriptor width mismatch");
         self.data.extend_from_slice(desc);
+        self.words = std::sync::OnceLock::new();
     }
 
     /// Number of descriptors.
@@ -108,6 +144,29 @@ impl BinaryDescriptors {
     pub fn row(&self, i: usize) -> &[u8] {
         &self.data[i * self.width_bytes..(i + 1) * self.width_bytes]
     }
+
+    /// `u64` words per packed row: `ceil(width_bytes / 8)`.
+    pub fn words_per_row(&self) -> usize {
+        self.width_bytes.div_ceil(8)
+    }
+
+    /// All rows repacked as little-endian `u64` words, zero-padded to a
+    /// whole word; computed once and cached (thread-safe).
+    pub fn packed_words(&self) -> &[u64] {
+        self.words.get_or_init(|| {
+            let wpr = self.words_per_row();
+            let mut out = Vec::with_capacity(self.len() * wpr);
+            for i in 0..self.len() {
+                let row = self.row(i);
+                for chunk in row.chunks(8) {
+                    let mut bytes = [0u8; 8];
+                    bytes[..chunk.len()].copy_from_slice(chunk);
+                    out.push(u64::from_le_bytes(bytes));
+                }
+            }
+            out
+        })
+    }
 }
 
 /// Hamming distance between two equal-length byte strings.
@@ -115,6 +174,33 @@ impl BinaryDescriptors {
 pub fn hamming(a: &[u8], b: &[u8]) -> u32 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(&x, &y)| (x ^ y).count_ones()).sum()
+}
+
+/// Hamming distance between two equal-length `u64`-packed descriptors.
+#[inline]
+pub fn hamming_words(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x ^ y).count_ones()).sum()
+}
+
+/// [`hamming_words`] with early abandon: exact whenever the result is
+/// `< bound`; once the running count reaches `bound` the remaining words
+/// may be skipped and any value `≥ bound` returned. Short descriptors
+/// (≤ 4 words, e.g. ORB's 256 bits) are always computed in full — the
+/// branch would cost more than it saves.
+#[inline]
+pub fn hamming_words_bounded(a: &[u64], b: &[u64], bound: u32) -> u32 {
+    if a.len() <= 4 {
+        return hamming_words(a, b);
+    }
+    let mut acc = 0u32;
+    for (ca, cb) in a.chunks(4).zip(b.chunks(4)) {
+        acc += hamming_words(ca, cb);
+        if acc >= bound {
+            return acc;
+        }
+    }
+    acc
 }
 
 /// Squared Euclidean distance between two equal-length float vectors.

@@ -32,7 +32,10 @@ pub mod surf;
 pub use error::{FeatureError, Result};
 pub use evaluation::{matching_score, repeatability};
 pub use keypoint::{BinaryDescriptors, FloatDescriptors, KeyPoint};
-pub use matcher::{knn_match_binary, knn_match_float, ratio_test_matches, DMatch, RatioMatch};
+pub use matcher::{
+    knn_match_binary, knn_match_binary_naive, knn_match_float, knn_match_float_naive,
+    ratio_test_matches, DMatch, RatioMatch,
+};
 pub use orb::{orb_detect_and_compute, OrbParams};
 pub use ransac::{verify_matches, RansacParams, Similarity, Verification};
 pub use sift::{sift_detect_and_compute, SiftParams};

@@ -99,3 +99,145 @@ proptest! {
         prop_assert!((t.angle() - theta).abs() < 1e-4);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fast-path matcher equivalence: the GEMM-backed float matcher and the
+// popcount Hamming matcher must be *bit-identical* to the retained naive
+// reference loops — same best/second indices, same exact distances, same
+// NaN-quarantine and tie behaviour.
+// ---------------------------------------------------------------------------
+
+use taor_features::matcher::{knn_match_binary, knn_match_binary_naive, knn_match_float_naive};
+use taor_features::BinaryDescriptors;
+
+/// Build a `FloatDescriptors` from a flat row-major buffer.
+fn descs_flat(width: usize, flat: &[f32]) -> FloatDescriptors {
+    let mut d = FloatDescriptors::new(width);
+    for row in flat.chunks_exact(width) {
+        d.push(row);
+    }
+    d
+}
+
+fn bdescs_flat(width_bytes: usize, flat: &[u8]) -> BinaryDescriptors {
+    let mut d = BinaryDescriptors::new(width_bytes);
+    for row in flat.chunks_exact(width_bytes) {
+        d.push(row);
+    }
+    d
+}
+
+// Sized so query.len() * train.len() >= 4096 and width >= 8: these hit the
+// GEMM fast path, not the naive fallback (see matcher::GEMM_MIN_PAIRS).
+const EQ_WIDTH: usize = 16;
+const EQ_QUERIES: usize = 72;
+const EQ_TRAIN: usize = 60;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn gemm_float_matcher_is_bit_identical_to_naive(
+        qflat in proptest::collection::vec(-4.0f32..4.0, EQ_QUERIES * EQ_WIDTH),
+        tflat in proptest::collection::vec(-4.0f32..4.0, EQ_TRAIN * EQ_WIDTH),
+    ) {
+        let q = descs_flat(EQ_WIDTH, &qflat);
+        let t = descs_flat(EQ_WIDTH, &tflat);
+        let fast = knn_match_float(&q, &t).unwrap();
+        let naive = knn_match_float_naive(&q, &t).unwrap();
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn gemm_float_matcher_matches_naive_on_tie_heavy_sets(
+        qpick in proptest::collection::vec(0usize..3, EQ_QUERIES * EQ_WIDTH),
+        tpick in proptest::collection::vec(0usize..3, EQ_TRAIN * EQ_WIDTH),
+    ) {
+        // A 3-value palette makes duplicate rows and exact distance ties
+        // overwhelmingly likely; first-index-wins must agree exactly.
+        let palette = [-1.0f32, 0.0, 2.5];
+        let qflat: Vec<f32> = qpick.iter().map(|&i| palette[i]).collect();
+        let tflat: Vec<f32> = tpick.iter().map(|&i| palette[i]).collect();
+        let q = descs_flat(EQ_WIDTH, &qflat);
+        let t = descs_flat(EQ_WIDTH, &tflat);
+        let fast = knn_match_float(&q, &t).unwrap();
+        let naive = knn_match_float_naive(&q, &t).unwrap();
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn float_matcher_matches_naive_with_nan_poisoned_rows(
+        qflat in proptest::collection::vec(-4.0f32..4.0, EQ_QUERIES * EQ_WIDTH),
+        tflat in proptest::collection::vec(-4.0f32..4.0, EQ_TRAIN * EQ_WIDTH),
+        qbad in proptest::collection::vec(0usize..EQ_QUERIES * EQ_WIDTH, 1..8),
+        tbad in proptest::collection::vec(0usize..EQ_TRAIN * EQ_WIDTH, 1..8),
+        use_inf in 0u8..2,
+    ) {
+        let poison = if use_inf == 1 { f32::INFINITY } else { f32::NAN };
+        let mut qflat = qflat;
+        let mut tflat = tflat;
+        for &i in &qbad {
+            qflat[i] = poison;
+        }
+        for &i in &tbad {
+            tflat[i] = poison;
+        }
+        let q = descs_flat(EQ_WIDTH, &qflat);
+        let t = descs_flat(EQ_WIDTH, &tflat);
+        let fast = knn_match_float(&q, &t).unwrap();
+        let naive = knn_match_float_naive(&q, &t).unwrap();
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn binary_matcher_is_identical_to_naive(
+        // 40-byte rows = 5 packed words per row, exercising the early-abandon
+        // path of `hamming_words_bounded` (taken only above 4 words).
+        qflat in proptest::collection::vec(any::<u8>(), 48 * 40),
+        tflat in proptest::collection::vec(any::<u8>(), 40 * 40),
+    ) {
+        let q = bdescs_flat(40, &qflat);
+        let t = bdescs_flat(40, &tflat);
+        let fast = knn_match_binary(&q, &t).unwrap();
+        let naive = knn_match_binary_naive(&q, &t).unwrap();
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn binary_matcher_is_identical_to_naive_orb_width(
+        qflat in proptest::collection::vec(any::<u8>(), 24 * 32),
+        tflat in proptest::collection::vec(any::<u8>(), 20 * 32),
+    ) {
+        // ORB's 32-byte rows pack to exactly 4 words: the full-compute path.
+        let q = bdescs_flat(32, &qflat);
+        let t = bdescs_flat(32, &tflat);
+        let fast = knn_match_binary(&q, &t).unwrap();
+        let naive = knn_match_binary_naive(&q, &t).unwrap();
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn matchers_agree_on_degenerate_sets(width in 1usize..24) {
+        // Empty query or train: Ok(vec![]) from both implementations.
+        let empty = FloatDescriptors::new(width);
+        let one = descs_flat(width, &vec![1.0; width]);
+        prop_assert_eq!(knn_match_float(&empty, &one).unwrap(), vec![]);
+        prop_assert_eq!(knn_match_float_naive(&empty, &one).unwrap(), vec![]);
+        prop_assert_eq!(knn_match_float(&one, &empty).unwrap(), vec![]);
+        prop_assert_eq!(knn_match_float_naive(&one, &empty).unwrap(), vec![]);
+
+        // Width mismatch: both must refuse.
+        let narrow = descs_flat(width, &vec![0.5; width]);
+        let wide = descs_flat(width + 1, &vec![0.5; width + 1]);
+        prop_assert!(knn_match_float(&narrow, &wide).is_err());
+        prop_assert!(knn_match_float_naive(&narrow, &wide).is_err());
+
+        let bempty = BinaryDescriptors::new(width);
+        let bone = bdescs_flat(width, &vec![0xA5; width]);
+        prop_assert_eq!(knn_match_binary(&bempty, &bone).unwrap(), vec![]);
+        prop_assert_eq!(knn_match_binary(&bone, &bempty).unwrap(), vec![]);
+        let bwide = bdescs_flat(width + 1, &vec![0xA5; width + 1]);
+        prop_assert!(knn_match_binary(&bone, &bwide).is_err());
+        prop_assert!(knn_match_binary_naive(&bone, &bwide).is_err());
+    }
+}

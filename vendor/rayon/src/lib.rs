@@ -1,107 +1,417 @@
-//! Vendored minimal `rayon` stand-in so the workspace builds offline.
+//! Vendored minimal `rayon` stand-in so the workspace builds offline —
+//! now backed by a real thread pool.
 //!
 //! Exposes the rayon 1.x iterator surface this workspace uses
 //! (`par_iter`, `into_par_iter`, `par_iter_mut`, `par_chunks_mut`,
-//! `map`/`enumerate`/`collect`/…) as thin sequential adapters over std
-//! iterators. On the current single-core target this matches what real
-//! rayon degrades to at one worker thread; call sites keep the parallel
-//! idiom so a future swap back to crates.io rayon is a manifest change.
+//! `map`/`enumerate`/`collect`/…) over an indexed-source abstraction:
+//! every adapter chain bottoms out in a random-access producer, so the
+//! terminal operation can split `0..len` into chunks and hand them to
+//! the global pool (see [`mod@crate::pool`]) with atomic index
+//! hand-out. Ordered operations (`collect`, `map`, `flat_map`) write
+//! each index's result into its own pre-sized slot, so output order
+//! always equals input order regardless of which thread ran which
+//! chunk — `TAOR_THREADS=1` and `TAOR_THREADS=8` produce byte-identical
+//! results for deterministic closures.
+//!
+//! Differences from crates.io rayon, accepted for this subset:
+//! - closures need `Fn + Sync` (rayon requires the same);
+//! - nested parallel calls run inline on the worker (no work stealing);
+//! - a consuming iterator (`Vec::into_par_iter`) that is dropped
+//!   without running a terminal operation leaks its items (never UB);
+//! - `reduce`/`sum`/`min_by`/`max_by` evaluate items in parallel but
+//!   fold sequentially in input order, which makes them deterministic
+//!   even for non-associative (floating-point) operations.
 
-/// Number of worker threads the "pool" would use (reported in bench
-/// records; the sequential adapters always run on the caller).
+mod pool;
+
+/// Number of threads parallel regions actually use: the configured pool
+/// width (`TAOR_THREADS` or `available_parallelism`), 1 meaning fully
+/// sequential execution on the caller.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    pool::width()
 }
 
 pub mod iter {
+    use std::marker::PhantomData;
+    use std::mem::MaybeUninit;
+
+    /// A random-access producer of `len` items. The engine guarantees
+    /// each index in `0..len()` is fetched at most once across all
+    /// threads, which lets sources hand out `&mut` chunks or move items
+    /// out of an owned buffer.
+    pub trait IndexedSource: Sync {
+        type Item: Send;
+        fn len(&self) -> usize;
+        /// # Safety
+        /// Each index may be fetched at most once, and only from one
+        /// thread at a time.
+        unsafe fn get(&self, i: usize) -> Self::Item;
+    }
+
     /// Marker mirroring rayon's `ParallelIterator`; all adapter methods
     /// are inherent, so this exists for `use rayon::prelude::*` parity.
     pub trait ParallelIterator {}
 
-    /// Sequential adapter wrapping a std iterator.
-    pub struct Par<I>(pub(crate) I);
+    /// Parallel iterator over an indexed source.
+    pub struct Par<S> {
+        src: S,
+        min_len: usize,
+    }
 
-    impl<I> ParallelIterator for Par<I> {}
+    impl<S> ParallelIterator for Par<S> {}
 
-    impl<I: Iterator> Par<I> {
-        pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> Par<std::iter::Map<I, F>> {
-            Par(self.0.map(f))
+    /// Shared result buffer: each index writes its own slot exactly once.
+    struct OutPtr<T>(*mut MaybeUninit<T>);
+    unsafe impl<T: Send> Sync for OutPtr<T> {}
+
+    impl<T> OutPtr<T> {
+        /// # Safety
+        /// `i` must be in bounds and each slot written at most once.
+        unsafe fn write(&self, i: usize, value: T) {
+            self.0.add(i).write(MaybeUninit::new(value));
+        }
+    }
+
+    impl<S: IndexedSource> Par<S> {
+        pub(crate) fn new(src: S) -> Self {
+            Par { src, min_len: 1 }
         }
 
-        pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-            Par(self.0.enumerate())
+        pub fn map<T: Send, F: Fn(S::Item) -> T + Sync>(self, f: F) -> Par<MapSrc<S, F>> {
+            Par { src: MapSrc { s: self.src, f }, min_len: self.min_len }
         }
 
-        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
-            Par(self.0.filter(f))
+        pub fn enumerate(self) -> Par<EnumSrc<S>> {
+            Par { src: EnumSrc(self.src), min_len: self.min_len }
         }
 
-        pub fn filter_map<T, F: FnMut(I::Item) -> Option<T>>(
-            self,
-            f: F,
-        ) -> Par<std::iter::FilterMap<I, F>> {
-            Par(self.0.filter_map(f))
-        }
-
-        pub fn flat_map<T, U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+        pub fn filter<F>(self, f: F) -> Groups<S, impl Fn(S::Item) -> Option<S::Item> + Sync>
         where
-            U: IntoIterator<Item = T>,
-            F: FnMut(I::Item) -> U,
+            F: Fn(&S::Item) -> bool + Sync,
         {
-            Par(self.0.flat_map(f))
+            Groups {
+                src: self.src,
+                f: move |x: S::Item| if f(&x) { Some(x) } else { None },
+                min_len: self.min_len,
+            }
         }
 
-        pub fn zip<J: IntoIterator>(self, other: J) -> Par<std::iter::Zip<I, J::IntoIter>> {
-            Par(self.0.zip(other))
+        pub fn filter_map<T: Send, F: Fn(S::Item) -> Option<T> + Sync>(self, f: F) -> Groups<S, F> {
+            Groups { src: self.src, f, min_len: self.min_len }
         }
 
-        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-            self.0.for_each(f)
-        }
-
-        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-            self.0.collect()
-        }
-
-        pub fn count(self) -> usize {
-            self.0.count()
-        }
-
-        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-            self.0.sum()
-        }
-
-        pub fn reduce<ID, F>(self, identity: ID, f: F) -> I::Item
+        pub fn flat_map<U, F>(self, f: F) -> Groups<S, F>
         where
-            ID: Fn() -> I::Item,
-            F: FnMut(I::Item, I::Item) -> I::Item,
+            U: IntoIterator,
+            U::Item: Send,
+            F: Fn(S::Item) -> U + Sync,
         {
-            let mut f = f;
-            self.0.fold(identity(), &mut f)
+            Groups { src: self.src, f, min_len: self.min_len }
         }
 
-        pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-            self,
-            f: F,
-        ) -> Option<I::Item> {
-            self.0.max_by(f)
+        /// Pairs items positionally with `other` (materialised up
+        /// front); the result is as long as the shorter side.
+        pub fn zip<J: IntoIterator>(self, other: J) -> Par<ZipSrc<S, J::Item>>
+        where
+            J::Item: Send,
+        {
+            let buf: Vec<J::Item> = other.into_iter().collect();
+            Par { src: ZipSrc { a: self.src, b: VecSrc::new(buf) }, min_len: self.min_len }
         }
 
-        pub fn min_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-            self,
-            f: F,
-        ) -> Option<I::Item> {
-            self.0.min_by(f)
-        }
-
-        pub fn with_min_len(self, _len: usize) -> Self {
+        pub fn with_min_len(mut self, len: usize) -> Self {
+            self.min_len = self.min_len.max(len.max(1));
             self
         }
 
         pub fn with_max_len(self, _len: usize) -> Self {
             self
         }
+
+        pub fn for_each<F: Fn(S::Item) + Sync>(self, f: F) {
+            let src = self.src;
+            crate::pool::run_chunked(src.len(), self.min_len, |a, b| {
+                for i in a..b {
+                    // SAFETY: chunks are disjoint; each index fetched once.
+                    f(unsafe { src.get(i) });
+                }
+            });
+        }
+
+        /// Ordered collect: item `i` of the source becomes item `i` of
+        /// the output, whatever thread computed it.
+        pub fn collect<C: FromIterator<S::Item>>(self) -> C {
+            let src = self.src;
+            let n = src.len();
+            let mut buf: Vec<MaybeUninit<S::Item>> = Vec::with_capacity(n);
+            // SAFETY: MaybeUninit slots need no initialisation.
+            unsafe { buf.set_len(n) };
+            let out = OutPtr(buf.as_mut_ptr());
+            crate::pool::run_chunked(n, self.min_len, |a, b| {
+                for i in a..b {
+                    // SAFETY: slot i is written exactly once, by the one
+                    // thread that claimed index i.
+                    unsafe { out.write(i, src.get(i)) };
+                }
+            });
+            // SAFETY: run_chunked returned normally, so every slot was
+            // initialised (a captured panic would have re-raised above).
+            buf.into_iter().map(|m| unsafe { m.assume_init() }).collect()
+        }
+
+        pub fn count(self) -> usize {
+            let n = self.src.len();
+            self.for_each(|item| drop(item));
+            n
+        }
+
+        pub fn sum<T: std::iter::Sum<S::Item>>(self) -> T {
+            self.collect::<Vec<_>>().into_iter().sum()
+        }
+
+        pub fn reduce<ID, F>(self, identity: ID, f: F) -> S::Item
+        where
+            ID: Fn() -> S::Item,
+            F: FnMut(S::Item, S::Item) -> S::Item,
+        {
+            self.collect::<Vec<_>>().into_iter().fold(identity(), f)
+        }
+
+        pub fn max_by<F: FnMut(&S::Item, &S::Item) -> std::cmp::Ordering>(
+            self,
+            f: F,
+        ) -> Option<S::Item> {
+            self.collect::<Vec<_>>().into_iter().max_by(f)
+        }
+
+        pub fn min_by<F: FnMut(&S::Item, &S::Item) -> std::cmp::Ordering>(
+            self,
+            f: F,
+        ) -> Option<S::Item> {
+            self.collect::<Vec<_>>().into_iter().min_by(f)
+        }
     }
+
+    /// A parallel iterator whose per-index cardinality varies
+    /// (`filter`/`filter_map`/`flat_map`): each index expands to a
+    /// group, groups are computed in parallel and flattened in input
+    /// order.
+    pub struct Groups<S, F> {
+        src: S,
+        f: F,
+        min_len: usize,
+    }
+
+    impl<S, F> ParallelIterator for Groups<S, F> {}
+
+    impl<S, U, F> Groups<S, F>
+    where
+        S: IndexedSource,
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(S::Item) -> U + Sync,
+    {
+        fn groups(self) -> Vec<Vec<U::Item>> {
+            let f = self.f;
+            Par {
+                src: MapSrc { s: self.src, f: move |x| f(x).into_iter().collect::<Vec<_>>() },
+                min_len: self.min_len,
+            }
+            .collect()
+        }
+
+        pub fn collect<C: FromIterator<U::Item>>(self) -> C {
+            self.groups().into_iter().flatten().collect()
+        }
+
+        pub fn for_each<G: Fn(U::Item) + Sync>(self, g: G) {
+            let f = self.f;
+            let src = self.src;
+            crate::pool::run_chunked(src.len(), self.min_len, |a, b| {
+                for i in a..b {
+                    // SAFETY: chunks are disjoint; each index fetched once.
+                    for item in f(unsafe { src.get(i) }) {
+                        g(item);
+                    }
+                }
+            });
+        }
+
+        pub fn count(self) -> usize {
+            self.groups().into_iter().map(|g| g.len()).sum()
+        }
+
+        pub fn sum<T: std::iter::Sum<U::Item>>(self) -> T {
+            self.groups().into_iter().flatten().sum()
+        }
+    }
+
+    // ---- sources ------------------------------------------------------
+
+    pub struct SliceSrc<'a, T>(&'a [T]);
+
+    impl<'a, T: Sync> IndexedSource for SliceSrc<'a, T> {
+        type Item = &'a T;
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        unsafe fn get(&self, i: usize) -> &'a T {
+            self.0.get_unchecked(i)
+        }
+    }
+
+    pub struct ChunksSrc<'a, T> {
+        s: &'a [T],
+        size: usize,
+    }
+
+    impl<'a, T: Sync> IndexedSource for ChunksSrc<'a, T> {
+        type Item = &'a [T];
+        fn len(&self) -> usize {
+            self.s.len().div_ceil(self.size)
+        }
+        unsafe fn get(&self, i: usize) -> &'a [T] {
+            let start = i * self.size;
+            self.s.get_unchecked(start..(start + self.size).min(self.s.len()))
+        }
+    }
+
+    pub struct SliceMutSrc<'a, T> {
+        ptr: *mut T,
+        len: usize,
+        _marker: PhantomData<&'a mut [T]>,
+    }
+
+    // SAFETY: disjoint indices yield disjoint `&mut T`; T: Send moves
+    // the references across threads safely.
+    unsafe impl<T: Send> Sync for SliceMutSrc<'_, T> {}
+
+    impl<'a, T: Send> IndexedSource for SliceMutSrc<'a, T> {
+        type Item = &'a mut T;
+        fn len(&self) -> usize {
+            self.len
+        }
+        unsafe fn get(&self, i: usize) -> &'a mut T {
+            &mut *self.ptr.add(i)
+        }
+    }
+
+    pub struct ChunksMutSrc<'a, T> {
+        ptr: *mut T,
+        len: usize,
+        size: usize,
+        _marker: PhantomData<&'a mut [T]>,
+    }
+
+    // SAFETY: each index denotes a disjoint sub-slice.
+    unsafe impl<T: Send> Sync for ChunksMutSrc<'_, T> {}
+
+    impl<'a, T: Send> IndexedSource for ChunksMutSrc<'a, T> {
+        type Item = &'a mut [T];
+        fn len(&self) -> usize {
+            self.len.div_ceil(self.size)
+        }
+        unsafe fn get(&self, i: usize) -> &'a mut [T] {
+            let start = i * self.size;
+            let n = self.size.min(self.len - start);
+            std::slice::from_raw_parts_mut(self.ptr.add(start), n)
+        }
+    }
+
+    /// Owns a `Vec` whose items are moved out one index at a time. On
+    /// drop only the allocation is freed: consumed items already moved,
+    /// and unconsumed items (possible only when no terminal operation
+    /// ran, or on a panic path) are leaked rather than double-dropped.
+    pub struct VecSrc<T> {
+        data: Vec<T>,
+    }
+
+    impl<T> VecSrc<T> {
+        fn new(data: Vec<T>) -> Self {
+            VecSrc { data }
+        }
+    }
+
+    // SAFETY: items are only moved out under the at-most-once index
+    // contract; T: Send lets them cross threads.
+    unsafe impl<T: Send> Sync for VecSrc<T> {}
+
+    impl<T: Send> IndexedSource for VecSrc<T> {
+        type Item = T;
+        fn len(&self) -> usize {
+            self.data.len()
+        }
+        unsafe fn get(&self, i: usize) -> T {
+            std::ptr::read(self.data.as_ptr().add(i))
+        }
+    }
+
+    impl<T> Drop for VecSrc<T> {
+        fn drop(&mut self) {
+            // SAFETY: prevents double-drop of moved-out items; see type
+            // docs for the deliberate leak on the never-consumed path.
+            unsafe { self.data.set_len(0) };
+        }
+    }
+
+    pub struct RangeSrc {
+        start: usize,
+        len: usize,
+    }
+
+    impl IndexedSource for RangeSrc {
+        type Item = usize;
+        fn len(&self) -> usize {
+            self.len
+        }
+        unsafe fn get(&self, i: usize) -> usize {
+            self.start + i
+        }
+    }
+
+    pub struct MapSrc<S, F> {
+        s: S,
+        f: F,
+    }
+
+    impl<S: IndexedSource, T: Send, F: Fn(S::Item) -> T + Sync> IndexedSource for MapSrc<S, F> {
+        type Item = T;
+        fn len(&self) -> usize {
+            self.s.len()
+        }
+        unsafe fn get(&self, i: usize) -> T {
+            (self.f)(self.s.get(i))
+        }
+    }
+
+    pub struct EnumSrc<S>(S);
+
+    impl<S: IndexedSource> IndexedSource for EnumSrc<S> {
+        type Item = (usize, S::Item);
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        unsafe fn get(&self, i: usize) -> (usize, S::Item) {
+            (i, self.0.get(i))
+        }
+    }
+
+    pub struct ZipSrc<S, B> {
+        a: S,
+        b: VecSrc<B>,
+    }
+
+    impl<S: IndexedSource, B: Send> IndexedSource for ZipSrc<S, B> {
+        type Item = (S::Item, B);
+        fn len(&self) -> usize {
+            self.a.len().min(self.b.len())
+        }
+        unsafe fn get(&self, i: usize) -> (S::Item, B) {
+            (self.a.get(i), self.b.get(i))
+        }
+    }
+
+    // ---- entry points -------------------------------------------------
 
     /// `collection.into_par_iter()`.
     pub trait IntoParallelIterator {
@@ -109,52 +419,58 @@ pub mod iter {
         fn into_par_iter(self) -> Self::Iter;
     }
 
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Iter = Par<std::vec::IntoIter<T>>;
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = Par<VecSrc<T>>;
         fn into_par_iter(self) -> Self::Iter {
-            Par(self.into_iter())
+            Par::new(VecSrc::new(self))
         }
     }
 
     impl IntoParallelIterator for std::ops::Range<usize> {
-        type Iter = Par<std::ops::Range<usize>>;
+        type Iter = Par<RangeSrc>;
         fn into_par_iter(self) -> Self::Iter {
-            Par(self)
+            Par::new(RangeSrc { start: self.start, len: self.end.saturating_sub(self.start) })
         }
     }
 
     /// `slice.par_iter()` / `slice.par_chunks(..)`.
     pub trait IntoParallelRefIterator {
         type Item;
-        #[allow(clippy::type_complexity)]
-        fn par_iter(&self) -> Par<std::slice::Iter<'_, Self::Item>>;
-        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, Self::Item>>;
+        fn par_iter(&self) -> Par<SliceSrc<'_, Self::Item>>;
+        fn par_chunks(&self, size: usize) -> Par<ChunksSrc<'_, Self::Item>>;
     }
 
     impl<T: Sync> IntoParallelRefIterator for [T] {
         type Item = T;
-        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
-            Par(self.iter())
+        fn par_iter(&self) -> Par<SliceSrc<'_, T>> {
+            Par::new(SliceSrc(self))
         }
-        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
-            Par(self.chunks(size))
+        fn par_chunks(&self, size: usize) -> Par<ChunksSrc<'_, T>> {
+            assert!(size > 0, "chunk size must be non-zero");
+            Par::new(ChunksSrc { s: self, size })
         }
     }
 
     /// `slice.par_iter_mut()` / `slice.par_chunks_mut(..)`.
     pub trait IntoParallelRefMutIterator {
         type Item;
-        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, Self::Item>>;
-        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, Self::Item>>;
+        fn par_iter_mut(&mut self) -> Par<SliceMutSrc<'_, Self::Item>>;
+        fn par_chunks_mut(&mut self, size: usize) -> Par<ChunksMutSrc<'_, Self::Item>>;
     }
 
     impl<T: Send> IntoParallelRefMutIterator for [T] {
         type Item = T;
-        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
-            Par(self.iter_mut())
+        fn par_iter_mut(&mut self) -> Par<SliceMutSrc<'_, T>> {
+            Par::new(SliceMutSrc { ptr: self.as_mut_ptr(), len: self.len(), _marker: PhantomData })
         }
-        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-            Par(self.chunks_mut(size))
+        fn par_chunks_mut(&mut self, size: usize) -> Par<ChunksMutSrc<'_, T>> {
+            assert!(size > 0, "chunk size must be non-zero");
+            Par::new(ChunksMutSrc {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                size,
+                _marker: PhantomData,
+            })
         }
     }
 }
@@ -180,5 +496,63 @@ mod tests {
         w.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i as u32));
         assert_eq!(w, vec![0, 0, 1, 1, 2, 2]);
         assert!(crate::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn ordered_collect_preserves_input_order_at_scale() {
+        let n = 100_000usize;
+        let out: Vec<usize> = (0..n).into_par_iter().map(|i| i * 3).collect();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+        let squares: Vec<u64> =
+            (0..n).collect::<Vec<_>>().par_iter().map(|&i| (i as u64) * (i as u64)).collect();
+        assert_eq!(squares[777], 777 * 777);
+    }
+
+    #[test]
+    fn flat_map_and_filters_flatten_in_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let flat: Vec<usize> = v.par_iter().flat_map(|&x| vec![x, x]).collect();
+        assert_eq!(flat.len(), 2000);
+        assert_eq!(&flat[..4], &[0, 0, 1, 1]);
+        let even: Vec<usize> = v.clone().into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(even.len(), 500);
+        assert_eq!(&even[..3], &[0, 2, 4]);
+        let halves: Vec<usize> =
+            v.into_par_iter().filter_map(|x| if x % 2 == 0 { Some(x / 2) } else { None }).collect();
+        assert_eq!(&halves[..3], &[0, 1, 2]);
+    }
+
+    #[test]
+    fn reductions_are_deterministic() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 500_500);
+        assert_eq!(v.par_iter().map(|&x| x).count(), 1000);
+        let m = v.par_iter().map(|&x| x).max_by(|a, b| a.cmp(b));
+        assert_eq!(m, Some(1000));
+        let r = v.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(r, 500_500);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_every_item() {
+        let mut v = vec![0usize; 10_000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            (0..1000usize).into_par_iter().for_each(|i| {
+                if i == 617 {
+                    panic!("boom at {i}");
+                }
+            });
+        });
+        assert!(caught.is_err(), "panic inside a parallel region must surface");
+        // The pool must remain usable after a panicking region.
+        let sum: usize = (0..100usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(sum, 4950);
     }
 }

@@ -1,0 +1,206 @@
+//! The worker pool behind the parallel adapters.
+//!
+//! A lazy global set of `width() - 1` std threads plus the calling
+//! thread cooperatively drain an atomically-indexed chunk space per
+//! parallel call. Width comes from `TAOR_THREADS` (a positive integer;
+//! `0` or garbage falls back to auto) or `available_parallelism`. At
+//! width 1 no threads are ever spawned and every adapter runs on the
+//! caller, exactly like the previous sequential shim.
+//!
+//! Nested parallel calls (a `par_iter` body that itself calls into a
+//! parallel region, e.g. classify fan-outs whose scorers run the GEMM)
+//! execute inline on the worker: only top-level calls split, which
+//! keeps the pool deadlock-free without work stealing.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Actual pool width: the number of threads that execute parallel
+/// regions (workers + the participating caller). This is what
+/// `rayon::current_num_threads` reports, so perf records show the real
+/// parallelism, not the machine's core count.
+pub(crate) fn width() -> usize {
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        match std::env::var("TAOR_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    })
+}
+
+thread_local! {
+    static IS_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    work_cv: Condvar,
+}
+
+/// One parallel region: a type-erased `f(start, end)` over `0..len`,
+/// chunks handed out by `fetch_add` on `next`. `ctx` borrows the
+/// caller's stack; this is sound because the caller blocks until
+/// `finished == len`, and no thread dereferences `ctx` after its
+/// `fetch_add` lands at or past `len`.
+struct Task {
+    ctx: *const (),
+    run: unsafe fn(*const (), usize, usize),
+    len: usize,
+    chunk: usize,
+    next: AtomicUsize,
+    finished: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `ctx` is only dereferenced while the owning caller is blocked
+// in `run_chunked`, and `run` is the matching monomorphic trampoline.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    /// Claim and execute chunks until the index space is exhausted.
+    /// Panics from `run` are captured (first wins) so the chunk still
+    /// counts as finished and the caller's latch always releases.
+    fn drain(&self) {
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.len {
+                return;
+            }
+            let end = (start + self.chunk).min(self.len);
+            let res =
+                catch_unwind(AssertUnwindSafe(|| unsafe { (self.run)(self.ctx, start, end) }));
+            if let Err(payload) = res {
+                let mut slot = match self.panic.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            let finished = self.finished.fetch_add(end - start, Ordering::AcqRel) + (end - start);
+            if finished >= self.len {
+                let mut g = lock(&self.done);
+                *g = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.len
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Lazy pool bring-up: spawned on the first parallel region, never at
+/// width 1.
+fn shared() -> &'static Arc<Shared> {
+    static SHARED: OnceLock<Arc<Shared>> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let shared =
+            Arc::new(Shared { queue: Mutex::new(VecDeque::new()), work_cv: Condvar::new() });
+        for i in 1..width() {
+            let sh = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("taor-rayon-{i}"))
+                .spawn(move || worker_loop(&sh));
+            // A failed spawn just narrows effective parallelism; the
+            // caller always participates, so progress is guaranteed.
+            drop(spawned);
+        }
+        shared
+    })
+}
+
+fn worker_loop(shared: &Shared) {
+    IS_WORKER.with(|w| w.set(true));
+    loop {
+        let task = {
+            let mut q = lock(&shared.queue);
+            loop {
+                while q.front().is_some_and(|t| t.exhausted()) {
+                    q.pop_front();
+                }
+                if let Some(t) = q.front() {
+                    break Arc::clone(t);
+                }
+                q = match shared.work_cv.wait(q) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        task.drain();
+    }
+}
+
+/// Execute `f(start, end)` over disjoint chunks that exactly cover
+/// `0..len`, on the pool when it pays off and inline otherwise. Blocks
+/// until every index has been processed; the first captured panic is
+/// re-raised on the caller once all threads have left the region, so
+/// borrowed closures never dangle.
+pub(crate) fn run_chunked<F: Fn(usize, usize) + Sync>(len: usize, min_chunk: usize, f: F) {
+    if len == 0 {
+        return;
+    }
+    let w = width();
+    // Aim for ~4 chunks per thread so late-starting workers still find
+    // work, without paying per-item hand-out overhead.
+    let chunk = (len.div_ceil(4 * w)).max(min_chunk).max(1);
+    if w == 1 || len <= chunk || IS_WORKER.with(|x| x.get()) {
+        f(0, len);
+        return;
+    }
+
+    unsafe fn trampoline<F: Fn(usize, usize)>(ctx: *const (), start: usize, end: usize) {
+        (*(ctx as *const F))(start, end)
+    }
+
+    let task = Arc::new(Task {
+        ctx: &f as *const F as *const (),
+        run: trampoline::<F>,
+        len,
+        chunk,
+        next: AtomicUsize::new(0),
+        finished: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    let sh = shared();
+    {
+        let mut q = lock(&sh.queue);
+        q.push_back(Arc::clone(&task));
+    }
+    sh.work_cv.notify_all();
+
+    // The caller is a full participant; usually it finishes the tail
+    // chunk itself and the latch wait below is a no-op.
+    task.drain();
+    let mut done = lock(&task.done);
+    while !*done {
+        done = match task.done_cv.wait(done) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+    }
+    drop(done);
+
+    let payload = lock(&task.panic).take();
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
+    }
+}
