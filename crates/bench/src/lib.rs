@@ -18,6 +18,8 @@
 //! * **Table 8** — class-wise hybrid results on SNS2 v SNS1,
 //! * **Table 9** — class-wise SIFT/SURF/ORB results on SNS1 v SNS2.
 
+#![forbid(unsafe_code)]
+
 pub mod extensions;
 pub mod perf;
 pub mod repro;

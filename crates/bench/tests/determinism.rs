@@ -27,6 +27,24 @@ fn repro_stdout(threads: &str, table: &str) -> Vec<u8> {
     out.stdout
 }
 
+/// Cross-*process* determinism: two fresh spawns of the repro binary must
+/// agree byte-for-byte. This is the regression test for the HashMap
+/// iteration-order hazard in `segment::border_colors` and
+/// `hybrid::argmin_grouped` — std's `RandomState` reseeds per process, so
+/// any surviving hash-order dependence shows up as a diff between spawns.
+#[test]
+fn quick_repro_is_byte_identical_across_process_restarts() {
+    for table in ["2", "3"] {
+        let first = repro_stdout("2", table);
+        let second = repro_stdout("2", table);
+        assert!(!first.is_empty(), "table {table} produced no output");
+        assert_eq!(
+            first, second,
+            "table {table}: stdout differs between two spawns of the same binary"
+        );
+    }
+}
+
 #[test]
 fn quick_repro_is_byte_identical_across_thread_counts() {
     for table in ["2", "3"] {

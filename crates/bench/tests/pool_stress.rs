@@ -1,0 +1,79 @@
+//! Stress test for the thread pool's atomic chunk hand-off
+//! (`vendor/rayon/src/pool.rs`): at width ≥ 8, many small parallel
+//! regions in a row must deliver every index exactly once and publish
+//! every chunk's writes to the caller.
+//!
+//! The hand-off under test is the `next.fetch_add(Relaxed)` chunk
+//! allocator paired with the `finished.fetch_add(AcqRel)` completion
+//! latch: if the allocator ever handed the same chunk to two threads,
+//! the per-index counters below would read 2; if the latch's Release
+//! edge were dropped, the caller could observe stale zeros after the
+//! region "completed".
+//!
+//! `TAOR_THREADS` is latched by a `OnceLock` on first pool use, so this
+//! test pins it in its own process (each integration test binary is a
+//! separate process) before any parallel call runs.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Force a wide pool before the first parallel region latches the
+/// width. Safe in edition 2021; this binary is single-threaded here.
+fn pin_width() {
+    static PIN: std::sync::Once = std::sync::Once::new();
+    PIN.call_once(|| std::env::set_var("TAOR_THREADS", "8"));
+}
+
+#[test]
+fn every_index_is_delivered_exactly_once_under_contention() {
+    pin_width();
+    assert_eq!(rayon::current_num_threads(), 8, "width must latch to 8");
+    // Many rounds of small regions maximise hand-off races: with ~4
+    // chunks per thread, each round has ~32 fetch_add claims racing.
+    for round in 0..200 {
+        let n = 512 + round; // vary so chunk boundaries shift
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        (0..n).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            // The AcqRel completion latch orders these loads after every
+            // worker's writes, so Relaxed reads see the final counts.
+            let c = h.load(Ordering::Relaxed);
+            assert_eq!(c, 1, "round {round}: index {i} delivered {c} times");
+        }
+    }
+}
+
+#[test]
+fn completed_regions_publish_all_writes_to_the_caller() {
+    pin_width();
+    // par_iter_mut hands out disjoint &mut chunks; after the region
+    // joins, the caller must see every slot's final value (the Release
+    // half of the latch) — a missed write here means a lost chunk.
+    for round in 0..100 {
+        let n = 1000 + 7 * round;
+        let mut v = vec![0usize; n];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 2 + 1);
+        assert!(
+            v.iter().enumerate().all(|(i, &x)| x == i * 2 + 1),
+            "round {round}: a chunk's writes were lost or stale"
+        );
+    }
+}
+
+#[test]
+fn nested_regions_stay_exact_under_width_8() {
+    pin_width();
+    // Nested parallel calls run inline on the worker (no work stealing),
+    // so totals must still be exact with parallel outer regions.
+    let total: usize = (0..64usize)
+        .into_par_iter()
+        .map(|a| {
+            let inner: usize = (0..100usize).into_par_iter().map(|b| a + b).sum();
+            inner
+        })
+        .sum();
+    let expected: usize = (0..64).map(|a: usize| 100 * a + 4950).sum();
+    assert_eq!(total, expected);
+}

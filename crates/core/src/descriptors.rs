@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Pipeline (iv): feature-descriptor matching (paper §3.3).
 //!
 //! SIFT, SURF and ORB descriptors with brute-force matching, trimmed to
@@ -127,7 +128,7 @@ pub fn classify_descriptors_verified(
     let diag = Diagnostics::new();
     match try_classify_descriptors_verified(queries, reference, ratio, ransac, &diag) {
         Ok(preds) => preds,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
     }
 }
 
@@ -231,7 +232,7 @@ pub fn classify_descriptors(
     let diag = Diagnostics::new();
     match try_classify_descriptors(queries, reference, ratio, &diag) {
         Ok(preds) => preds,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
     }
 }
 

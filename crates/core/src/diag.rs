@@ -31,6 +31,8 @@ impl Diagnostics {
     /// winning an argmin/argmax).
     pub fn record_nan_scores(&self, n: u64) {
         if n > 0 {
+            // Ordering::Relaxed — a statistics counter: only the total
+            // matters, and it is read after the parallel section joins.
             self.nan_scores.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -39,17 +41,23 @@ impl Diagnostics {
     /// featureless query, empty match set).
     pub fn record_degraded(&self, n: u64) {
         if n > 0 {
+            // Ordering::Relaxed — a statistics counter: only the total
+            // matters, and it is read after the parallel section joins.
             self.degraded.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// NaN scores quarantined so far.
     pub fn nan_scores(&self) -> u64 {
+        // Ordering::Relaxed — the pool's AcqRel completion latch already
+        // orders these reads after every recording thread's writes.
         self.nan_scores.load(Ordering::Relaxed)
     }
 
     /// Fallback predictions emitted so far.
     pub fn degraded(&self) -> u64 {
+        // Ordering::Relaxed — the pool's AcqRel completion latch already
+        // orders these reads after every recording thread's writes.
         self.degraded.load(Ordering::Relaxed)
     }
 

@@ -96,7 +96,7 @@ pub fn classify_hybrid(
     let diag = Diagnostics::new();
     match try_classify_hybrid(queries, views, cfg, agg, &diag) {
         Ok(preds) => preds,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
     }
 }
 
@@ -157,18 +157,16 @@ fn argmin_grouped(
     thetas: &[f64],
     key: impl Fn(&RefView) -> (usize, usize),
 ) -> (f64, ObjectClass) {
-    use std::collections::HashMap;
-    let mut sums: HashMap<(usize, usize), (f64, usize, ObjectClass)> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut sums: BTreeMap<(usize, usize), (f64, usize, ObjectClass)> = BTreeMap::new();
     for (v, &t) in views.iter().zip(thetas) {
         let e = sums.entry(key(v)).or_insert((0.0, 0, v.class));
         e.0 += t;
         e.1 += 1;
     }
-    let mut entries: Vec<_> = sums.into_iter().collect();
-    // Deterministic tie-breaking: sort by key first, then take the argmin.
-    entries.sort_by_key(|(k, _)| *k);
-    entries
-        .into_iter()
+    // BTreeMap iterates in key order, so min_by ties (and the all-NaN
+    // fallback) resolve to the first group in key order on every run.
+    sums.into_iter()
         .map(|(_, (sum, n, class))| (sum / n as f64, class))
         .min_by(|a, b| nan_last_f64(a.0, b.0))
         .unwrap_or((f64::INFINITY, views[0].class))

@@ -35,6 +35,8 @@
 //! assert!(eval.cumulative_accuracy > 0.1); // beats the random baseline
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod color_only;
 pub mod descriptors;
 pub mod diag;

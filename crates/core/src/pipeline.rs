@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Shared machinery of the matching pipelines.
 //!
 //! The paper frames classification as: "a set of K Shapenet models, Mc,
@@ -83,7 +84,7 @@ pub fn classify_per_view(
     let diag = Diagnostics::new();
     match try_classify_per_view(queries, views, scorer, &diag) {
         Ok(preds) => preds,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
     }
 }
 
@@ -149,7 +150,7 @@ pub fn classify_per_view_ranked(
     let diag = Diagnostics::new();
     match try_classify_per_view_ranked(queries, views, scorer, &diag) {
         Ok(ranked) => ranked,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
     }
 }
 

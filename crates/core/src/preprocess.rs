@@ -67,8 +67,8 @@ pub fn preprocess(img: &RgbImage, bg: Background, bins: usize) -> Preprocessed {
     let (crop, mask, hu, contour_ok) = match largest {
         Some(contour) => {
             let rect = contour.bounding_rect();
-            let crop = img.crop(rect).expect("bounding rect lies inside the image");
-            let mask = bin.crop(rect).expect("same rect, same image size");
+            let crop = img.crop(rect).expect("bounding rect lies inside the image"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
+            let mask = bin.crop(rect).expect("same rect, same image size"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
             let hu = hu_moments(&moments_of_contour(contour));
             (crop, mask, hu, true)
         }
@@ -77,7 +77,7 @@ pub fn preprocess(img: &RgbImage, bg: Background, bins: usize) -> Preprocessed {
             (img.clone(), bin, hu, false)
         }
     };
-    let hist = rgb_histogram(&crop, bins).expect("bins validated by caller contract");
+    let hist = rgb_histogram(&crop, bins).expect("bins validated by caller contract"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     Preprocessed { crop, mask, hu, hist, contour_ok }
 }
 

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Scene segmentation front-end: from a whole robot frame to black-mask
 //! object crops — the step the paper's controlled experiments skipped
 //! ("leaving potential error-propagation from segmentation faults out of
@@ -51,9 +52,9 @@ impl Default for SegmentConfig {
 /// Estimate the `k` dominant border colours by coarse RGB quantisation
 /// (5-bit per channel buckets, averaged).
 pub fn border_colors(img: &RgbImage, k: usize) -> Vec<[u8; 3]> {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     let (w, h) = img.dimensions();
-    let mut buckets: HashMap<(u8, u8, u8), (u64, [u64; 3])> = HashMap::new();
+    let mut buckets: BTreeMap<(u8, u8, u8), (u64, [u64; 3])> = BTreeMap::new();
     let mut push = |px: [u8; 3]| {
         let key = (px[0] >> 3, px[1] >> 3, px[2] >> 3);
         let e = buckets.entry(key).or_insert((0, [0; 3]));
@@ -70,6 +71,8 @@ pub fn border_colors(img: &RgbImage, k: usize) -> Vec<[u8; 3]> {
         push(img.pixel(0, y));
         push(img.pixel(w - 1, y));
     }
+    // BTreeMap yields buckets in key order, and the sort is stable, so
+    // equally-populous buckets resolve in key order on every run.
     let mut sorted: Vec<_> = buckets.into_values().collect();
     sorted.sort_by_key(|&(n, _)| std::cmp::Reverse(n));
     sorted
@@ -91,7 +94,7 @@ fn l1(a: [u8; 3], b: [u8; 3]) -> u32 {
 pub fn foreground_mask(img: &RgbImage, cfg: &SegmentConfig) -> GrayImage {
     match try_foreground_mask(img, cfg) {
         Ok(mask) => mask,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
     }
 }
 
@@ -138,7 +141,7 @@ pub fn mask_against(img: &RgbImage, background: &[[u8; 3]], threshold: u32) -> R
 pub fn segment_frame(img: &RgbImage, cfg: &SegmentConfig) -> Vec<SegmentedObject> {
     match try_segment_frame(img, cfg) {
         Ok(segs) => segs,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
     }
 }
 
@@ -183,7 +186,7 @@ pub fn recognise_frame(
 ) -> Vec<Detection> {
     match try_recognise_frame(img, cfg, classify) {
         Ok(dets) => dets,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
     }
 }
 

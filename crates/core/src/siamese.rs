@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Pipeline (v): deep neural inexact matching (paper §3.4).
 //!
 //! Trains the Normalized-X-Corr network of `taor-nn` on SNS2 image pairs
@@ -91,7 +92,7 @@ impl SiameseConfig {
 pub fn image_to_tensor(img: &taor_imgproc::RgbImage, cfg: &NetConfig) -> Tensor {
     let resized =
         taor_imgproc::resize::resize_bilinear_rgb(img, cfg.width as u32, cfg.height as u32)
-            .expect("net dims are nonzero");
+            .expect("net dims are nonzero"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     let (w, h) = (cfg.width, cfg.height);
     let mut data = vec![0.0f32; 3 * w * h];
     for (x, y, px) in resized.enumerate_pixels() {
@@ -99,6 +100,7 @@ pub fn image_to_tensor(img: &taor_imgproc::RgbImage, cfg: &NetConfig) -> Tensor 
             data[c * w * h + y as usize * w + x as usize] = px[c] as f32 / 255.0 - 0.5;
         }
     }
+    // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     Tensor::from_vec(&[1, 3, h, w], data).expect("length matches by construction")
 }
 
@@ -125,7 +127,7 @@ pub fn train_siamese(
 ) -> (NormXCorrNet, TrainReport) {
     match try_train_siamese(sns2, cfg, on_epoch) {
         Ok(out) => out,
-        Err(e) => panic!("{e}"),
+        Err(e) => panic!("{e}"), // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
     }
 }
 

@@ -44,7 +44,7 @@ impl ObjectClass {
 
     /// Stable index in `0..10` (Table 1 order).
     pub fn index(&self) -> usize {
-        Self::ALL.iter().position(|c| c == self).expect("class is in ALL")
+        Self::ALL.iter().position(|c| c == self).expect("class is in ALL") // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     }
 
     /// Class from its index.

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Dataset builders matching Table 1 of the paper.
 //!
 //! * **ShapeNetSet1 (SNS1)** — 82 catalog views: two models per class,

@@ -25,6 +25,8 @@
 //!
 //! Everything is deterministic in a `u64` seed.
 
+#![forbid(unsafe_code)]
+
 pub mod classes;
 pub mod dataset;
 pub mod pairs;

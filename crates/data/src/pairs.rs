@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Image-pair construction for the Siamese pipeline (§3.4).
 //!
 //! The paper's three pair sets:

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Multi-object room frames — the mobile-robot setting the paper's
 //! conclusion targets ("for further application on RGB frames captured by
 //! a mobile robot in a real-life scenario").

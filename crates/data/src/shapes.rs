@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Parametric 2-D object generators — the stand-in for ShapeNet models.
 //!
 //! Each class has a generator that samples a *model* (persistent geometry

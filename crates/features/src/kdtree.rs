@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! A kd-tree approximate nearest-neighbour index for float descriptors.
 //!
 //! Stands in for FLANN: the paper notes "Using FLANN-based matching for

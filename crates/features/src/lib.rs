@@ -19,6 +19,8 @@
 //!   gain at this dataset scale — reproduced by `taor-bench`'s `matching`
 //!   bench).
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod evaluation;
 pub mod kdtree;

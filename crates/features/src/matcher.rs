@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Brute-force descriptor matching with Lowe's ratio test.
 //!
 //! The paper: "we relied on OpenCV built-in methods and used brute-force

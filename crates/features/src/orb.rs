@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! ORB: Oriented FAST and Rotated BRIEF (Rublee et al., ICCV 2011).
 //!
 //! "ORB combines FAST for corner-based keypoint detection [27] with
@@ -246,7 +247,7 @@ pub fn orb_detect_and_compute(
 
     // --- Orientation + steered BRIEF over a smoothed image (BRIEF needs
     // pre-smoothing to be stable; Calonder et al. use a Gaussian).
-    let smoothed = gaussian_blur(&img_f, 2.0).expect("fixed sigma is valid").to_u8();
+    let smoothed = gaussian_blur(&img_f, 2.0).expect("fixed sigma is valid").to_u8(); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     let pattern = brief_pattern(params.patch_size, params.pattern_seed);
     let radius = (params.patch_size / 2) as i64 - 1;
 

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! RANSAC geometric verification of descriptor matches.
 //!
 //! Lowe's original pipeline (and every production matcher since) follows

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! SIFT: Scale-Invariant Feature Transform (Lowe, IJCV 2004).
 //!
 //! "the SIFT algorithm is based on the main rationale of describing images
@@ -70,12 +71,12 @@ fn build_gaussian_pyramid(base: &GrayF32, params: &SiftParams) -> Pyramid {
     let mut octaves = Vec::new();
     // First image: blur the input up to params.sigma.
     let add = (params.sigma * params.sigma - INIT_SIGMA * INIT_SIGMA).max(0.01).sqrt();
-    let mut current = gaussian_blur(base, add).expect("valid sigma");
+    let mut current = gaussian_blur(base, add).expect("valid sigma"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     loop {
         let mut levels = Vec::with_capacity(n_levels);
         levels.push(current.clone());
         for s in sig.iter().take(n_levels).skip(1) {
-            let next = gaussian_blur(levels.last().expect("non-empty"), *s).expect("valid sigma");
+            let next = gaussian_blur(levels.last().expect("non-empty"), *s).expect("valid sigma"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
             levels.push(next);
         }
         // Next octave starts from level n (blur 2σ) downsampled by 2.
@@ -83,6 +84,7 @@ fn build_gaussian_pyramid(base: &GrayF32, params: &SiftParams) -> Pyramid {
         let (w, h) = seed.dimensions();
         let done = w / 2 < min_side || h / 2 < min_side;
         if !done {
+            // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
             current = resize_bilinear_f32(seed, w / 2, h / 2).expect("valid dims");
         }
         octaves.push(levels);

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! SURF: Speeded-Up Robust Features (Bay, Tuytelaars, Van Gool, ECCV 2006).
 //!
 //! "SURF was originally conceived for providing a more scalable
@@ -92,6 +93,7 @@ fn dominant_orientation(ii: &IntegralImage, x: i64, y: i64, scale: f64) -> f32 {
             let wgt = (-((dx * dx + dy * dy) as f64) / (2.0 * 2.5 * 2.5)).exp();
             let wx = hx * wgt;
             let wy = hy * wgt;
+            // taor-lint: allow(float::eq) — exact zero-weight guard before atan2; any tolerance would drop real gradients
             if wx != 0.0 || wy != 0.0 {
                 samples.push((wy.atan2(wx), wx, wy));
             }

@@ -36,6 +36,7 @@ pub fn pixel_to_hsv(r: u8, g: u8, b: u8) -> Hsv {
     let max = rf.max(gf).max(bf);
     let min = rf.min(gf).min(bf);
     let delta = max - min;
+    // taor-lint: allow(float::eq) — exact achromatic guard: delta is max-min of the same three values
     let h = if delta == 0.0 {
         0.0
     } else if max == rf {
@@ -45,7 +46,7 @@ pub fn pixel_to_hsv(r: u8, g: u8, b: u8) -> Hsv {
     } else {
         60.0 * ((rf - gf) / delta + 4.0)
     };
-    let s = if max == 0.0 { 0.0 } else { delta / max };
+    let s = if max == 0.0 { 0.0 } else { delta / max }; // taor-lint: allow(float::eq) — exact black guard protecting the division
     Hsv { h, s, v: max }
 }
 

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Minimal rasterisation used by the synthetic dataset renderer.
 //!
 //! The ShapeNet/NYU stand-in in `taor-data` draws each object class as a

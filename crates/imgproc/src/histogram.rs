@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! RGB histograms and the four OpenCV comparison metrics.
 //!
 //! The colour-only pipeline compares "the RGB histograms of the input image

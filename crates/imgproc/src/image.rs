@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Image containers.
 //!
 //! [`ImageBuf`] is a dense, row-major, interleaved-channel image with a
@@ -73,7 +74,7 @@ impl<T: Copy + Default, const C: usize> ImageBuf<T, C> {
     /// Panics if either dimension is zero or exceeds [`MAX_DIM`]; use
     /// [`ImageBuf::try_new`] for a fallible variant.
     pub fn new(width: u32, height: u32) -> Self {
-        Self::try_new(width, height).expect("invalid image dimensions")
+        Self::try_new(width, height).expect("invalid image dimensions") // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     }
 
     /// Fallible constructor.

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Integral images (summed-area tables).
 //!
 //! SURF's box filters evaluate Hessian responses in constant time per

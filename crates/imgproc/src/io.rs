@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Minimal image I/O: binary PPM (P6) and PGM (P5).
 //!
 //! Keeps the reproduction dependency-free while letting users export the
@@ -55,6 +56,7 @@ fn parse_header(data: &[u8], magic: &[u8; 2]) -> Result<(u32, u32, usize)> {
         if start == pos {
             return Err(ImgError::InvalidParameter { name: "pnm", msg: "truncated header".into() });
         }
+        // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
         *field = std::str::from_utf8(&data[start..pos]).expect("digits are utf8").parse().map_err(
             |_| ImgError::InvalidParameter {
                 name: "pnm",

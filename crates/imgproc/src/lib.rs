@@ -40,6 +40,8 @@
 //! assert!(hu[0] > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod canny;
 pub mod cmp;
 pub mod color;

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Image and contour moments, Hu invariants, and `matchShapes`.
 //!
 //! The shape-only pipeline of the paper matches contours "through the

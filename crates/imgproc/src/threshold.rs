@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Global binary thresholding.
 //!
 //! Step (ii) of the paper's preprocessing: "applied global binary
@@ -35,10 +36,12 @@ pub fn otsu_threshold(img: &GrayImage) -> u8 {
     let mut best_var = -1.0;
     for (t, &count) in hist.iter().enumerate() {
         weight_bg += count as f64;
+        // taor-lint: allow(float::eq) — integer histogram counts summed in f64 are exact
         if weight_bg == 0.0 {
             continue;
         }
         let weight_fg = total - weight_bg;
+        // taor-lint: allow(float::eq) — integer histogram counts summed in f64 are exact
         if weight_fg == 0.0 {
             break;
         }

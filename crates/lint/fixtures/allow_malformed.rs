@@ -1,0 +1,5 @@
+// Known-bad: the directive does not parse (no parentheses), which is
+// itself a diagnostic so broken allows never silently rot.
+pub fn f() {}
+// taor-lint: allow panic::unwrap — missing parens
+pub fn g() {}

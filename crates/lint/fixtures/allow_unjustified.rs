@@ -1,0 +1,5 @@
+// Known-bad: a justification-free allow is reported and suppresses
+// nothing.
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap() // taor-lint: allow(panic::unwrap)
+}

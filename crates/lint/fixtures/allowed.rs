@@ -1,0 +1,18 @@
+// Violations identical to the known-bad fixtures, each suppressed by a
+// justified allow directive; this file must lint clean.
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap() // taor-lint: allow(panic::unwrap) — input validated by the caller's grammar
+}
+
+pub fn pick(v: &[u32], i: usize) -> u32 {
+    // taor-lint: allow(panic::index) — i is bounded by the loop above
+    v[i]
+}
+
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0 // taor-lint: allow(float::eq) — exact sentinel comparison
+}
+
+pub fn family(s: &str) -> u32 {
+    s.parse().expect("checked") // taor-lint: allow(panic) — family allow covers expect too
+}

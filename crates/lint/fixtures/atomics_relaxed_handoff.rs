@@ -1,0 +1,9 @@
+// Known-bad: Relaxed write publishing a completion flag. The comment
+// below does NOT rescue it — relaxed-handoff is an error even when
+// documented, because the consumer can see the flag before the data.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn publish(finished: &AtomicUsize, n: usize) {
+    // Ordering::Relaxed — (wrongly) claimed fine because it is atomic.
+    finished.store(n, Ordering::Relaxed);
+}

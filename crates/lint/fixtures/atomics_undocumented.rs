@@ -1,0 +1,6 @@
+// Known-bad: Ordering choice with no justifying comment.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::SeqCst)
+}

@@ -1,0 +1,14 @@
+// Known-bad: HashMap/HashSet in result-producing library code.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(names: &[&str]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for n in names {
+        *counts.entry((*n).to_string()).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn distinct(xs: &[u32]) -> usize {
+    xs.iter().collect::<HashSet<_>>().len()
+}

@@ -1,0 +1,10 @@
+// Known-bad: wall-clock reads in pipeline code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let _t = Instant::now();
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

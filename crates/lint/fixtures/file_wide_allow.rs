@@ -1,0 +1,14 @@
+// taor-lint: allow(panic::index) — dense kernel fixture: every index below is loop-bounded
+// A header directive covers the whole file for the named rule only:
+// the unwrap at the bottom must still be reported.
+pub fn sum(v: &[u32]) -> u32 {
+    let mut acc = 0;
+    for i in 0..v.len() {
+        acc += v[i];
+    }
+    acc
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}

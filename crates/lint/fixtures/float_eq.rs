@@ -1,0 +1,8 @@
+// Known-bad: exact float equality against a literal.
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn nonzero(x: f32) -> bool {
+    0.0 != x
+}

@@ -1,0 +1,4 @@
+// Known-bad: NaN-unsafe comparator; route through taor_imgproc::cmp.
+pub fn sort_scores(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,4 @@
+// Known-bad: expect on an Option in library code.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().expect("non-empty")
+}

@@ -1,0 +1,8 @@
+// Known-bad: computed slice index; the literal index below is exempt.
+pub fn pick(v: &[u32], i: usize) -> u32 {
+    v[i + 1]
+}
+
+pub fn head(v: &[u32; 4]) -> u32 {
+    v[0] // single integer-literal index: fixed-offset access, exempt
+}

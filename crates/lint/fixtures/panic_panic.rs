@@ -1,0 +1,6 @@
+// Known-bad: explicit panic! in library code.
+pub fn check(x: i32) {
+    if x < 0 {
+        panic!("negative input {x}");
+    }
+}

@@ -1,0 +1,8 @@
+// Known-bad: todo!/unimplemented! left in library code.
+pub fn later() -> u32 {
+    todo!("write this")
+}
+
+pub fn never() -> u32 {
+    unimplemented!()
+}

@@ -1,0 +1,4 @@
+// Known-bad: unwrap on a Result in library code.
+pub fn parse(s: &str) -> u32 {
+    s.parse().unwrap()
+}

@@ -1,0 +1,26 @@
+// Clean: every violation sits in test-gated code, which the strict
+// rules exempt.
+pub fn lib_code(x: u32) -> u32 {
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Result<u32, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+        let mut m = HashMap::new();
+        m.insert("k", 1.0_f64);
+        assert!(m["k"] == 1.0);
+    }
+}
+
+#[test]
+fn bare_test_fn_is_exempt_too() {
+    let v = vec![1, 2, 3];
+    let i = 2;
+    assert_eq!(v[i], 3);
+}

@@ -1,0 +1,12 @@
+// Known-bad: unsafe block, fn and impl all missing SAFETY comments.
+pub fn read_first(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() }
+}
+
+pub unsafe fn raw_add(p: *const u32, i: usize) -> *const u32 {
+    p.wrapping_add(i)
+}
+
+pub struct Wrapper(*const u32);
+
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,206 @@
+//! The allow-list grammar and suppression logic.
+//!
+//! A diagnostic is suppressed by a directive comment of the form
+//!
+//! ```text
+//! // taor-lint: allow(<rule>[, <rule>…]) — <justification>
+//! ```
+//!
+//! where `<rule>` is either a full rule name (`panic::index`), a family
+//! (`panic`, suppressing every `panic::*` rule), or `all`. The
+//! justification is mandatory; `—`, `--` or `-` all work as the
+//! separator. A directive that fails to parse or omits the
+//! justification is itself a diagnostic, so allows can never silently
+//! rot.
+//!
+//! Scope is positional:
+//! * a directive in the file header (before the first code token)
+//!   applies to the whole file — the idiom for e.g. dense numeric
+//!   kernels where every index is loop-bounded by construction;
+//! * anywhere else it applies to exactly one line: its own line when it
+//!   trails code, otherwise the first code line after it.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Comment, Token};
+
+const DIRECTIVE: &str = "taor-lint:";
+
+/// One parsed (or malformed) allow directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rules (or families, or `all`) this directive suppresses.
+    pub rules: Vec<String>,
+    /// Line the directive comment starts on.
+    pub line: u32,
+    /// Whole-file scope (directive sits in the file header).
+    pub file_wide: bool,
+    /// The single line this directive covers when not file-wide.
+    pub target_line: Option<u32>,
+}
+
+/// Does an allowed name cover a concrete rule? `all` covers everything,
+/// a family name covers `family::*`, a full name covers itself.
+pub fn covers(allowed: &str, rule: &str) -> bool {
+    allowed == "all"
+        || allowed == rule
+        || rule.strip_prefix(allowed).is_some_and(|rest| rest.starts_with("::"))
+}
+
+/// Extract directives from a file's comments. Malformed or unjustified
+/// directives are reported through `diags`. `first_code_line` bounds
+/// the file header; `code_lines` maps directives to the line they
+/// cover.
+pub fn collect(
+    comments: &[Comment],
+    tokens: &[Token],
+    first_code_line: u32,
+    file: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        // A directive must BE the comment, not appear inside one: after
+        // the comment markers, the text starts with `taor-lint:`. This
+        // keeps prose *about* directives (like this crate's own docs)
+        // from parsing as directives.
+        let body = ["//!", "///", "//", "/*!", "/**", "/*"]
+            .iter()
+            .find_map(|m| c.text.strip_prefix(m))
+            .unwrap_or(c.text.as_str());
+        let Some(rest) = body.trim_start().strip_prefix(DIRECTIVE) else { continue };
+        let rest = rest.trim();
+        // Block comments may carry a trailing `*/`; strip it so the
+        // justification check sees only the directive text.
+        let rest = rest.strip_suffix("*/").unwrap_or(rest).trim();
+        match parse(rest) {
+            Ok((rules, justified)) => {
+                if !justified {
+                    diags.push(Diagnostic::new(
+                        file,
+                        c.line,
+                        "allow::unjustified",
+                        "allow directive has no justification (write `allow(rule) — why`)",
+                    ));
+                }
+                let file_wide = c.line < first_code_line;
+                let target_line = if file_wide { None } else { target_of(tokens, c) };
+                allows.push(Allow { rules, line: c.line, file_wide, target_line });
+            }
+            Err(msg) => {
+                diags.push(Diagnostic::new(file, c.line, "allow::malformed", msg));
+            }
+        }
+    }
+    allows
+}
+
+/// The line a non-header directive covers: its own line if code
+/// precedes it there (trailing comment), else the first code line
+/// after the comment.
+fn target_of(tokens: &[Token], c: &Comment) -> Option<u32> {
+    if tokens.iter().any(|t| t.line == c.line) {
+        return Some(c.line);
+    }
+    tokens.iter().map(|t| t.line).filter(|&l| l > c.end_line).min()
+}
+
+/// Parse the text after `taor-lint:`. Returns (rules, has_justification).
+fn parse(rest: &str) -> Result<(Vec<String>, bool), &'static str> {
+    let Some(body) = rest.strip_prefix("allow") else {
+        return Err("unknown directive (expected `allow(rule, …) — justification`)");
+    };
+    let body = body.trim_start();
+    let Some(body) = body.strip_prefix('(') else {
+        return Err("missing `(` after `allow`");
+    };
+    let Some(close) = body.find(')') else {
+        return Err("missing `)` in allow directive");
+    };
+    let rules: Vec<String> =
+        body[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return Err("empty rule list in allow directive");
+    }
+    if rules.iter().any(|r| !r.chars().all(|c| c.is_ascii_alphanumeric() || "_-:".contains(c))) {
+        return Err("rule names may contain only [a-z0-9_:-]");
+    }
+    let after = body[close + 1..].trim_start();
+    let justified = ["—", "--", "-"]
+        .iter()
+        .any(|sep| after.strip_prefix(sep).is_some_and(|j| !j.trim().is_empty()));
+    Ok((rules, justified))
+}
+
+/// Apply suppression: keep only diagnostics not covered by any allow.
+/// Meta diagnostics (`allow::*`) are never suppressible.
+pub fn filter(diags: Vec<Diagnostic>, allows: &[Allow]) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| {
+            if d.rule.starts_with("allow::") {
+                return true;
+            }
+            !allows.iter().any(|a| {
+                let in_scope = a.file_wide || a.target_line == Some(d.line);
+                in_scope && a.rules.iter().any(|r| covers(r, &d.rule))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Vec<Allow>, Vec<Diagnostic>) {
+        let out = lex(src);
+        let first = out.tokens.first().map_or(u32::MAX, |t| t.line);
+        let mut diags = Vec::new();
+        let allows = collect(&out.comments, &out.tokens, first, "f.rs", &mut diags);
+        (allows, diags)
+    }
+
+    #[test]
+    fn parses_rules_and_justification() {
+        let (a, d) = run("// taor-lint: allow(panic::index, det) — loop-bounded\nfn f() {}");
+        assert!(d.is_empty());
+        assert_eq!(a[0].rules, ["panic::index", "det"]);
+        assert!(a[0].file_wide, "header directive must be file-wide");
+    }
+
+    #[test]
+    fn missing_justification_is_reported() {
+        let (_, d) = run("fn f() {}\n// taor-lint: allow(panic)\nfn g() {}");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "allow::unjustified");
+    }
+
+    #[test]
+    fn malformed_directive_is_reported() {
+        let (_, d) = run("fn f() {}\n// taor-lint: allow panic — oops");
+        assert_eq!(d[0].rule, "allow::malformed");
+    }
+
+    #[test]
+    fn trailing_directive_targets_its_own_line() {
+        let (a, _) = run("fn f() {}\nlet x = v[i]; // taor-lint: allow(panic::index) — bounded");
+        assert_eq!(a[0].target_line, Some(2));
+        assert!(!a[0].file_wide);
+    }
+
+    #[test]
+    fn preceding_directive_targets_next_code_line() {
+        let (a, _) = run("fn f() {}\n// taor-lint: allow(panic::index) — bounded\n\nlet x = v[i];");
+        assert_eq!(a[0].target_line, Some(4));
+    }
+
+    #[test]
+    fn family_and_all_cover() {
+        assert!(covers("panic", "panic::index"));
+        assert!(covers("all", "det::hash-iter"));
+        assert!(covers("panic::index", "panic::index"));
+        assert!(!covers("panic::index", "panic::unwrap"));
+        assert!(!covers("panic", "panicky::x"));
+    }
+}

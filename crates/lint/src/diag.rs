@@ -1,0 +1,29 @@
+//! Diagnostic type and rendering.
+
+use std::fmt;
+
+/// One finding: file, 1-based line, rule name, human message.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        file: impl Into<String>,
+        line: u32,
+        rule: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic { file: file.into(), line, rule: rule.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}

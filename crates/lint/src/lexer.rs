@@ -1,0 +1,423 @@
+//! Hand-written Rust lexer: just enough token structure for the rule
+//! engine, with exact handling of the constructs that break naive
+//! regex-based linting — raw strings (`r#"…"#`, any hash depth), byte
+//! and byte-raw strings, nested block comments, char literals vs.
+//! lifetimes (`'a'` vs. `'a`), numeric literals with suffixes and
+//! exponents, and multi-char operators.
+//!
+//! Comments are not tokens: they are collected into a side table so the
+//! rules that key off them (SAFETY justifications, allow directives,
+//! atomics documentation) can query "which comments touch line N"
+//! without the token stream having to carry trivia.
+
+/// Kind of a lexed token. Keywords are `Ident`s; the rules match on
+/// text where it matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// `'a` / `'static` (also loop labels).
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Any string literal: plain, raw, byte, byte-raw.
+    Str,
+    /// Integer literal (any base, with suffix).
+    Int,
+    /// Float literal (decimal point, exponent, or f32/f64 suffix).
+    Float,
+    /// Multi-char operator from the fixed table (`::`, `==`, `->`, …).
+    Op,
+    /// Any other single character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block, doc or plain) with its line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the significant tokens plus the comment side table.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-char operators, longest first so greedy matching is correct.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Never panics: unterminated
+/// constructs simply run to end of input.
+pub fn lex(src: &str) -> LexOut {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = LexOut::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    let at = |i: usize| chars.get(i).copied();
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && at(i + 1) == Some('/') {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.comments.push(Comment { line, end_line: line, text });
+            continue;
+        }
+        if c == '/' && at(i + 1) == Some('*') {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && at(i + 1) == Some('*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && at(i + 1) == Some('/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i.min(n)].iter().collect();
+            out.comments.push(Comment { line: start_line, end_line: line, text });
+            continue;
+        }
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        if (c == 'r' || c == 'b') && is_string_prefix(&chars, i) {
+            let (tok, ni, nl) = lex_prefixed_literal(&chars, i, line);
+            out.tokens.push(tok);
+            i = ni;
+            line = nl;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            out.tokens.push(Token { kind: TokenKind::Ident, text, line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (tok, ni) = lex_number(&chars, i, line);
+            out.tokens.push(tok);
+            i = ni;
+            continue;
+        }
+        if c == '"' {
+            let (ni, nl) = skip_plain_string(&chars, i + 1, line);
+            out.tokens.push(Token { kind: TokenKind::Str, text: String::new(), line });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime if followed by an identifier that is NOT closed
+            // by a quote right after one char (`'a'` is a char literal,
+            // `'a` / `'abc` a lifetime; `'\n'` is always a char).
+            let next = at(i + 1);
+            let is_lifetime = match next {
+                Some(nc) if is_ident_start(nc) => at(i + 2) != Some('\''),
+                _ => false,
+            };
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.tokens.push(Token { kind: TokenKind::Lifetime, text, line });
+            } else {
+                let (ni, nl) = skip_char_literal(&chars, i + 1, line);
+                out.tokens.push(Token { kind: TokenKind::Char, text: String::new(), line });
+                i = ni;
+                line = nl;
+            }
+            continue;
+        }
+        // Multi-char operators (greedy, longest first).
+        if let Some(op) = OPS.iter().find(|op| chars_match(&chars, i, op)) {
+            out.tokens.push(Token { kind: TokenKind::Op, text: (*op).to_string(), line });
+            i += op.chars().count();
+            continue;
+        }
+        out.tokens.push(Token { kind: TokenKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    out
+}
+
+fn chars_match(chars: &[char], i: usize, pat: &str) -> bool {
+    pat.chars().enumerate().all(|(j, pc)| chars.get(i + j) == Some(&pc))
+}
+
+/// Does the `r`/`b` at `i` start a raw/byte string or byte-char literal
+/// (as opposed to a plain identifier like `radius`)?
+fn is_string_prefix(chars: &[char], i: usize) -> bool {
+    let c = chars[i];
+    let rest = match c {
+        'r' => &chars[i + 1..],
+        'b' => match chars.get(i + 1) {
+            Some('r') => &chars[i + 2..],
+            _ => &chars[i + 1..],
+        },
+        _ => return false,
+    };
+    match rest.first() {
+        Some('"') => true,
+        Some('\'') => c == 'b' && chars.get(i + 1) == Some(&'\''),
+        Some('#') => {
+            // Raw string: hashes then a quote. `r#ident` (raw ident) has
+            // an ident char after the hash instead.
+            let mut j = 0;
+            while rest.get(j) == Some(&'#') {
+                j += 1;
+            }
+            rest.get(j) == Some(&'"')
+        }
+        _ => false,
+    }
+}
+
+/// Lex a literal that starts with an `r`/`b`/`br` prefix.
+fn lex_prefixed_literal(chars: &[char], i: usize, line: u32) -> (Token, usize, u32) {
+    let mut j = i;
+    let mut raw = false;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        raw = true;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'\'') {
+        // Byte char literal b'…'.
+        let (ni, nl) = skip_char_literal(chars, j + 1, line);
+        return (Token { kind: TokenKind::Char, text: String::new(), line }, ni, nl);
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        j += 1; // opening quote
+        let mut nl = line;
+        while j < chars.len() {
+            if chars[j] == '\n' {
+                nl += 1;
+            }
+            if chars[j] == '"' {
+                let mut k = 0;
+                while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    j += 1 + hashes;
+                    return (Token { kind: TokenKind::Str, text: String::new(), line }, j, nl);
+                }
+            }
+            j += 1;
+        }
+        (Token { kind: TokenKind::Str, text: String::new(), line }, j, nl)
+    } else {
+        let (ni, nl) = skip_plain_string(chars, j + 1, line);
+        (Token { kind: TokenKind::Str, text: String::new(), line }, ni, nl)
+    }
+}
+
+/// Skip a plain (escaped) string body; `i` points just past the opening
+/// quote. Returns (index past closing quote, line).
+fn skip_plain_string(chars: &[char], mut i: usize, mut line: u32) -> (usize, u32) {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return (i + 1, line),
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// Skip a char/byte-char literal body; `i` points just past the opening
+/// quote.
+fn skip_char_literal(chars: &[char], mut i: usize, line: u32) -> (usize, u32) {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return (i + 1, line),
+            '\n' => {
+                // Unterminated; bail at end of line so the lexer
+                // resynchronises instead of eating the file.
+                return (i, line);
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// Lex a numeric literal starting at a digit.
+fn lex_number(chars: &[char], i: usize, line: u32) -> (Token, usize) {
+    let n = chars.len();
+    let mut j = i;
+    let mut float = false;
+    if chars[j] == '0' && matches!(chars.get(j + 1), Some('x' | 'o' | 'b')) {
+        j += 2;
+        while j < n && (chars[j].is_ascii_hexdigit() || chars[j] == '_') {
+            j += 1;
+        }
+    } else {
+        while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+            j += 1;
+        }
+        // Fractional part only when a digit follows the dot: `1..4` and
+        // `1.max(2)` must not lex a float.
+        if chars.get(j) == Some(&'.') && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            j += 1;
+            while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+        if matches!(chars.get(j), Some('e' | 'E')) {
+            let mut k = j + 1;
+            if matches!(chars.get(k), Some('+' | '-')) {
+                k += 1;
+            }
+            if chars.get(k).is_some_and(|c| c.is_ascii_digit()) {
+                float = true;
+                j = k;
+                while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                    j += 1;
+                }
+            }
+        }
+    }
+    // Suffix (u8/usize/f32/…).
+    let suffix_start = j;
+    while j < n && is_ident_continue(chars[j]) {
+        j += 1;
+    }
+    let suffix: String = chars[suffix_start..j].iter().collect();
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    let text: String = chars[i..j].iter().collect();
+    let kind = if float { TokenKind::Float } else { TokenKind::Int };
+    (Token { kind, text, line }, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert!(t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count() == 2);
+        assert!(t.iter().filter(|(k, _)| *k == TokenKind::Char).count() == 2);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_content() {
+        let t = kinds(r####"let s = r#"unwrap() // not code "quoted" "#; x"####);
+        assert!(t.iter().any(|(k, _)| *k == TokenKind::Str));
+        assert!(!t.iter().any(|(_, s)| s == "unwrap"));
+        assert_eq!(t.last().map(|(_, s)| s.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let t = kinds(r#"let a = b"bytes"; let b = br"raw"; let c = b'x';"#);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_counts() {
+        let out = lex("/* a /* b */ still comment */ fn f() {}\nlet x = 1;");
+        assert_eq!(out.comments.len(), 1);
+        assert_eq!(out.tokens[0].text, "fn");
+        assert_eq!(out.tokens[0].line, 1);
+        let x = out.tokens.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let t = kinds("let a = 1; let b = 1.5; let c = 1e-6; let d = 2f64; let e = 0xff; 1..4");
+        let floats: Vec<_> =
+            t.iter().filter(|(k, _)| *k == TokenKind::Float).map(|(_, s)| s.clone()).collect();
+        assert_eq!(floats, ["1.5", "1e-6", "2f64"]);
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Op && s == ".."));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let t = kinds("a == b != c :: d -> e => f ..= g");
+        let ops: Vec<_> =
+            t.iter().filter(|(k, _)| *k == TokenKind::Op).map(|(_, s)| s.clone()).collect();
+        assert_eq!(ops, ["==", "!=", "::", "->", "=>", "..="]);
+    }
+
+    #[test]
+    fn comments_collected_not_tokenised() {
+        let out = lex("// unwrap() in a comment\nlet y = 2; /* expect */");
+        assert!(!out.tokens.iter().any(|t| t.text == "unwrap"));
+        assert_eq!(out.comments.len(), 2);
+        assert!(out.comments[0].text.contains("unwrap"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Test-region tracking over the token stream.
+//!
+//! The panic/float/determinism rules exempt test code: anything inside
+//! an item annotated `#[cfg(test)]` or `#[test]`. This module computes,
+//! for every token, whether it sits inside such an item, by walking the
+//! stream once: when a test-gating attribute is seen, the next item
+//! body (`{ … }` with balanced braces) is marked as test code.
+//!
+//! `#[cfg(not(test))]` and `#[cfg(feature = "test-utils")]` are *not*
+//! test-gating: the attribute must be exactly `#[test]` or
+//! `#[cfg(test)]` (whitespace-insensitive).
+
+use crate::lexer::Token;
+
+/// For each token index, whether it is inside a test-gated item.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && tokens.get(i + 1).is_some_and(|t| t.text == "[") {
+            let (attr_end, is_test) = scan_attribute(tokens, i + 1);
+            if is_test {
+                mark_next_item(tokens, attr_end, &mut mask);
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// From the `[` at `open`, find the matching `]` and decide whether the
+/// attribute is test-gating. Returns (index past `]`, is_test).
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut body = String::new();
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    let is_test = body == "test" || body == "cfg(test)";
+                    return (i + 1, is_test);
+                }
+            }
+            _ if depth > 0 => body.push_str(&t.text),
+            _ => {}
+        }
+        i += 1;
+    }
+    (tokens.len(), false)
+}
+
+/// Mark the body of the item that follows a test attribute: skip any
+/// further attributes, then everything from the first `{` to its match.
+/// A `;` before any `{` means the item has no body (nothing to mark).
+fn mark_next_item(tokens: &[Token], mut i: usize, mask: &mut [bool]) {
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.text == "#" && tokens.get(i + 1).is_some_and(|t| t.text == "[") {
+            let (end, _) = scan_attribute(tokens, i + 1);
+            i = end;
+            continue;
+        }
+        if t.text == ";" {
+            return;
+        }
+        if t.text == "{" {
+            let mut depth = 0usize;
+            while i < tokens.len() {
+                match tokens[i].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        mask[i] = true;
+                        if depth == 0 {
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+                mask[i] = true;
+                i += 1;
+            }
+            return;
+        }
+        mask[i] = true; // the item's signature is test code too
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, TokenKind};
+
+    fn masked_idents(src: &str) -> Vec<(String, bool)> {
+        let out = lex(src);
+        let mask = test_mask(&out.tokens);
+        out.tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.kind == TokenKind::Ident)
+            .map(|(t, &m)| (t.text.clone(), m))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let v = masked_idents("fn lib() {} #[cfg(test)] mod tests { fn t() { x.unwrap(); } }");
+        assert!(v.iter().any(|(s, m)| s == "lib" && !m));
+        assert!(v.iter().any(|(s, m)| s == "unwrap" && *m));
+    }
+
+    #[test]
+    fn test_fn_is_masked_but_neighbours_are_not() {
+        let v =
+            masked_idents("fn a() { before(); } #[test] fn t() { inside(); } fn b() { after(); }");
+        assert!(v.iter().any(|(s, m)| s == "before" && !m));
+        assert!(v.iter().any(|(s, m)| s == "inside" && *m));
+        assert!(v.iter().any(|(s, m)| s == "after" && !m));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let v = masked_idents("#[cfg(not(test))] fn a() { live(); }");
+        assert!(v.iter().any(|(s, m)| s == "live" && !m));
+    }
+
+    #[test]
+    fn stacked_attributes_still_find_the_body() {
+        let v = masked_idents("#[test]\n#[ignore]\nfn t() { inside(); }");
+        assert!(v.iter().any(|(s, m)| s == "inside" && *m));
+    }
+}

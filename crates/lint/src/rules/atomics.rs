@@ -1,0 +1,71 @@
+//! `atomics::*` — every memory-ordering choice is a reviewed decision.
+//!
+//! The thread pool's correctness argument (DESIGN.md §8) leans on three
+//! specific `Ordering` choices in `vendor/rayon/src/pool.rs`; the
+//! diagnostics ledger adds four more. An ordering silently weakened in
+//! a refactor is the nastiest class of bug this workspace can grow, so:
+//!
+//! * `atomics::undocumented` — every `Ordering::<X>` use site (outside
+//!   tests) must carry a comment, trailing or directly above, saying
+//!   why that ordering suffices.
+//! * `atomics::relaxed-handoff` — `Ordering::Relaxed` on a statement
+//!   that publishes completion state is an error even when commented.
+//!   Publication variables follow the workspace naming convention
+//!   (`finished` / `done` / `ready` / `complete`); releasing a latch
+//!   with `Relaxed` lets the consumer observe the flag before the data
+//!   it guards.
+
+use super::RuleCtx;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Identifiers that mark a completion/hand-off flag by convention.
+const HANDOFF_NAMES: &[&str] = &["finished", "done", "ready", "complete", "published"];
+
+/// Atomic write operations that publish.
+const WRITE_OPS: &[&str] =
+    &["store", "fetch_add", "fetch_sub", "fetch_or", "fetch_and", "swap", "compare_exchange"];
+
+pub fn run(ctx: &RuleCtx<'_>, diags: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test(i) || t.kind != TokenKind::Ident || t.text != "Ordering" {
+            continue;
+        }
+        let Some(op) = toks.get(i + 1) else { continue };
+        let Some(variant) = toks.get(i + 2) else { continue };
+        if op.text != "::" || !ORDERINGS.contains(&variant.text.as_str()) {
+            continue;
+        }
+        if !ctx.has_comment_near(t.line, |_| true) {
+            diags.push(Diagnostic::new(
+                ctx.file,
+                t.line,
+                "atomics::undocumented",
+                format!("Ordering::{} without a comment justifying the choice", variant.text),
+            ));
+        }
+        if variant.text == "Relaxed" && is_handoff_line(ctx, t.line) {
+            diags.push(Diagnostic::new(
+                ctx.file,
+                t.line,
+                "atomics::relaxed-handoff",
+                "Relaxed write to a completion flag cannot release the data it guards; \
+                 use Release/AcqRel",
+            ));
+        }
+    }
+}
+
+/// The line both names a hand-off flag and performs an atomic write.
+fn is_handoff_line(ctx: &RuleCtx<'_>, line: u32) -> bool {
+    let mut has_name = false;
+    let mut has_write = false;
+    for t in ctx.tokens.iter().filter(|t| t.line == line && t.kind == TokenKind::Ident) {
+        has_name |= HANDOFF_NAMES.contains(&t.text.as_str());
+        has_write |= WRITE_OPS.contains(&t.text.as_str());
+    }
+    has_name && has_write
+}

@@ -1,0 +1,42 @@
+//! `det::*` — byte-identical outputs at any thread-pool width.
+//!
+//! The repro harness pins quick-mode stdout across `TAOR_THREADS`
+//! settings; these rules remove the two classic sources of run-to-run
+//! drift from result-producing library code:
+//!
+//! * `det::hash-iter` — `HashMap` / `HashSet` in library code. std's
+//!   `RandomState` reseeds per process, so *any* iteration order that
+//!   reaches an output (vote tallies, grouped means, bucket dumps)
+//!   differs between runs. Use `BTreeMap`/`BTreeSet` or sort extracted
+//!   keys. Flagged at the type name, not the iteration site: a map that
+//!   is never iterated is one refactor away from being iterated.
+//! * `det::wall-clock` — `Instant` / `SystemTime` in library code.
+//!   Pipeline results must be a function of inputs, not of when they
+//!   ran; timing belongs in the bench harness.
+
+use super::RuleCtx;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+pub fn run(ctx: &RuleCtx<'_>, diags: &mut Vec<Diagnostic>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.is_test(i) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "HashMap" | "HashSet" => diags.push(Diagnostic::new(
+                ctx.file,
+                t.line,
+                "det::hash-iter",
+                format!("{} iteration order is randomised per process; use BTreeMap/BTreeSet or sorted keys", t.text),
+            )),
+            "Instant" | "SystemTime" => diags.push(Diagnostic::new(
+                ctx.file,
+                t.line,
+                "det::wall-clock",
+                format!("{} makes pipeline output time-dependent; timing belongs in the bench harness", t.text),
+            )),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `float::*` — NaN-safe float handling.
+//!
+//! PR 2 replaced every `partial_cmp().expect()` ranking with the
+//! NaN-quarantine comparators of `taor_imgproc::cmp`; this family keeps
+//! it that way:
+//!
+//! * `float::partial-cmp` — any `.partial_cmp(` in library code. Sort
+//!   comparators built on it either panic (`.expect`) or silently
+//!   misorder (`unwrap_or`) the first time a degenerate crop produces a
+//!   NaN. Route through `taor_imgproc::cmp::{nan_last_*, nan_first_*}`.
+//! * `float::eq` — `==` / `!=` where either operand is a float literal
+//!   (`x == 0.0`, `v != 1e-6`). Exact float equality is almost always a
+//!   tolerance bug; compare with an epsilon or restructure. (Ident-vs-
+//!   ident float comparisons are invisible to a lexical pass; this
+//!   catches the literal form, which is the common regression.)
+
+use super::{prev, RuleCtx};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+pub fn run(ctx: &RuleCtx<'_>, diags: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        if t.kind == TokenKind::Ident
+            && t.text == "partial_cmp"
+            && prev(toks, i).is_some_and(|p| p.text == "." || p.text == "::")
+        {
+            diags.push(Diagnostic::new(
+                ctx.file,
+                t.line,
+                "float::partial-cmp",
+                "partial_cmp is NaN-unsafe in comparators; use taor_imgproc::cmp::nan_*",
+            ));
+        }
+        if t.kind == TokenKind::Op && (t.text == "==" || t.text == "!=") {
+            let float_operand = super::is_kind(prev(toks, i), TokenKind::Float)
+                || super::is_kind(toks.get(i + 1), TokenKind::Float);
+            if float_operand {
+                diags.push(Diagnostic::new(
+                    ctx.file,
+                    t.line,
+                    "float::eq",
+                    format!("exact float {} against a literal; compare with a tolerance", t.text),
+                ));
+            }
+        }
+    }
+}

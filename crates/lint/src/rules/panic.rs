@@ -1,0 +1,104 @@
+//! `panic::*` — panic-freedom of the inference library code.
+//!
+//! The `try_*` pipelines promise to degrade instead of aborting on bad
+//! data (DESIGN.md §7). Any reachable panic in non-test library code
+//! breaks that promise, so the family flags the constructs that panic
+//! on data, not on programmer error:
+//!
+//! * `panic::unwrap` — `.unwrap()` / `.unwrap_err()`,
+//! * `panic::expect` — `.expect(…)` / `.expect_err(…)`,
+//! * `panic::panic` — `panic!(…)`,
+//! * `panic::todo` — `todo!(…)` / `unimplemented!(…)`,
+//! * `panic::index` — `expr[…]` indexing/slicing with a non-literal
+//!   index. A single integer-literal index (`px[0]`) is exempt: that is
+//!   fixed-offset access into known-layout arrays, the dominant safe
+//!   pattern; data-dependent panics live in computed indices.
+//!
+//! `assert!`-style macros are deliberately not flagged: they state
+//! invariants and are the sanctioned way to turn a programmer error
+//! into a loud failure.
+
+use super::{prev, RuleCtx};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+/// Keywords that can directly precede `[` starting an array expression
+/// or pattern rather than an indexing operation.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "return", "in", "mut", "ref", "else", "break", "loop", "move", "as",
+    "dyn", "impl", "where", "for", "const", "static", "let", "continue", "yield",
+];
+
+pub fn run(ctx: &RuleCtx<'_>, diags: &mut Vec<Diagnostic>) {
+    let toks = ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident => {
+                let followed_by_bang = toks.get(i + 1).is_some_and(|n| n.text == "!");
+                let after_dot = prev(toks, i).is_some_and(|p| p.text == ".");
+                match t.text.as_str() {
+                    "unwrap" | "unwrap_err" if after_dot => diags.push(Diagnostic::new(
+                        ctx.file,
+                        t.line,
+                        "panic::unwrap",
+                        format!(".{}() panics on the error path; bubble a Result instead", t.text),
+                    )),
+                    "expect" | "expect_err" if after_dot => diags.push(Diagnostic::new(
+                        ctx.file,
+                        t.line,
+                        "panic::expect",
+                        format!(".{}(…) panics on the error path; bubble a Result instead", t.text),
+                    )),
+                    "panic" if followed_by_bang => diags.push(Diagnostic::new(
+                        ctx.file,
+                        t.line,
+                        "panic::panic",
+                        "panic! in library code; return an Error instead",
+                    )),
+                    "todo" | "unimplemented" if followed_by_bang => diags.push(Diagnostic::new(
+                        ctx.file,
+                        t.line,
+                        "panic::todo",
+                        format!("{}! must not ship in library code", t.text),
+                    )),
+                    _ => {}
+                }
+            }
+            TokenKind::Punct
+                if t.text == "[" && is_indexing(ctx, i) && !is_literal_index(ctx, i) =>
+            {
+                diags.push(Diagnostic::new(
+                    ctx.file,
+                    t.line,
+                    "panic::index",
+                    "slice indexing panics out of bounds; use .get()/iterators, or \
+                     allow-list loop-bounded kernel code",
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `[` is an index operation when it follows a value-producing token:
+/// an identifier (not a keyword), `)`, `]`, or a literal. Everything
+/// else (`#[attr]`, array types `[T; N]`, array literals after `=`/`(`,
+/// macro brackets after `!`) is not.
+fn is_indexing(ctx: &RuleCtx<'_>, i: usize) -> bool {
+    let Some(p) = prev(ctx.tokens, i) else { return false };
+    match p.kind {
+        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&p.text.as_str()),
+        TokenKind::Punct => p.text == ")" || p.text == "]",
+        TokenKind::Str | TokenKind::Int | TokenKind::Float => true,
+        _ => false,
+    }
+}
+
+/// `[<int literal>]` exactly.
+fn is_literal_index(ctx: &RuleCtx<'_>, i: usize) -> bool {
+    super::is_kind(ctx.tokens.get(i + 1), TokenKind::Int)
+        && ctx.tokens.get(i + 2).is_some_and(|t| t.text == "]")
+}

@@ -1,0 +1,177 @@
+//! Fixture corpus tests: every rule family is proven to fire on a
+//! known-bad snippet, the allow grammar is proven to suppress (and to
+//! report its own abuse), and the workspace itself is proven clean.
+//!
+//! Fixtures live in `crates/lint/fixtures/` — a directory the engine's
+//! walker deliberately skips, so the corpus never pollutes the CI gate.
+
+use taor_lint::{lint_source, lint_workspace, Diagnostic};
+
+/// Lint a fixture the way the engine lints strict library code.
+fn fixture(name: &str) -> Vec<Diagnostic> {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"));
+    lint_source(name, &src, true, false)
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule.as_str()).collect()
+}
+
+#[track_caller]
+fn assert_fires(name: &str, rule: &str, times: usize) {
+    let diags = fixture(name);
+    let hits = diags.iter().filter(|d| d.rule == rule).count();
+    assert_eq!(hits, times, "{name}: expected {rule} x{times}, got {:?}", rules_of(&diags));
+}
+
+// ---- panic family ----------------------------------------------------
+
+#[test]
+fn panic_unwrap_fires() {
+    assert_fires("panic_unwrap.rs", "panic::unwrap", 1);
+}
+
+#[test]
+fn panic_expect_fires() {
+    assert_fires("panic_expect.rs", "panic::expect", 1);
+}
+
+#[test]
+fn panic_panic_fires() {
+    assert_fires("panic_panic.rs", "panic::panic", 1);
+}
+
+#[test]
+fn panic_todo_fires_for_both_macros() {
+    assert_fires("panic_todo.rs", "panic::todo", 2);
+}
+
+#[test]
+fn panic_index_fires_on_computed_but_not_literal_index() {
+    // `v[i + 1]` fires; `v[0]` is the exempt fixed-offset form.
+    assert_fires("panic_index.rs", "panic::index", 1);
+}
+
+// ---- float family ----------------------------------------------------
+
+#[test]
+fn float_partial_cmp_fires() {
+    assert_fires("float_partial_cmp.rs", "float::partial-cmp", 1);
+}
+
+#[test]
+fn float_eq_fires_on_both_operand_orders() {
+    // `x == 1.0` and `0.0 != x`.
+    assert_fires("float_eq.rs", "float::eq", 2);
+}
+
+// ---- determinism family ----------------------------------------------
+
+#[test]
+fn det_hash_iter_fires_on_map_and_set() {
+    let diags = fixture("det_hash_iter.rs");
+    let hits = diags.iter().filter(|d| d.rule == "det::hash-iter").count();
+    // The `use` line plus every use site — at least one HashMap and one
+    // HashSet mention must be flagged.
+    assert!(hits >= 2, "expected >=2 det::hash-iter, got {:?}", rules_of(&diags));
+}
+
+#[test]
+fn det_wall_clock_fires_on_instant_and_system_time() {
+    let diags = fixture("det_wall_clock.rs");
+    let hits = diags.iter().filter(|d| d.rule == "det::wall-clock").count();
+    assert!(hits >= 2, "expected >=2 det::wall-clock, got {:?}", rules_of(&diags));
+}
+
+// ---- unsafe family ---------------------------------------------------
+
+#[test]
+fn unsafe_undocumented_fires_for_block_fn_and_impl() {
+    assert_fires("unsafe_undocumented.rs", "unsafe::undocumented", 3);
+}
+
+// ---- atomics family --------------------------------------------------
+
+#[test]
+fn atomics_undocumented_fires() {
+    assert_fires("atomics_undocumented.rs", "atomics::undocumented", 1);
+}
+
+#[test]
+fn atomics_relaxed_handoff_fires_even_when_commented() {
+    let diags = fixture("atomics_relaxed_handoff.rs");
+    assert!(
+        diags.iter().any(|d| d.rule == "atomics::relaxed-handoff"),
+        "relaxed-handoff must fire despite the justifying comment: {:?}",
+        rules_of(&diags)
+    );
+    // The comment satisfies `atomics::undocumented`, so only the
+    // hand-off rule remains — a Relaxed latch release can never be
+    // talked into correctness.
+    assert!(!diags.iter().any(|d| d.rule == "atomics::undocumented"));
+}
+
+// ---- allow grammar ---------------------------------------------------
+
+#[test]
+fn justified_allows_suppress_everything() {
+    let diags = fixture("allowed.rs");
+    assert!(diags.is_empty(), "allowed.rs must lint clean, got {:?}", rules_of(&diags));
+}
+
+#[test]
+fn malformed_allow_is_its_own_diagnostic() {
+    assert_fires("allow_malformed.rs", "allow::malformed", 1);
+}
+
+#[test]
+fn unjustified_allow_is_reported_and_still_suppresses_nothing_extra() {
+    let diags = fixture("allow_unjustified.rs");
+    assert!(
+        diags.iter().any(|d| d.rule == "allow::unjustified"),
+        "missing allow::unjustified in {:?}",
+        rules_of(&diags)
+    );
+}
+
+#[test]
+fn file_wide_allow_covers_only_the_named_rule() {
+    let diags = fixture("file_wide_allow.rs");
+    assert!(
+        !diags.iter().any(|d| d.rule == "panic::index"),
+        "header allow must suppress every index in the file: {:?}",
+        rules_of(&diags)
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "panic::unwrap"),
+        "header allow must not leak onto other rules: {:?}",
+        rules_of(&diags)
+    );
+}
+
+// ---- test-region exemption -------------------------------------------
+
+#[test]
+fn test_gated_code_is_exempt_from_strict_rules() {
+    let diags = fixture("test_exempt.rs");
+    assert!(diags.is_empty(), "test_exempt.rs must lint clean, got {:?}", rules_of(&diags));
+}
+
+// ---- the gate itself -------------------------------------------------
+
+/// The CI contract: the workspace this crate ships in has zero
+/// unallowed diagnostics. Run from the crate dir, the workspace root is
+/// two levels up.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    let diags = lint_workspace(&root).expect("workspace walk failed");
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(diags.is_empty(), "workspace not lint-clean:\n{}", rendered.join("\n"));
+}

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Cache-blocked, register-tiled GEMM for `f32` — the single hot kernel
 //! under every conv/dense forward and backward pass.
 //!
@@ -102,6 +103,7 @@ pub fn matmul_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut 
     for i in 0..m {
         for kk in 0..k {
             let av = a[i * k + kk];
+            // taor-lint: allow(float::eq) — sparsity skip: only a bit-exact zero may be elided
             if av == 0.0 {
                 continue;
             }
@@ -372,43 +374,50 @@ unsafe fn microkernel_avx2(
     accumulate: bool,
 ) {
     use std::arch::x86_64::*;
-    let mut acc0 = [_mm256_setzero_ps(); MR];
-    let mut acc1 = [_mm256_setzero_ps(); MR];
-    let mut ap = pa.as_ptr();
-    let mut bp = pb.as_ptr();
-    for _ in 0..kc {
-        let b0 = _mm256_loadu_ps(bp);
-        let b1 = _mm256_loadu_ps(bp.add(8));
-        // Fully unrolled over the six rows: one broadcast feeds two FMAs.
-        for r in 0..MR {
-            let av = _mm256_broadcast_ss(&*ap.add(r));
-            acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
-            acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
-        }
-        ap = ap.add(MR);
-        bp = bp.add(NR);
-    }
-    if rows == MR && cols == NR {
-        for r in 0..MR {
-            let dst = c.as_mut_ptr().add((row0 + r) * ldc + col0);
-            if accumulate {
-                let cur0 = _mm256_loadu_ps(dst);
-                let cur1 = _mm256_loadu_ps(dst.add(8));
-                _mm256_storeu_ps(dst, _mm256_add_ps(cur0, acc0[r]));
-                _mm256_storeu_ps(dst.add(8), _mm256_add_ps(cur1, acc1[r]));
-            } else {
-                _mm256_storeu_ps(dst, acc0[r]);
-                _mm256_storeu_ps(dst.add(8), acc1[r]);
+    // SAFETY: the caller guarantees AVX2+FMA (the only contract of this
+    // fn); every pointer below stays inside `pa`/`pb`/`c`: the packed
+    // panels hold `kc * MR` and `kc * NR` floats, and full tiles write
+    // `MR x NR` in-bounds elements of `c` (edge tiles spill to a stack
+    // buffer and copy through the safe `store_tile`).
+    unsafe {
+        let mut acc0 = [_mm256_setzero_ps(); MR];
+        let mut acc1 = [_mm256_setzero_ps(); MR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..kc {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            // Fully unrolled over the six rows: one broadcast feeds two FMAs.
+            for r in 0..MR {
+                let av = _mm256_broadcast_ss(&*ap.add(r));
+                acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+                acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
             }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
         }
-    } else {
-        // Edge tile: spill to a stack buffer, then copy the valid part.
-        let mut tile = [[0.0f32; NR]; MR];
-        for r in 0..MR {
-            _mm256_storeu_ps(tile[r].as_mut_ptr(), acc0[r]);
-            _mm256_storeu_ps(tile[r].as_mut_ptr().add(8), acc1[r]);
+        if rows == MR && cols == NR {
+            for r in 0..MR {
+                let dst = c.as_mut_ptr().add((row0 + r) * ldc + col0);
+                if accumulate {
+                    let cur0 = _mm256_loadu_ps(dst);
+                    let cur1 = _mm256_loadu_ps(dst.add(8));
+                    _mm256_storeu_ps(dst, _mm256_add_ps(cur0, acc0[r]));
+                    _mm256_storeu_ps(dst.add(8), _mm256_add_ps(cur1, acc1[r]));
+                } else {
+                    _mm256_storeu_ps(dst, acc0[r]);
+                    _mm256_storeu_ps(dst.add(8), acc1[r]);
+                }
+            }
+        } else {
+            // Edge tile: spill to a stack buffer, then copy the valid part.
+            let mut tile = [[0.0f32; NR]; MR];
+            for r in 0..MR {
+                _mm256_storeu_ps(tile[r].as_mut_ptr(), acc0[r]);
+                _mm256_storeu_ps(tile[r].as_mut_ptr().add(8), acc1[r]);
+            }
+            store_tile(&tile, c, row0, col0, ldc, rows, cols, accumulate);
         }
-        store_tile(&tile, c, row0, col0, ldc, rows, cols, accumulate);
     }
 }
 

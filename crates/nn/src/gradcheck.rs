@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Finite-difference gradient checking utilities.
 //!
 //! Every layer in this crate carries a hand-derived backward pass; these

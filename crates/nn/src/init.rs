@@ -12,6 +12,7 @@ pub fn glorot_uniform(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64)
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
     let data = (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(-limit..limit)).collect();
+    // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     Tensor::from_vec(shape, data).expect("shape/product consistent by construction")
 }
 
@@ -20,6 +21,7 @@ pub fn he_uniform(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
     let limit = (6.0 / fan_in as f32).sqrt();
     let data = (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(-limit..limit)).collect();
+    // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     Tensor::from_vec(shape, data).expect("shape/product consistent by construction")
 }
 

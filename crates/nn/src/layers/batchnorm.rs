@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Per-channel batch normalisation (Ioffe & Szegedy 2015).
 //!
 //! Not part of the Normalized-X-Corr architecture the paper reproduces,

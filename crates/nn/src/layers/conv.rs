@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! 2-D convolution via im2col.
 //!
 //! Forward and backward are fully batched: one im2col matrix covers the
@@ -92,6 +93,7 @@ impl Conv2D {
     /// Panics when the kernel exceeds the padded input; fallible callers
     /// should use [`Conv2D::try_out_size`].
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
         self.try_out_size(h, w).unwrap_or_else(|e| panic!("Conv2D::out_size: {e}"))
     }
 

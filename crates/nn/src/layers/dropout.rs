@@ -33,6 +33,7 @@ impl Dropout {
     /// Training-mode forward with a caller-provided seed (keeps the whole
     /// training run deterministic).
     pub fn forward_train(&self, x: &Tensor, seed: u64) -> (Tensor, DropoutCache) {
+        // taor-lint: allow(float::eq) — config fast path for the exact disabled value
         if self.rate == 0.0 {
             return (x.clone(), DropoutCache { scale_mask: vec![1.0; x.len()] });
         }

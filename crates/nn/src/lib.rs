@@ -24,6 +24,8 @@
 //! which makes the Siamese weight sharing exact: the same layer applied to
 //! both inputs accumulates gradients from both applications.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod gemm;
 pub mod gradcheck;
 pub mod init;

@@ -381,7 +381,7 @@ impl NormXCorrNet {
 
     /// Serialise the whole model to JSON (weights included).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("model serialisation cannot fail")
+        serde_json::to_string(self).expect("model serialisation cannot fail") // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     }
 
     /// Restore a model from [`NormXCorrNet::to_json`] output.

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! A minimal dense `f32` tensor.
 //!
 //! Row-major, owned storage, arbitrary rank. This is the only numeric

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! Mini-batch training loop with the paper's early-stopping rule.
 //!
 //! §3.4: "Training samples were fed in batches of size 16 to run over up
@@ -81,12 +82,12 @@ fn sample_pass(
     dropout_seed: u64,
 ) -> (f32, bool, NetGrads) {
     let (logits, cache) =
-        net.forward_ex(&sample.a, &sample.b, Some(dropout_seed)).expect("shapes fixed by dataset");
+        net.forward_ex(&sample.a, &sample.b, Some(dropout_seed)).expect("shapes fixed by dataset"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     let (loss, grad) =
-        softmax_cross_entropy(&logits, &[sample.label]).expect("logits are [1,2] by construction");
+        softmax_cross_entropy(&logits, &[sample.label]).expect("logits are [1,2] by construction"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     let pred = if logits.at2(0, 1) > logits.at2(0, 0) { 1 } else { 0 };
     let mut grads = net.zero_grads();
-    net.backward(&cache, &grad, &mut grads).expect("backward mirrors forward");
+    net.backward(&cache, &grad, &mut grads).expect("backward mirrors forward"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     (loss, pred == sample.label, grads)
 }
 
@@ -130,7 +131,7 @@ pub fn train(
                 if *ok {
                     correct += 1;
                 }
-                batch_grads.accumulate(g).expect("grad shapes are uniform");
+                batch_grads.accumulate(g).expect("grad shapes are uniform"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
             }
             batch_grads.scale(1.0 / chunk.len() as f32);
             // The gradient store and the network are disjoint objects, so
@@ -177,8 +178,8 @@ fn stack_pairs(chunk: &[PairSample]) -> (Tensor, Tensor) {
         b.extend_from_slice(sample.b.data());
     }
     (
-        Tensor::from_vec(&[chunk.len(), c, h, w], a).expect("uniform pair shapes"),
-        Tensor::from_vec(&[chunk.len(), c, h, w], b).expect("uniform pair shapes"),
+        Tensor::from_vec(&[chunk.len(), c, h, w], a).expect("uniform pair shapes"), // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
+        Tensor::from_vec(&[chunk.len(), c, h, w], b).expect("uniform pair shapes"), // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
     )
 }
 
@@ -188,7 +189,7 @@ pub fn predict_labels(net: &NormXCorrNet, samples: &[PairSample]) -> Vec<usize> 
         .par_chunks(EVAL_BATCH)
         .flat_map(|chunk| {
             let (a, b) = stack_pairs(chunk);
-            let probs = net.predict_similar(&a, &b).expect("shapes fixed by dataset");
+            let probs = net.predict_similar(&a, &b).expect("shapes fixed by dataset"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
             probs.into_iter().map(|p| usize::from(p > 0.5)).collect::<Vec<_>>()
         })
         .collect()

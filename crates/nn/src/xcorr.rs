@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: indices are derived from dimensions validated at the public boundary and bounded by the enclosing loops.
 //! The Normalized-X-Corr cross-input matching layer.
 //!
 //! Subramaniam, Chatterjee & Mittal (NIPS 2016) replace the Siamese
@@ -201,6 +202,7 @@ impl NormXCorr {
                                 let dx = kx - self.radius as i64;
                                 let oc = ci * koff + (ky * k_side + kx) as usize;
                                 let g = grad_out.at4(ni, oc, y as usize, x as usize);
+                                // taor-lint: allow(float::eq) — sparsity skip: only a bit-exact zero may be elided
                                 if g == 0.0 {
                                     continue;
                                 }

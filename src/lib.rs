@@ -17,6 +17,8 @@
 //! `cargo run -p taor-bench --release --bin repro` to regenerate every
 //! table of the paper.
 
+#![forbid(unsafe_code)]
+
 pub use taor_core as core;
 pub use taor_data as data;
 pub use taor_features as features;

@@ -9,6 +9,8 @@
 //! min/median/max per-iteration time. No outlier analysis, HTML
 //! reports, or baseline persistence.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

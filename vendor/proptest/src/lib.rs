@@ -8,6 +8,8 @@
 //! test runs `cases` deterministic random inputs (seeded per test name)
 //! and reports the failing case verbatim.
 
+#![forbid(unsafe_code)]
+
 use std::marker::PhantomData;
 
 pub mod test_runner {

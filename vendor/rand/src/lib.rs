@@ -7,6 +7,8 @@
 //! differ from upstream rand, so seeded outputs are stable within this
 //! repo but not bit-compatible with crates.io rand.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core random source: everything is derived from `next_u64`.

@@ -22,6 +22,8 @@
 //!   fold sequentially in input order, which makes them deterministic
 //!   even for non-associative (floating-point) operations.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod pool;
 
 /// Number of threads parallel regions actually use: the configured pool
@@ -62,13 +64,17 @@ pub mod iter {
 
     /// Shared result buffer: each index writes its own slot exactly once.
     struct OutPtr<T>(*mut MaybeUninit<T>);
+    // SAFETY: threads write disjoint slots (slot i only from the thread
+    // that claimed index i), so shared `&OutPtr` access never races.
     unsafe impl<T: Send> Sync for OutPtr<T> {}
 
     impl<T> OutPtr<T> {
         /// # Safety
         /// `i` must be in bounds and each slot written at most once.
         unsafe fn write(&self, i: usize, value: T) {
-            self.0.add(i).write(MaybeUninit::new(value));
+            // SAFETY: caller keeps `i` in bounds of the allocation and
+            // writes each slot at most once (no overlapping writes).
+            unsafe { self.0.add(i).write(MaybeUninit::new(value)) };
         }
     }
 
@@ -255,8 +261,10 @@ pub mod iter {
         fn len(&self) -> usize {
             self.0.len()
         }
+        // SAFETY: the engine only fetches indices in `0..len()`.
         unsafe fn get(&self, i: usize) -> &'a T {
-            self.0.get_unchecked(i)
+            // SAFETY: `i < self.0.len()` per the trait contract.
+            unsafe { self.0.get_unchecked(i) }
         }
     }
 
@@ -270,9 +278,12 @@ pub mod iter {
         fn len(&self) -> usize {
             self.s.len().div_ceil(self.size)
         }
+        // SAFETY: the engine only fetches indices in `0..len()`.
         unsafe fn get(&self, i: usize) -> &'a [T] {
             let start = i * self.size;
-            self.s.get_unchecked(start..(start + self.size).min(self.s.len()))
+            // SAFETY: `i < len()` implies `start < self.s.len()`, and the
+            // end is clamped to the slice length.
+            unsafe { self.s.get_unchecked(start..(start + self.size).min(self.s.len())) }
         }
     }
 
@@ -291,8 +302,12 @@ pub mod iter {
         fn len(&self) -> usize {
             self.len
         }
+        // SAFETY: each index is fetched at most once, so the `&mut T`
+        // handed out per index never aliases another.
         unsafe fn get(&self, i: usize) -> &'a mut T {
-            &mut *self.ptr.add(i)
+            // SAFETY: `i < self.len` and the at-most-once contract makes
+            // this the only live reference to element `i`.
+            unsafe { &mut *self.ptr.add(i) }
         }
     }
 
@@ -311,10 +326,14 @@ pub mod iter {
         fn len(&self) -> usize {
             self.len.div_ceil(self.size)
         }
+        // SAFETY: distinct indices map to disjoint sub-slices, so no two
+        // fetches alias.
         unsafe fn get(&self, i: usize) -> &'a mut [T] {
             let start = i * self.size;
             let n = self.size.min(self.len - start);
-            std::slice::from_raw_parts_mut(self.ptr.add(start), n)
+            // SAFETY: `start..start + n` lies inside the original slice
+            // and no other index produces an overlapping range.
+            unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), n) }
         }
     }
 
@@ -341,8 +360,12 @@ pub mod iter {
         fn len(&self) -> usize {
             self.data.len()
         }
+        // SAFETY: moving item `i` out is sound because each index is
+        // fetched at most once and `Drop` never re-drops items (below).
         unsafe fn get(&self, i: usize) -> T {
-            std::ptr::read(self.data.as_ptr().add(i))
+            // SAFETY: `i < self.data.len()` and this is the only read of
+            // slot `i`; drop glue is disarmed by `set_len(0)` in Drop.
+            unsafe { std::ptr::read(self.data.as_ptr().add(i)) }
         }
     }
 
@@ -364,6 +387,8 @@ pub mod iter {
         fn len(&self) -> usize {
             self.len
         }
+        // SAFETY: no unsafe operations; `unsafe fn` only to satisfy the
+        // trait signature.
         unsafe fn get(&self, i: usize) -> usize {
             self.start + i
         }
@@ -379,8 +404,11 @@ pub mod iter {
         fn len(&self) -> usize {
             self.s.len()
         }
+        // SAFETY: forwards the caller's at-most-once contract to the
+        // inner source unchanged.
         unsafe fn get(&self, i: usize) -> T {
-            (self.f)(self.s.get(i))
+            // SAFETY: same index, same contract as our own `get`.
+            (self.f)(unsafe { self.s.get(i) })
         }
     }
 
@@ -391,8 +419,11 @@ pub mod iter {
         fn len(&self) -> usize {
             self.0.len()
         }
+        // SAFETY: forwards the caller's at-most-once contract to the
+        // inner source unchanged.
         unsafe fn get(&self, i: usize) -> (usize, S::Item) {
-            (i, self.0.get(i))
+            // SAFETY: same index, same contract as our own `get`.
+            (i, unsafe { self.0.get(i) })
         }
     }
 
@@ -406,8 +437,12 @@ pub mod iter {
         fn len(&self) -> usize {
             self.a.len().min(self.b.len())
         }
+        // SAFETY: forwards the caller's at-most-once contract to both
+        // inner sources, each seeing index `i` exactly once.
         unsafe fn get(&self, i: usize) -> (S::Item, B) {
-            (self.a.get(i), self.b.get(i))
+            // SAFETY: `i < min(a.len, b.len)` is in bounds for both
+            // sides; the at-most-once contract holds per side.
+            unsafe { (self.a.get(i), self.b.get(i)) }
         }
     }
 

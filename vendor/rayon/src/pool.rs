@@ -47,6 +47,8 @@ struct Shared {
 /// `fetch_add` lands at or past `len`.
 struct Task {
     ctx: *const (),
+    // SAFETY: callers must pass the trampoline monomorphised for the
+    // exact closure type `ctx` points at, with `start..end` in bounds.
     run: unsafe fn(*const (), usize, usize),
     len: usize,
     chunk: usize,
@@ -60,6 +62,8 @@ struct Task {
 // SAFETY: `ctx` is only dereferenced while the owning caller is blocked
 // in `run_chunked`, and `run` is the matching monomorphic trampoline.
 unsafe impl Send for Task {}
+// SAFETY: shared access is confined to the atomics, the mutexes and
+// calls through `run`, whose closure is `Sync` by `run_chunked`'s bound.
 unsafe impl Sync for Task {}
 
 impl Task {
@@ -68,13 +72,22 @@ impl Task {
     /// counts as finished and the caller's latch always releases.
     fn drain(&self) {
         loop {
+            // Ordering::Relaxed — `next` is a pure chunk-index allocator:
+            // fetch_add's read-modify-write atomicity alone guarantees
+            // disjoint chunks, and no other memory is published through
+            // it (completion is signalled by `finished`, not `next`).
             let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.len {
                 return;
             }
             let end = (start + self.chunk).min(self.len);
-            let res =
-                catch_unwind(AssertUnwindSafe(|| unsafe { (self.run)(self.ctx, start, end) }));
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                // SAFETY: `run` is the trampoline for the closure `ctx`
+                // points at, which outlives the region because the owning
+                // caller blocks in `run_chunked` until `finished == len`;
+                // `start..end` is a claimed in-bounds chunk.
+                unsafe { (self.run)(self.ctx, start, end) }
+            }));
             if let Err(payload) = res {
                 let mut slot = match self.panic.lock() {
                     Ok(g) => g,
@@ -84,6 +97,10 @@ impl Task {
                     *slot = Some(payload);
                 }
             }
+            // Ordering::AcqRel — the hand-off edge. Release publishes
+            // this chunk's writes to whichever thread observes the
+            // counter reach `len`; Acquire makes that observer see every
+            // earlier chunk's writes before it reports completion.
             let finished = self.finished.fetch_add(end - start, Ordering::AcqRel) + (end - start);
             if finished >= self.len {
                 let mut g = lock(&self.done);
@@ -94,6 +111,9 @@ impl Task {
     }
 
     fn exhausted(&self) -> bool {
+        // Ordering::Relaxed — an advisory read used only to garbage-
+        // collect drained tasks from the queue; a stale value merely
+        // delays the pop, correctness rests on `drain`'s own fetch_add.
         self.next.load(Ordering::Relaxed) >= self.len
     }
 }
@@ -165,8 +185,12 @@ pub(crate) fn run_chunked<F: Fn(usize, usize) + Sync>(len: usize, min_chunk: usi
         return;
     }
 
+    // SAFETY: callers must pass a `ctx` obtained from `&F` for this
+    // exact `F`, still live for the duration of the call.
     unsafe fn trampoline<F: Fn(usize, usize)>(ctx: *const (), start: usize, end: usize) {
-        (*(ctx as *const F))(start, end)
+        // SAFETY: `ctx` was cast from `&F` below and the borrow is kept
+        // alive by the caller blocking until the region completes.
+        unsafe { (*(ctx as *const F))(start, end) }
     }
 
     let task = Arc::new(Task {

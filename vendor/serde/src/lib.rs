@@ -8,6 +8,8 @@
 //! `#[serde(default)]` and `#[serde(skip, default = "path")]`.
 //! `serde_json` (also vendored) provides the text format on top.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// The self-describing data model every type serialises into.

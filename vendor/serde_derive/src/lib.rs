@@ -9,6 +9,8 @@
 //! (tuple structs, generics, payload variants) becomes a
 //! `compile_error!` so unsupported uses fail loudly at the derive site.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write as _;
 

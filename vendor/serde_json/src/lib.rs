@@ -7,6 +7,8 @@
 //! floats serialise as `null` (as upstream serde_json does) and
 //! deserialise back to `NaN`.
 
+#![forbid(unsafe_code)]
+
 pub use serde::{Error, Value};
 
 /// Serialise to compact JSON (`{"k":1,"s":[2,3]}`).
