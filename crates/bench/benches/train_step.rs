@@ -1,0 +1,48 @@
+//! Bench: one full batched training step (forward + loss + backward) at
+//! the medium-mode network shapes and the trainer's B = 16 batch — the
+//! perf pin behind the Table-4 batching work. A regression here is a
+//! regression in every trained table's wall time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use taor_nn::layers::softmax_cross_entropy_rows;
+use taor_nn::{NetConfig, NormXCorrNet, Tensor};
+
+fn bench_train_step(c: &mut Criterion) {
+    let cfg = NetConfig {
+        height: 32,
+        width: 24,
+        c1: 8,
+        c2: 10,
+        c3: 10,
+        dense: 32,
+        ..NetConfig::default()
+    };
+    let net = NormXCorrNet::new(cfg).expect("bench config is large enough");
+    let b = 16usize;
+    let len = b * 3 * 32 * 24;
+    let a = Tensor::from_vec(&[b, 3, 32, 24], (0..len).map(|i| (i as f32 * 0.013).sin()).collect())
+        .unwrap();
+    let bt =
+        Tensor::from_vec(&[b, 3, 32, 24], (0..len).map(|i| (i as f32 * 0.031).cos()).collect())
+            .unwrap();
+    let labels: Vec<usize> = (0..b).map(|i| i % 2).collect();
+    let seeds: Vec<u64> = (0..b as u64).collect();
+
+    c.bench_function("pin_train_step_b16", |bch| {
+        bch.iter(|| {
+            let (logits, cache) =
+                net.forward_batch(black_box(&a), black_box(&bt), Some(&seeds)).unwrap();
+            let (_, grad) = softmax_cross_entropy_rows(&logits, &labels).unwrap();
+            let mut g = net.zero_grads();
+            net.backward_batch(&cache, &grad, &mut g).unwrap();
+            g
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train_step
+}
+criterion_main!(benches);

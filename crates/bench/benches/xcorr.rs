@@ -41,6 +41,18 @@ fn bench_xcorr(c: &mut Criterion) {
     c.bench_function("net_forward_32x24", |bch| {
         bch.iter(|| net.forward(black_box(&x), black_box(&x)).unwrap())
     });
+
+    // Perf pin for the PR-6 batching work: the panel-formulation forward
+    // at the medium tower's post-conv2 shape (B=4, 10 channels, 5×3).
+    let len = 4 * 10 * 5 * 3;
+    let fa = Tensor::from_vec(&[4, 10, 5, 3], (0..len).map(|i| (i as f32 * 0.11).sin()).collect())
+        .unwrap();
+    let fb = Tensor::from_vec(&[4, 10, 5, 3], (0..len).map(|i| (i as f32 * 0.29).cos()).collect())
+        .unwrap();
+    let pin = NormXCorr::new(3, 1);
+    c.bench_function("pin_xcorr_forward", |bch| {
+        bch.iter(|| pin.forward(black_box(&fa), black_box(&fb)).unwrap())
+    });
 }
 
 criterion_group! {

@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--table N] [--quick|--medium|--full] [--seed S] [--sweep]
 //!       [--ablate] [--extensions] [--nyu-per-class N] [--json PATH]
-//!       [--bench-json PATH] [--verbose]
+//!       [--bench-json PATH] [--train-pairs N] [--train-epochs N]
+//!       [--eval-pairs N] [--verbose]
 //! ```
 //!
 //! Default is `--quick`: NYU subsampled to 50 crops/class and a reduced
@@ -42,6 +43,9 @@ struct Args {
     nyu_per_class: Option<usize>,
     json: Option<String>,
     bench_json: Option<String>,
+    train_pairs: Option<usize>,
+    train_epochs: Option<usize>,
+    eval_pairs: Option<usize>,
     verbose: bool,
 }
 
@@ -56,6 +60,9 @@ fn parse_args() -> Result<Args, String> {
         nyu_per_class: None,
         json: None,
         bench_json: None,
+        train_pairs: None,
+        train_epochs: None,
+        eval_pairs: None,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -79,6 +86,18 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--nyu-per-class needs a value")?;
                 args.nyu_per_class = Some(v.parse().map_err(|_| format!("bad count: {v}"))?);
             }
+            "--train-pairs" => {
+                let v = it.next().ok_or("--train-pairs needs a value")?;
+                args.train_pairs = Some(v.parse().map_err(|_| format!("bad count: {v}"))?);
+            }
+            "--train-epochs" => {
+                let v = it.next().ok_or("--train-epochs needs a value")?;
+                args.train_epochs = Some(v.parse().map_err(|_| format!("bad count: {v}"))?);
+            }
+            "--eval-pairs" => {
+                let v = it.next().ok_or("--eval-pairs needs a value")?;
+                args.eval_pairs = Some(v.parse().map_err(|_| format!("bad count: {v}"))?);
+            }
             "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
             "--bench-json" => args.bench_json = Some(it.next().ok_or("--bench-json needs a path")?),
             "--verbose" | "-v" => args.verbose = true,
@@ -86,7 +105,7 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "repro [--table N] [--quick|--medium|--full] [--seed S] [--sweep] [--ablate] \
                      [--extensions] [--nyu-per-class N] [--json PATH] [--bench-json PATH] \
-                     [--verbose]"
+                     [--train-pairs N] [--train-epochs N] [--eval-pairs N] [--verbose]"
                 );
                 std::process::exit(0);
             }
@@ -111,6 +130,17 @@ fn main() {
     };
     if let Some(n) = args.nyu_per_class {
         cfg.nyu_per_class = Some(n);
+    }
+    // Table-4 scale overrides (CI and the width-determinism test use
+    // these to keep a debug-mode training run tractable).
+    if let Some(n) = args.train_pairs {
+        cfg.siamese.n_train_pairs = n;
+    }
+    if let Some(n) = args.train_epochs {
+        cfg.siamese.train.max_epochs = n;
+    }
+    if let Some(n) = args.eval_pairs {
+        cfg.max_eval_pairs = Some(n);
     }
 
     let wanted: Vec<usize> = match args.table {

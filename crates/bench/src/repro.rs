@@ -26,6 +26,11 @@ pub struct ReproConfig {
     /// Hybrid weights; the paper reports α = 0.3, β = 0.7.
     pub alpha: f64,
     pub beta: f64,
+    /// `Some(n)` truncates each Table-4 evaluation pair set to its first
+    /// `n` pairs — a CI/debug affordance (the pair builders are
+    /// deterministic, so a truncated run is a stable prefix of the full
+    /// one). `None` (the default) evaluates every pair.
+    pub max_eval_pairs: Option<usize>,
 }
 
 impl ReproConfig {
@@ -38,6 +43,7 @@ impl ReproConfig {
             siamese: SiameseConfig::quick(),
             alpha: 0.3,
             beta: 0.7,
+            max_eval_pairs: None,
         }
     }
 
@@ -50,6 +56,7 @@ impl ReproConfig {
             siamese: SiameseConfig::default(),
             alpha: 0.3,
             beta: 0.7,
+            max_eval_pairs: None,
         }
     }
 
@@ -62,6 +69,7 @@ impl ReproConfig {
             siamese: SiameseConfig::medium(),
             alpha: 0.3,
             beta: 0.7,
+            max_eval_pairs: None,
         }
     }
 
@@ -478,8 +486,12 @@ pub fn table4_with(
     })?;
     let trained_epochs = report.epochs.len();
 
-    let pairs_sns1 = sns1_test_pairs(sns1);
-    let pairs_nyu = nyu_sns1_test_pairs(nyu, sns1, cfg.seed);
+    let mut pairs_sns1 = sns1_test_pairs(sns1);
+    let mut pairs_nyu = nyu_sns1_test_pairs(nyu, sns1, cfg.seed);
+    if let Some(n) = cfg.max_eval_pairs {
+        pairs_sns1.truncate(n);
+        pairs_nyu.truncate(n);
+    }
 
     let eval_sns1 = evaluate_siamese(&net, &pairs_sns1, &cfg.siamese.net);
     let eval_nyu = evaluate_siamese(&net, &pairs_nyu, &cfg.siamese.net);
@@ -570,7 +582,14 @@ pub fn table4_with(
         text.push('\n');
         text.push_str(&t2.render());
     }
-    let pairs = (pairs_sns1.len() + pairs_nyu.len()) * (1 + usize::from(ablate));
+    // Throughput denominator: every training epoch scores every training
+    // pair through the full network (a forward/backward pass is at least
+    // one scoring of that pair), so training passes count alongside the
+    // evaluation pairs — Table 4 is the only table that trains, and
+    // counting eval pairs alone would bill the entire training wall time
+    // to them.
+    let train_passes = trained_epochs * cfg.siamese.n_train_pairs;
+    let pairs = train_passes + (pairs_sns1.len() + pairs_nyu.len()) * (1 + usize::from(ablate));
     Ok(TableOutput { table: 4, text, records, pairs })
 }
 

@@ -8,17 +8,24 @@
 //! same guarantee via its exact-rescore step.
 //!
 //! Tables 2 and 3 cover both matcher families (float L2 and binary
-//! Hamming) plus the classification pipelines; table 4 is skipped here
-//! because its debug-mode runtime would dominate the whole test suite.
+//! Hamming) plus the classification pipelines. Table 4 runs at a reduced
+//! scale (`--train-pairs/--train-epochs/--eval-pairs`) — enough to push
+//! real batched training and batched inference through the pool at both
+//! widths without debug-mode runtime dominating the suite.
 
 use std::process::Command;
 
 fn repro_stdout(threads: &str, table: &str) -> Vec<u8> {
+    repro_stdout_with(threads, &["--quick", "--table", table, "--seed", "7"])
+}
+
+fn repro_stdout_with(threads: &str, args: &[&str]) -> Vec<u8> {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
-        .args(["--quick", "--table", table, "--seed", "7"])
+        .args(args)
         .env("TAOR_THREADS", threads)
         .output()
         .expect("failed to spawn repro binary");
+    let table = args.iter().position(|&a| a == "--table").map(|i| args[i + 1]).unwrap_or("?");
     assert!(
         out.status.success(),
         "repro --table {table} failed with TAOR_THREADS={threads}: {}",
@@ -56,4 +63,29 @@ fn quick_repro_is_byte_identical_across_thread_counts() {
             "table {table}: stdout differs between TAOR_THREADS=1 and TAOR_THREADS=4"
         );
     }
+}
+
+/// The batched trainer's micro partitioning and fixed-order tree
+/// reduction, and the batched evaluation path, must make Table 4 —
+/// training included — byte-identical at pool widths 1 and 4. Reduced
+/// scale: 32 training pairs for one epoch, 64 evaluation pairs per set.
+#[test]
+fn table4_reduced_is_byte_identical_across_thread_counts() {
+    let args = [
+        "--quick",
+        "--table",
+        "4",
+        "--seed",
+        "7",
+        "--train-pairs",
+        "32",
+        "--train-epochs",
+        "1",
+        "--eval-pairs",
+        "64",
+    ];
+    let one = repro_stdout_with("1", &args);
+    let four = repro_stdout_with("4", &args);
+    assert!(!one.is_empty(), "table 4 produced no output at TAOR_THREADS=1");
+    assert_eq!(one, four, "table 4: stdout differs between TAOR_THREADS=1 and TAOR_THREADS=4");
 }

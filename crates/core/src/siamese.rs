@@ -9,10 +9,13 @@
 
 use crate::eval::{evaluate_binary, BinaryEvaluation};
 use rayon::prelude::*;
+use std::collections::BTreeMap;
 use taor_data::{Dataset, ImagePair};
-use taor_nn::{
-    predict_labels, train, NetConfig, NormXCorrNet, PairSample, Tensor, TrainConfig, TrainReport,
-};
+use taor_nn::{train, NetConfig, NormXCorrNet, PairSample, Tensor, TrainConfig, TrainReport};
+
+/// Pairs scored per batched head pass (and images per batched tower
+/// pass) during evaluation.
+const EVAL_BATCH: usize = 16;
 
 /// Full configuration of one Siamese experiment.
 #[derive(Debug, Clone)]
@@ -148,15 +151,111 @@ pub fn try_train_siamese(
 
 /// Evaluate a trained net on labelled pairs, producing Table-4-style
 /// binary metrics.
+///
+/// # Panics
+/// Panics on malformed inputs; fallible callers should use
+/// [`try_evaluate_siamese`].
 pub fn evaluate_siamese(
     net: &NormXCorrNet,
     pairs: &[ImagePair<'_>],
     cfg: &NetConfig,
 ) -> BinaryEvaluation {
-    let samples = pairs_to_samples(pairs, cfg);
-    let preds = predict_labels(net, &samples);
+    // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
+    try_evaluate_siamese(net, pairs, cfg).unwrap_or_else(|e| panic!("evaluate_siamese: {e}"))
+}
+
+/// Fallible [`evaluate_siamese`] with shared-tower deduplication.
+///
+/// The re-identification protocol reuses every catalog image in many
+/// pairs, so the expensive half of the network — the shared conv tower —
+/// is run **once per distinct image** (identity-keyed, in pool-parallel
+/// batches) and each pair is then scored through the light NormXCorr
+/// head from the precomputed features, also in pool-parallel batches.
+/// Predictions are bit-identical to the naive pair-at-a-time path:
+/// every layer's per-item fold is independent of batch grouping.
+pub fn try_evaluate_siamese(
+    net: &NormXCorrNet,
+    pairs: &[ImagePair<'_>],
+    cfg: &NetConfig,
+) -> crate::error::Result<BinaryEvaluation> {
+    // Identity-keyed image dedup (pairs borrow from a shared catalog, so
+    // the address is the identity; first-seen order keeps this
+    // deterministic).
+    let mut index: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut unique: Vec<&taor_data::LabeledImage> = Vec::new();
+    for p in pairs {
+        for img in [p.a, p.b] {
+            let key = img as *const taor_data::LabeledImage as usize;
+            index.entry(key).or_insert_with(|| {
+                unique.push(img);
+                unique.len() - 1
+            });
+        }
+    }
+
+    // Each distinct image through the tower exactly once.
+    let tensors: Vec<Tensor> = unique.par_iter().map(|e| image_to_tensor(&e.image, cfg)).collect();
+    let embedded: Vec<crate::error::Result<Vec<Tensor>>> = tensors
+        .par_chunks(EVAL_BATCH)
+        .map(|chunk| {
+            let refs: Vec<&Tensor> = chunk.iter().collect();
+            let batch = stack_rows(&refs)?;
+            let feats = net.tower_embed(&batch)?;
+            split_rows(&feats)
+        })
+        .collect();
+    let mut features = Vec::with_capacity(unique.len());
+    for r in embedded {
+        features.extend(r?);
+    }
+
+    // Score the pairs through the head from the precomputed features.
+    let scored: Vec<crate::error::Result<Vec<usize>>> = pairs
+        .par_chunks(EVAL_BATCH)
+        .map(|chunk| {
+            let fa: Vec<&Tensor> = chunk
+                .iter()
+                .map(|p| &features[index[&(p.a as *const taor_data::LabeledImage as usize)]])
+                .collect();
+            let fb: Vec<&Tensor> = chunk
+                .iter()
+                .map(|p| &features[index[&(p.b as *const taor_data::LabeledImage as usize)]])
+                .collect();
+            let probs = net.predict_similar_features(&stack_rows(&fa)?, &stack_rows(&fb)?)?;
+            Ok(probs.into_iter().map(|p| usize::from(p > 0.5)).collect::<Vec<_>>())
+        })
+        .collect();
+    let mut preds = Vec::with_capacity(pairs.len());
+    for r in scored {
+        preds.extend(r?);
+    }
+
     let truth: Vec<usize> = pairs.iter().map(|p| p.label).collect();
-    evaluate_binary(&truth, &preds)
+    Ok(evaluate_binary(&truth, &preds))
+}
+
+/// Stack `[1, …]` tensors into one `[B, …]` batch.
+fn stack_rows(items: &[&Tensor]) -> crate::error::Result<Tensor> {
+    let s = items[0].shape();
+    let mut data = Vec::with_capacity(items.len() * items[0].len());
+    for t in items {
+        data.extend_from_slice(t.data());
+    }
+    let mut shape = s.to_vec();
+    shape[0] = items.len();
+    Ok(Tensor::from_vec(&shape, data)?)
+}
+
+/// Split a `[B, …]` batch back into `B` tensors of leading dimension 1.
+fn split_rows(batch: &Tensor) -> crate::error::Result<Vec<Tensor>> {
+    let s = batch.shape();
+    let n = s[0];
+    let plane = batch.len().checked_div(n).unwrap_or(0);
+    let mut shape = s.to_vec();
+    shape[0] = 1;
+    (0..n)
+        .map(|i| Ok(Tensor::from_vec(&shape, batch.data()[i * plane..(i + 1) * plane].to_vec())?))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -177,22 +276,63 @@ pub struct CosineSiamese {
 impl CosineSiamese {
     /// Fit the decision threshold on labelled pairs by sweeping the score
     /// range for maximum training accuracy.
+    ///
+    /// # Panics
+    /// Panics when `grid` is zero; fallible callers should use
+    /// [`Self::try_fit`].
     pub fn fit(pairs: &[ImagePair<'_>], grid: usize) -> Self {
-        assert!(grid >= 1, "grid must be >= 1");
+        // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
+        Self::try_fit(pairs, grid).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::fit`] using a sort-based single scan.
+    ///
+    /// Scores are sorted once and walked in lockstep with the ascending
+    /// threshold grid, maintaining `accuracy(t) = (label-1 pairs with
+    /// s > t) + (label-0 pairs with s ≤ t)` incrementally —
+    /// `O((P + G) log P)` instead of the naive `O(P · G)` rescan, with
+    /// integer-identical accuracy counts and the same earliest-maximum
+    /// tie-break, so the fitted threshold is bit-identical. NaN scores
+    /// sort first: a NaN never satisfies `s > t`, i.e. it predicts 0 at
+    /// every threshold, exactly like a score below the whole grid.
+    pub fn try_fit(pairs: &[ImagePair<'_>], grid: usize) -> crate::error::Result<Self> {
+        if grid < 1 {
+            return Err(crate::error::Error::InvalidParameter {
+                name: "grid",
+                msg: "grid must be >= 1".into(),
+            });
+        }
         let model = CosineSiamese { threshold: 0.0, grid };
-        let scores: Vec<(f32, usize)> =
+        let mut scores: Vec<(f32, usize)> =
             pairs.par_iter().map(|p| (model.score(&p.a.image, &p.b.image), p.label)).collect();
+        scores.sort_by(|a, b| match (a.0.is_nan(), b.0.is_nan()) {
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            _ => a.0.total_cmp(&b.0),
+        });
+        let total1 = scores.iter().filter(|&&(_, l)| l == 1).count();
+        let mut idx = 0usize; // scores consumed into the `s ≤ t` prefix
+        let mut ones_le = 0usize; // label-1 pairs within that prefix
         let mut best_t = 0.0f32;
         let mut best_acc = 0usize;
         for i in 0..=40 {
             let t = -1.0 + i as f32 * 0.05;
-            let acc = scores.iter().filter(|&&(s, l)| usize::from(s > t) == l).count();
+            // `s ≤ t` *or NaN*: NaN sorts first and must be consumed
+            // into the predict-0 prefix, exactly like a score below the
+            // whole grid (`!(s > t)` in the naive sweep).
+            while idx < scores.len() && (scores[idx].0.is_nan() || scores[idx].0 <= t) {
+                if scores[idx].1 == 1 {
+                    ones_le += 1;
+                }
+                idx += 1;
+            }
+            let acc = (total1 - ones_le) + (idx - ones_le);
             if acc > best_acc {
                 best_acc = acc;
                 best_t = t;
             }
         }
-        CosineSiamese { threshold: best_t, grid }
+        Ok(CosineSiamese { threshold: best_t, grid })
     }
 
     /// Grid-pooled RGB embedding.
@@ -297,5 +437,65 @@ mod tests {
         let sns2 = shapenet_set2(4);
         let pairs = training_pairs(&sns2, 10, 1);
         let _ = CosineSiamese::fit(&pairs, 0);
+    }
+
+    #[test]
+    fn try_fit_zero_grid_is_typed_error() {
+        let sns2 = shapenet_set2(4);
+        let pairs = training_pairs(&sns2, 10, 1);
+        assert!(matches!(
+            CosineSiamese::try_fit(&pairs, 0),
+            Err(crate::error::Error::InvalidParameter { name: "grid", .. })
+        ));
+    }
+
+    /// Regression pin for the sort-based fit: the fitted threshold must
+    /// be bit-identical to the naive 41-point rescan it replaced.
+    #[test]
+    fn sorted_fit_matches_naive_sweep_bitwise() {
+        let sns2 = shapenet_set2(5);
+        let pairs = training_pairs(&sns2, 300, 7);
+        let fitted = CosineSiamese::fit(&pairs, 4);
+
+        let probe = CosineSiamese { threshold: 0.0, grid: 4 };
+        let scores: Vec<(f32, usize)> =
+            pairs.iter().map(|p| (probe.score(&p.a.image, &p.b.image), p.label)).collect();
+        let mut best_t = 0.0f32;
+        let mut best_acc = 0usize;
+        for i in 0..=40 {
+            let t = -1.0 + i as f32 * 0.05;
+            let acc = scores.iter().filter(|&&(s, l)| usize::from(s > t) == l).count();
+            if acc > best_acc {
+                best_acc = acc;
+                best_t = t;
+            }
+        }
+        assert_eq!(fitted.threshold.to_bits(), best_t.to_bits());
+    }
+
+    /// The dedup + precomputed-feature evaluation path must agree exactly
+    /// with the naive pair-at-a-time scoring.
+    #[test]
+    fn dedup_eval_matches_naive_pair_scoring() {
+        let sns2 = shapenet_set2(1);
+        let mut cfg = SiameseConfig::quick();
+        cfg.n_train_pairs = 40;
+        cfg.train.max_epochs = 1;
+        let (net, _) = train_siamese(&sns2, &cfg, |_| {});
+        let sns1 = shapenet_set1(1);
+        let pairs = sns1_test_pairs(&sns1);
+        let subset = &pairs[..120];
+
+        let deduped = try_evaluate_siamese(&net, subset, &cfg.net).unwrap();
+
+        let samples = pairs_to_samples(subset, &cfg.net);
+        let preds = taor_nn::predict_labels(&net, &samples);
+        let truth: Vec<usize> = subset.iter().map(|p| p.label).collect();
+        let naive = evaluate_binary(&truth, &preds);
+
+        assert_eq!(deduped.accuracy.to_bits(), naive.accuracy.to_bits());
+        assert_eq!(deduped.similar.precision.to_bits(), naive.similar.precision.to_bits());
+        assert_eq!(deduped.similar.recall.to_bits(), naive.similar.recall.to_bits());
+        assert_eq!(deduped.dissimilar.recall.to_bits(), naive.dissimilar.recall.to_bits());
     }
 }

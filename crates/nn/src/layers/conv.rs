@@ -149,7 +149,14 @@ impl Conv2D {
         let ckk = c * self.kernel * self.kernel;
         let cols_n = n * oh * ow;
 
-        let mut col = Scratch::take_zeroed(ckk * cols_n);
+        // Padding taps are skipped by im2col, so the buffer must start
+        // zeroed — but a valid (p = 0) conv overwrites every element and
+        // can take the arena buffer as-is.
+        let mut col = if self.padding == 0 {
+            Scratch::take(ckk * cols_n)
+        } else {
+            Scratch::take_zeroed(ckk * cols_n)
+        };
         self.im2col_batched(x, &mut col, oh, ow);
 
         // One GEMM for the whole batch: [OC, CKK] × [CKK, N·OH·OW].
@@ -174,24 +181,10 @@ impl Conv2D {
         Ok((out, ConvCache { col, in_shape: [n, c, h, w], out_hw: (oh, ow) }))
     }
 
-    /// Backward pass: accumulates parameter gradients into `grads` and
-    /// returns the gradient w.r.t. the input.
-    pub fn backward(
-        &self,
-        cache: &ConvCache,
-        grad_out: &Tensor,
-        grads: &mut ConvGrads,
-    ) -> Result<Tensor, TensorError> {
-        let [n, c, h, w] = cache.in_shape;
-        let (oh, ow) = cache.out_hw;
-        let k = self.kernel;
-        let p = self.padding;
-        let ckk = c * k * k;
-        let plane = oh * ow;
+    /// Gather `grad_out` `[N, OC, OH·OW]` → `[OC, N·OH·OW]`, matching the
+    /// batched column layout of the im2col cache.
+    fn gather_gy(&self, grad_out: &Tensor, n: usize, plane: usize) -> ScratchBuf {
         let cols_n = n * plane;
-
-        // Gather grad_out [N, OC, OH·OW] → gy [OC, N·OH·OW], matching the
-        // batched column layout of the cache.
         let mut gy = Scratch::take(self.out_channels * cols_n);
         for oc in 0..self.out_channels {
             for ni in 0..n {
@@ -200,6 +193,24 @@ impl Conv2D {
                 gy[oc * cols_n + ni * plane..oc * cols_n + (ni + 1) * plane].copy_from_slice(src);
             }
         }
+        gy
+    }
+
+    /// Backward pass: accumulates parameter gradients into `grads` and
+    /// returns the gradient w.r.t. the input.
+    pub fn backward(
+        &self,
+        cache: &ConvCache,
+        grad_out: &Tensor,
+        grads: &mut ConvGrads,
+    ) -> Result<Tensor, TensorError> {
+        let [n, _c, _h, _w] = cache.in_shape;
+        let (oh, ow) = cache.out_hw;
+        let ckk = self.in_channels * self.kernel * self.kernel;
+        let plane = oh * ow;
+        let cols_n = n * plane;
+
+        let gy = self.gather_gy(grad_out, n, plane);
 
         // dW += gy · colᵀ, accumulated straight into the gradient store
         // (no temporary product or add_assign pass).
@@ -210,9 +221,91 @@ impl Conv2D {
             grads.bias.data_mut()[oc] += s;
         }
 
+        self.input_grad(cache, &gy)
+    }
+
+    /// Batched backward whose **parameter-gradient accumulation order is
+    /// bit-identical to the per-sample oracle**: consecutive runs of
+    /// `group` batch items form one oracle sample (the Siamese tower
+    /// interleaves `[a₀, b₀, a₁, b₁, …]`, so its convs pass `group = 2`
+    /// — the oracle runs the a-branch then the b-branch into one
+    /// per-sample store; head convs pass `group = 1`). Each item gets its
+    /// own `k = OH·OW` GEMM — the exact call the per-sample path makes —
+    /// accumulated into a zeroed temp, and the temp is added into
+    /// `grads` elementwise per group. One batched GEMM over
+    /// `k = N·OH·OW` would regroup the f32 fold and shift the low bits.
+    /// The input gradient has no such hazard (its contraction runs over
+    /// `OC`, per column) and stays one batched GEMM.
+    pub fn backward_grouped(
+        &self,
+        cache: &ConvCache,
+        grad_out: &Tensor,
+        grads: &mut ConvGrads,
+        group: usize,
+    ) -> Result<Tensor, TensorError> {
+        let [n, _c, _h, _w] = cache.in_shape;
+        let (oh, ow) = cache.out_hw;
+        let ckk = self.in_channels * self.kernel * self.kernel;
+        let plane = oh * ow;
+        let cols_n = n * plane;
+        debug_assert!(group >= 1, "group must be >= 1");
+
+        let gy = self.gather_gy(grad_out, n, plane);
+
+        let wlen = self.out_channels * ckk;
+        let mut wtmp = Scratch::take_zeroed(wlen);
+        let mut btmp = Scratch::take_zeroed(self.out_channels);
+        for g0 in (0..n).step_by(group.max(1)) {
+            wtmp.fill(0.0);
+            btmp.fill(0.0);
+            for j in g0..(g0 + group).min(n) {
+                // Item `j`'s panels are strided views of the batched
+                // buffers (row stride `cols_n`, row length `plane`) —
+                // the strided kernel reads them in place with the exact
+                // per-sample fold (same m, n, k → same chain per
+                // element), so no per-item copies are needed.
+                crate::gemm::gemm_nt_kseq(
+                    self.out_channels,
+                    ckk,
+                    plane,
+                    &gy[j * plane..],
+                    cols_n,
+                    &cache.col[j * plane..],
+                    cols_n,
+                    &mut wtmp,
+                    true,
+                );
+                for oc in 0..self.out_channels {
+                    let s: f32 =
+                        gy[oc * cols_n + j * plane..oc * cols_n + (j + 1) * plane].iter().sum();
+                    btmp[oc] += s;
+                }
+            }
+            for (d, &s) in grads.weight.data_mut().iter_mut().zip(wtmp.iter()) {
+                *d += s;
+            }
+            for (d, &s) in grads.bias.data_mut().iter_mut().zip(btmp.iter()) {
+                *d += s;
+            }
+        }
+
+        self.input_grad(cache, &gy)
+    }
+
+    /// Input gradient: `dcol = Wᵀ · gy` then col2im scatter-add. Each
+    /// dcol column is a `k = OC` fold, so batching cannot regroup it.
+    fn input_grad(&self, cache: &ConvCache, gy: &[f32]) -> Result<Tensor, TensorError> {
+        let [n, c, h, w] = cache.in_shape;
+        let (oh, ow) = cache.out_hw;
+        let k = self.kernel;
+        let p = self.padding;
+        let ckk = c * k * k;
+        let plane = oh * ow;
+        let cols_n = n * plane;
+
         // dcol = Wᵀ · gy — the transposed-operand kernel reads W in place.
         let mut dcol = Scratch::take(ckk * cols_n);
-        gemm_tn(ckk, cols_n, self.out_channels, self.weight.data(), &gy, &mut dcol, false);
+        gemm_tn(ckk, cols_n, self.out_channels, self.weight.data(), gy, &mut dcol, false);
 
         // col2im scatter-add back to input geometry.
         let mut grad_in = Tensor::zeros(&[n, c, h, w]);
@@ -375,6 +468,57 @@ mod tests {
                 (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
                 "dX[{idx}]: numeric {num} vs analytic {ana}"
             );
+        }
+    }
+
+    #[test]
+    fn grouped_backward_matches_per_sample_oracle_bitwise() {
+        // 4 batch items = 2 oracle samples of 2 interleaved items each
+        // (the Siamese tower layout). backward_grouped must replay the
+        // oracle's exact accumulation order: per sample, item a then
+        // item b into one zeroed store, stores summed in sample order.
+        let conv = Conv2D::new(2, 3, 3, 1, 33);
+        let (n, item, gitem) = (4usize, 2 * 6 * 5, 3 * 6 * 5);
+        let data: Vec<f32> = (0..n * item).map(|v| (v as f32 * 0.23).sin()).collect();
+        let x = Tensor::from_vec(&[n, 2, 6, 5], data.clone()).unwrap();
+        let (y, cache) = conv.forward(&x).unwrap();
+        let gdata: Vec<f32> = (0..y.len()).map(|v| (v as f32 * 0.11).cos()).collect();
+        let g = Tensor::from_vec(y.shape(), gdata.clone()).unwrap();
+
+        let mut grads = conv.zero_grads();
+        let gin = conv.backward_grouped(&cache, &g, &mut grads, 2).unwrap();
+
+        let mut total = conv.zero_grads();
+        for s in 0..2 {
+            let mut per = conv.zero_grads();
+            for j in [2 * s, 2 * s + 1] {
+                let xi = Tensor::from_vec(&[1, 2, 6, 5], data[j * item..(j + 1) * item].to_vec())
+                    .unwrap();
+                let (_, ci) = conv.forward(&xi).unwrap();
+                let gi =
+                    Tensor::from_vec(&[1, 3, 6, 5], gdata[j * gitem..(j + 1) * gitem].to_vec())
+                        .unwrap();
+                conv.backward(&ci, &gi, &mut per).unwrap();
+            }
+            for (d, &v) in total.weight.data_mut().iter_mut().zip(per.weight.data()) {
+                *d += v;
+            }
+            for (d, &v) in total.bias.data_mut().iter_mut().zip(per.bias.data()) {
+                *d += v;
+            }
+        }
+        for (i, (a, b)) in grads.weight.data().iter().zip(total.weight.data()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "dW[{i}]: {a} vs {b}");
+        }
+        for (i, (a, b)) in grads.bias.data().iter().zip(total.bias.data()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "db[{i}]: {a} vs {b}");
+        }
+
+        // The input gradient takes the batched path in both variants.
+        let mut g2 = conv.zero_grads();
+        let gin2 = conv.backward(&cache, &g, &mut g2).unwrap();
+        for (a, b) in gin.data().iter().zip(gin2.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

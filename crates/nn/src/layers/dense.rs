@@ -105,6 +105,50 @@ impl Dense {
         );
         Ok(dx)
     }
+
+    /// Batched backward whose **parameter accumulation is bit-identical
+    /// to the per-sample oracle**: each row gets its own `k = 1` GEMM
+    /// into a zeroed temp — the exact call [`Self::backward`] makes at
+    /// batch size 1 — plus a per-row bias temp, both added into `grads`
+    /// in row order. One batched `k = N` GEMM would regroup the f32 fold
+    /// across rows and shift the low bits. The input gradient contracts
+    /// over `out`, per row, so it stays one batched GEMM.
+    pub fn backward_rows(
+        &self,
+        cache: &DenseCache,
+        grad_out: &Tensor,
+        grads: &mut DenseGrads,
+    ) -> Result<Tensor, TensorError> {
+        let n = grad_out.shape()[0];
+        let (fi, fo) = (self.in_features, self.out_features);
+        let mut wtmp = crate::scratch::Scratch::take_zeroed(fi * fo);
+        for i in 0..n {
+            wtmp.fill(0.0);
+            crate::gemm::gemm_tn(
+                fi,
+                fo,
+                1,
+                &cache.x.data()[i * fi..(i + 1) * fi],
+                &grad_out.data()[i * fo..(i + 1) * fo],
+                &mut wtmp,
+                true,
+            );
+            for (d, &s) in grads.weight.data_mut().iter_mut().zip(wtmp.iter()) {
+                *d += s;
+            }
+            for j in 0..fo {
+                // The oracle's per-sample bias store starts at zero, so
+                // the total sees `total + (0.0 + g)` — replicate both
+                // adds (they differ from `total + g` when g is -0.0).
+                let per = 0.0f32 + grad_out.data()[i * fo + j];
+                grads.bias.data_mut()[j] += per;
+            }
+        }
+
+        let mut dx = Tensor::zeros(&[n, fi]);
+        crate::gemm::gemm_nt(n, fi, fo, grad_out.data(), self.weight.data(), dx.data_mut(), false);
+        Ok(dx)
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +197,46 @@ mod tests {
         }
         // db sums over batch.
         assert_eq!(grads.bias.data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_rows_matches_per_sample_oracle_bitwise() {
+        let d = Dense::new(5, 3, 17);
+        let x =
+            Tensor::from_vec(&[4, 5], (0..20).map(|v| (v as f32 * 0.19).sin()).collect()).unwrap();
+        let (y, cache) = d.forward(&x).unwrap();
+        let g = Tensor::from_vec(y.shape(), (0..12).map(|v| (v as f32 * 0.37).cos()).collect())
+            .unwrap();
+
+        let mut batched = d.zero_grads();
+        let dx = d.backward_rows(&cache, &g, &mut batched).unwrap();
+
+        // Oracle: each row alone (B = 1), per-sample stores summed in order.
+        let mut total = d.zero_grads();
+        let mut dx_rows = Vec::new();
+        for i in 0..4 {
+            let xi = Tensor::from_vec(&[1, 5], x.data()[i * 5..(i + 1) * 5].to_vec()).unwrap();
+            let (_, ci) = d.forward(&xi).unwrap();
+            let gi = Tensor::from_vec(&[1, 3], g.data()[i * 3..(i + 1) * 3].to_vec()).unwrap();
+            let mut per = d.zero_grads();
+            let dxi = d.backward(&ci, &gi, &mut per).unwrap();
+            dx_rows.extend_from_slice(dxi.data());
+            for (t, &v) in total.weight.data_mut().iter_mut().zip(per.weight.data()) {
+                *t += v;
+            }
+            for (t, &v) in total.bias.data_mut().iter_mut().zip(per.bias.data()) {
+                *t += v;
+            }
+        }
+        for (i, (a, b)) in batched.weight.data().iter().zip(total.weight.data()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "dW[{i}]");
+        }
+        for (i, (a, b)) in batched.bias.data().iter().zip(total.bias.data()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "db[{i}]");
+        }
+        for (i, (a, b)) in dx.data().iter().zip(&dx_rows).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "dx[{i}]");
+        }
     }
 
     #[test]

@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: mask fill over row*f..(row+1)*f with f*rows == len asserted at entry.
 //! Inverted dropout.
 //!
 //! The paper attributes its Table-4 failure to overfitting and proposes
@@ -48,6 +49,41 @@ impl Dropout {
                 *v *= inv;
             } else {
                 *v = 0.0;
+            }
+        }
+        (out, DropoutCache { scale_mask })
+    }
+
+    /// Batched training-mode forward for a `[N, F]` activation where row
+    /// `i` draws its mask from a fresh `SmallRng` stream seeded with
+    /// `seeds[i]`.
+    ///
+    /// Bit-identical to calling [`Self::forward_train`] on each row as a
+    /// `[1, F]` tensor with its seed — which is exactly what keeps the
+    /// batched trainer's masks independent of how samples are grouped
+    /// into micro-batches.
+    pub fn forward_train_rows(&self, x: &Tensor, seeds: &[u64]) -> (Tensor, DropoutCache) {
+        // taor-lint: allow(float::eq) — config fast path for the exact disabled value
+        if self.rate == 0.0 {
+            return (x.clone(), DropoutCache { scale_mask: vec![1.0; x.len()] });
+        }
+        let n = seeds.len();
+        let f = x.len().checked_div(n).unwrap_or(0);
+        debug_assert_eq!(f * n, x.len(), "rows must evenly split the activation");
+        let keep = 1.0 - self.rate;
+        let inv = 1.0 / keep;
+        let mut out = x.clone();
+        let mut scale_mask = vec![0.0f32; x.len()];
+        let data = out.data_mut();
+        for (row, &seed) in seeds.iter().enumerate() {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            for idx in row * f..(row + 1) * f {
+                if rng.gen::<f32>() < keep {
+                    scale_mask[idx] = inv;
+                    data[idx] *= inv;
+                } else {
+                    data[idx] = 0.0;
+                }
             }
         }
         (out, DropoutCache { scale_mask })
@@ -135,5 +171,23 @@ mod tests {
     #[should_panic(expected = "not in [0, 1)")]
     fn rate_one_panics() {
         Dropout::new(1.0);
+    }
+
+    #[test]
+    fn rows_variant_matches_per_row_forward_bitwise() {
+        let d = Dropout::new(0.35);
+        let x = Tensor::from_vec(&[3, 8], (0..24).map(|i| i as f32 * 0.5 - 3.0).collect()).unwrap();
+        let seeds = [11u64, 97, 11];
+        let (y, cache) = d.forward_train_rows(&x, &seeds);
+        for (i, &seed) in seeds.iter().enumerate() {
+            let row = Tensor::from_vec(&[1, 8], x.data()[i * 8..(i + 1) * 8].to_vec()).unwrap();
+            let (yr, cr) = d.forward_train(&row, seed);
+            for j in 0..8 {
+                assert_eq!(y.data()[i * 8 + j].to_bits(), yr.data()[j].to_bits());
+                assert_eq!(cache.scale_mask[i * 8 + j].to_bits(), cr.scale_mask[j].to_bits());
+            }
+        }
+        // Equal seeds must yield equal masks regardless of row position.
+        assert_eq!(&cache.scale_mask[0..8], &cache.scale_mask[16..24], "rows 0 and 2 share a seed");
     }
 }

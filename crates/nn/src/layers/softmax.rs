@@ -58,6 +58,40 @@ pub fn softmax_cross_entropy(
     Ok(((loss / n as f64) as f32, grad))
 }
 
+/// Fused softmax + categorical cross-entropy, reported per row.
+///
+/// Returns `(per-row losses, dL/dlogits)` where the gradient is the
+/// **unscaled** `p − onehot` and `losses[i]` is exactly the value
+/// [`softmax_cross_entropy`] returns for row `i` alone at batch size 1
+/// (softmax rows are independent, and the loss is written as the same
+/// `0.0 − ln p` fold so even the sign of a zero loss matches). This is
+/// the building block for batched training passes that must stay
+/// bit-identical to the per-sample oracle: the caller owns the `1/B`
+/// scaling and the reduction order.
+pub fn softmax_cross_entropy_rows(
+    logits: &Tensor,
+    targets: &[usize],
+) -> Result<(Vec<f32>, Tensor), TensorError> {
+    let s = logits.shape();
+    if s.len() != 2 || s[0] != targets.len() {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![targets.len(), 0],
+            got: s.to_vec(),
+        });
+    }
+    let (n, k) = (s[0], s[1]);
+    let probs = softmax_probs(logits)?;
+    let mut losses = Vec::with_capacity(n);
+    let mut grad = probs;
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < k, "target {t} out of range for {k} classes");
+        let p = grad.data()[i * k + t].max(1e-12);
+        losses.push((0.0 - (p as f64).ln()) as f32);
+        grad.data_mut()[i * k + t] -= 1.0;
+    }
+    Ok((losses, grad))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +159,27 @@ mod tests {
     fn batch_size_mismatch_rejected() {
         let logits = Tensor::zeros(&[2, 3]);
         assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+    }
+
+    #[test]
+    fn rows_variant_matches_per_sample_bitwise() {
+        let logits = Tensor::from_vec(&[3, 2], vec![0.5, -0.2, 20.0, -20.0, -1.3, 0.9]).unwrap();
+        let targets = [1usize, 0, 0];
+        let (losses, grad) = softmax_cross_entropy_rows(&logits, &targets).unwrap();
+        assert_eq!(losses.len(), 3);
+        for i in 0..3 {
+            let row =
+                Tensor::from_vec(&[1, 2], logits.data()[i * 2..(i + 1) * 2].to_vec()).unwrap();
+            let (l1, g1) = softmax_cross_entropy(&row, &[targets[i]]).unwrap();
+            assert_eq!(losses[i].to_bits(), l1.to_bits(), "row {i} loss");
+            for j in 0..2 {
+                // B=1 means the per-sample gradient is also unscaled.
+                assert_eq!(
+                    grad.data()[i * 2 + j].to_bits(),
+                    g1.data()[j].to_bits(),
+                    "row {i} grad {j}"
+                );
+            }
+        }
     }
 }

@@ -43,5 +43,8 @@ pub use model::{NetConfig, NetGrads, NormXCorrNet};
 pub use optim::Adam;
 pub use scratch::{Scratch, ScratchBuf};
 pub use tensor::{Tensor, TensorError};
-pub use train::{predict_labels, train, EpochStats, PairSample, TrainConfig, TrainReport};
+pub use train::{
+    predict_labels, sample_pass, train, try_predict_labels, try_train, EpochStats, PairSample,
+    TrainConfig, TrainReport, MICRO_BATCH,
+};
 pub use xcorr::NormXCorr;

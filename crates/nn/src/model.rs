@@ -1,3 +1,4 @@
+// taor-lint: allow(panic::index) — dense numeric kernel: interleave/split kernels: ranges are i*item-stepped with buffers sized 2*n*item at allocation.
 //! The Normalized-X-Corr network (Subramaniam et al. 2016), as re-built in
 //! the paper's Keras pipeline (§3.4).
 //!
@@ -96,6 +97,7 @@ fn default_pool() -> MaxPool2D {
 }
 
 /// Parameter gradients for one training step.
+#[derive(Clone)]
 pub struct NetGrads {
     pub conv1: ConvGrads,
     pub conv2: ConvGrads,
@@ -122,6 +124,27 @@ impl NetGrads {
         self.dense2.weight.add_assign(&other.dense2.weight)?;
         self.dense2.bias.add_assign(&other.dense2.bias)?;
         Ok(())
+    }
+
+    /// Fixed-order pairwise tree reduction of per-micro-batch gradient
+    /// sets: adjacent pairs are combined until one set remains
+    /// (`((g₀+g₁)+(g₂+g₃))` for four inputs). The tree's shape depends
+    /// only on `parts.len()`, never on how many threads produced the
+    /// parts, so the reduced gradient — and therefore the whole training
+    /// trajectory — is byte-identical at any `TAOR_THREADS` width.
+    pub fn tree_sum(mut parts: Vec<NetGrads>) -> Result<Option<NetGrads>, TensorError> {
+        while parts.len() > 1 {
+            let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+            let mut it = parts.into_iter();
+            while let Some(mut a) = it.next() {
+                if let Some(b) = it.next() {
+                    a.accumulate(&b)?;
+                }
+                next.push(a);
+            }
+            parts = next;
+        }
+        Ok(parts.pop())
     }
 
     /// Scale every gradient (e.g. by 1/batch).
@@ -170,6 +193,66 @@ struct TowerCache {
     c2: crate::layers::conv::ConvCache,
     r2: crate::layers::activation::ReluCache,
     p2: crate::layers::pool::PoolCache,
+}
+
+/// Forward caches of one batched training pass ([`NormXCorrNet::forward_batch`]).
+/// Unlike [`NetCache`] there is a single tower cache: both branches of
+/// every pair travel through the shared tower as one interleaved batch.
+pub struct BatchCache {
+    tower: TowerCache,
+    xc: crate::xcorr::XCorrCache,
+    c3: crate::layers::conv::ConvCache,
+    r3: crate::layers::activation::ReluCache,
+    c4: crate::layers::conv::ConvCache,
+    r4: crate::layers::activation::ReluCache,
+    p3: crate::layers::pool::PoolCache,
+    pre_flat_shape: Vec<usize>,
+    d1: crate::layers::dense::DenseCache,
+    r5: crate::layers::activation::ReluCache,
+    drop: Option<DropoutCache>,
+    d2: crate::layers::dense::DenseCache,
+}
+
+/// Interleave two `[N, C, H, W]` stacks into `[2N, C, H, W]` as
+/// `[a₀, b₀, a₁, b₁, …]`, so the two branches of pair `s` are batch
+/// items `2s` and `2s + 1` — the layout `Conv2D::backward_grouped`
+/// (group = 2) needs to replay the per-sample a-then-b weight-gradient
+/// accumulation of the shared tower.
+fn interleave(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let s = a.shape();
+    if s != b.shape() || s.len() != 4 {
+        return Err(TensorError::ShapeMismatch {
+            expected: a.shape().to_vec(),
+            got: b.shape().to_vec(),
+        });
+    }
+    let n = s[0];
+    let item = s[1] * s[2] * s[3];
+    let mut out = vec![0.0f32; 2 * n * item];
+    for i in 0..n {
+        out[2 * i * item..(2 * i + 1) * item].copy_from_slice(&a.data()[i * item..(i + 1) * item]);
+        out[(2 * i + 1) * item..(2 * i + 2) * item]
+            .copy_from_slice(&b.data()[i * item..(i + 1) * item]);
+    }
+    Tensor::from_vec(&[2 * n, s[1], s[2], s[3]], out)
+}
+
+/// Undo [`interleave`]: split `[2N, C, H, W]` into the even-index and
+/// odd-index `[N, C, H, W]` stacks.
+fn split_even_odd(t: &Tensor) -> Result<(Tensor, Tensor), TensorError> {
+    let s = t.shape();
+    if s.len() != 4 || !s[0].is_multiple_of(2) {
+        return Err(TensorError::ShapeMismatch { expected: vec![0, 0, 0, 0], got: s.to_vec() });
+    }
+    let n = s[0] / 2;
+    let item = s[1] * s[2] * s[3];
+    let mut a = Vec::with_capacity(n * item);
+    let mut b = Vec::with_capacity(n * item);
+    for i in 0..n {
+        a.extend_from_slice(&t.data()[2 * i * item..(2 * i + 1) * item]);
+        b.extend_from_slice(&t.data()[(2 * i + 1) * item..(2 * i + 2) * item]);
+    }
+    Ok((Tensor::from_vec(&[n, s[1], s[2], s[3]], a)?, Tensor::from_vec(&[n, s[1], s[2], s[3]], b)?))
 }
 
 impl NormXCorrNet {
@@ -335,9 +418,128 @@ impl NormXCorrNet {
         Ok(())
     }
 
+    /// Batched training forward: both branches of every pair travel
+    /// through the shared tower as **one interleaved `[2N, …]` batch**
+    /// (one GEMM per conv instead of two), and dropout — when enabled —
+    /// draws a separate stream per row from `dropout_seeds[i]`.
+    ///
+    /// Per-pair logits are bit-identical to [`Self::forward_ex`] on each
+    /// pair alone with the matching seed: every layer's per-item fold is
+    /// independent of the batch grouping (conv GEMM columns, dense rows,
+    /// xcorr planes, elementwise ops).
+    pub fn forward_batch(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        dropout_seeds: Option<&[u64]>,
+    ) -> Result<(Tensor, BatchCache), TensorError> {
+        let t = interleave(a, b)?;
+        let (f, tower) = self.tower_forward(&t)?;
+        let (fa, fb) = split_even_odd(&f)?;
+        let (xc_out, xc) = self.xcorr().forward(&fa, &fb)?;
+        let (y, c3) = self.conv3.forward(&xc_out)?;
+        let (y, r3) = Relu.forward(&y);
+        let (y, c4) = self.conv4.forward(&y)?;
+        let (y, r4) = Relu.forward(&y);
+        let (y, p3) = self.pool.forward(&y)?;
+        let pre_flat_shape = y.shape().to_vec();
+        let y = flatten(&y)?;
+        let (y, d1) = self.dense1.forward(&y)?;
+        let (y, r5) = Relu.forward(&y);
+        let (y, drop) = match dropout_seeds {
+            Some(seeds) if self.config.dropout > 0.0 => {
+                let layer = Dropout::new(self.config.dropout);
+                let (y, cache) = layer.forward_train_rows(&y, seeds);
+                (y, Some(cache))
+            }
+            _ => (y, None),
+        };
+        let (logits, d2) = self.dense2.forward(&y)?;
+        Ok((logits, BatchCache { tower, xc, c3, r3, c4, r4, p3, pre_flat_shape, d1, r5, drop, d2 }))
+    }
+
+    /// Batched backward from **unscaled** per-row `dL/dlogits`;
+    /// accumulates into `grads`.
+    ///
+    /// Parameter gradients are bit-identical to running the per-sample
+    /// oracle ([`Self::forward_ex`] + [`Self::backward`]) on each pair in
+    /// order and summing the per-sample stores: every layer replays the
+    /// oracle's accumulation order (grouped conv GEMMs with `group = 2`
+    /// on the interleaved tower, per-row dense rank-1 products), so f32
+    /// non-associativity cannot shift a single bit.
+    pub fn backward_batch(
+        &self,
+        cache: &BatchCache,
+        grad_logits: &Tensor,
+        grads: &mut NetGrads,
+    ) -> Result<(), TensorError> {
+        let g = self.dense2.backward_rows(&cache.d2, grad_logits, &mut grads.dense2)?;
+        let g = match &cache.drop {
+            Some(dc) => Dropout::new(self.config.dropout).backward(dc, &g),
+            None => g,
+        };
+        let g = Relu.backward(&cache.r5, &g);
+        let g = self.dense1.backward_rows(&cache.d1, &g, &mut grads.dense1)?;
+        let g = unflatten(&g, &cache.pre_flat_shape)?;
+        let g = self.pool.backward(&cache.p3, &g);
+        let g = Relu.backward(&cache.r4, &g);
+        let g = self.conv4.backward_grouped(&cache.c4, &g, &mut grads.conv4, 1)?;
+        let g = Relu.backward(&cache.r3, &g);
+        let g = self.conv3.backward_grouped(&cache.c3, &g, &mut grads.conv3, 1)?;
+        let (ga, gb) = self.xcorr().backward(&cache.xc, &g)?;
+        let gt = interleave(&ga, &gb)?;
+        let g = self.pool.backward(&cache.tower.p2, &gt);
+        let g = Relu.backward(&cache.tower.r2, &g);
+        let g = self.conv2.backward_grouped(&cache.tower.c2, &g, &mut grads.conv2, 2)?;
+        let g = self.pool.backward(&cache.tower.p1, &g);
+        let g = Relu.backward(&cache.tower.r1, &g);
+        let _ = self.conv1.backward_grouped(&cache.tower.c1, &g, &mut grads.conv1, 2)?;
+        Ok(())
+    }
+
+    /// Shared-tower features for a batch of images — the expensive half
+    /// of [`Self::forward`], exposed separately so evaluation can embed
+    /// each *distinct* image once and score many pairs against the
+    /// features (pairs share images heavily in the re-identification
+    /// protocol).
+    pub fn tower_embed(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        let (y, _) = self.tower_forward(x)?;
+        Ok(y)
+    }
+
+    /// Inference head from precomputed tower features
+    /// ([`Self::tower_embed`]): NormXCorr → conv stack → dense stack.
+    /// Composing `tower_embed` + `head_logits` is bit-identical to
+    /// [`Self::forward`] on the raw pair.
+    pub fn head_logits(&self, fa: &Tensor, fb: &Tensor) -> Result<Tensor, TensorError> {
+        let (xc_out, _) = self.xcorr().forward(fa, fb)?;
+        let (y, _) = self.conv3.forward(&xc_out)?;
+        let (y, _) = Relu.forward(&y);
+        let (y, _) = self.conv4.forward(&y)?;
+        let (y, _) = Relu.forward(&y);
+        let (y, _) = self.pool.forward(&y)?;
+        let y = flatten(&y)?;
+        let (y, _) = self.dense1.forward(&y)?;
+        let (y, _) = Relu.forward(&y);
+        let (logits, _) = self.dense2.forward(&y)?;
+        Ok(logits)
+    }
+
     /// Predicted "similar" probability per pair (class 1).
     pub fn predict_similar(&self, a: &Tensor, b: &Tensor) -> Result<Vec<f32>, TensorError> {
         let (logits, _) = self.forward(a, b)?;
+        let probs = softmax_probs(&logits)?;
+        Ok((0..probs.shape()[0]).map(|i| probs.at2(i, 1)).collect())
+    }
+
+    /// Predicted "similar" probability per pair from precomputed tower
+    /// features — the batched-inference fast path.
+    pub fn predict_similar_features(
+        &self,
+        fa: &Tensor,
+        fb: &Tensor,
+    ) -> Result<Vec<f32>, TensorError> {
+        let logits = self.head_logits(fa, fb)?;
         let probs = softmax_probs(&logits)?;
         Ok((0..probs.shape()[0]).map(|i| probs.at2(i, 1)).collect())
     }

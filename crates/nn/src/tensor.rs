@@ -21,6 +21,10 @@ pub enum TensorError {
     /// produce a non-empty feature map (e.g. the Normalized-X-Corr tower
     /// shrinks twice by conv 5x5 + pool 2 before the final pool).
     InputTooSmall { width: usize, height: usize },
+    /// A training entry point was handed zero samples.
+    EmptyTrainingSet,
+    /// A training configuration requested a batch size of zero.
+    InvalidBatchSize { batch_size: usize },
 }
 
 impl fmt::Display for TensorError {
@@ -37,6 +41,12 @@ impl fmt::Display for TensorError {
             }
             TensorError::InputTooSmall { width, height } => {
                 write!(f, "input {width}x{height} too small for the architecture")
+            }
+            // The next two messages are load-bearing: the legacy panicking
+            // wrappers print them verbatim and callers pin them.
+            TensorError::EmptyTrainingSet => write!(f, "training set is empty"),
+            TensorError::InvalidBatchSize { batch_size } => {
+                write!(f, "batch size must be >= 1 (got {batch_size})")
             }
         }
     }

@@ -6,14 +6,19 @@
 //! would stop if the ϵ of loss decrease was lower than 1e−6 for more than
 //! 10 subsequent epochs."
 //!
-//! Per-sample forward/backward passes are data-parallel (rayon) and the
-//! resulting gradients are reduced — mathematically identical to a batched
-//! pass, and the only practical way to train this architecture on CPU.
+//! Each mini-batch is split into fixed-size micro-batches that run as
+//! true `[B, 3, H, W]` batched forward/backward passes, in parallel
+//! across the worker pool; the per-micro-batch gradients are reduced
+//! with a fixed-order tree sum ([`NetGrads::tree_sum`]). Both the micro
+//! partitioning and the tree shape depend only on the batch size — never
+//! on `TAOR_THREADS` — so the training trajectory is byte-identical at
+//! any pool width. The retained per-sample oracle ([`sample_pass`]) pins
+//! the batched pass bit-for-bit in the equivalence tests.
 
-use crate::layers::softmax::softmax_cross_entropy;
+use crate::layers::softmax::{softmax_cross_entropy, softmax_cross_entropy_rows};
 use crate::model::{NetGrads, NormXCorrNet};
 use crate::optim::Adam;
-use crate::tensor::Tensor;
+use crate::tensor::{Tensor, TensorError};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -74,9 +79,23 @@ pub struct TrainReport {
     pub early_stopped: bool,
 }
 
-/// Compute loss and gradients for one sample. Returns `(loss, correct,
+/// Samples per batched forward/backward pass inside a mini-batch. Fixed
+/// — never derived from the thread width — so the micro partitioning and
+/// the gradient-reduction tree are identical at every `TAOR_THREADS`
+/// setting; four micros per paper-sized batch of 16 keep a 4-wide pool
+/// busy.
+pub const MICRO_BATCH: usize = 4;
+
+/// Per-micro-batch result: (per-row losses, per-row correctness, grads).
+type MicroPassResult = Result<(Vec<f32>, Vec<bool>, NetGrads), TensorError>;
+
+/// Per-sample loss/gradient oracle: one pair through a batch-1
+/// forward/backward. The training loop no longer calls this — it runs
+/// batched micro-passes — but it is retained as the bit-exactness
+/// reference the batched path is pinned against (see the
+/// `batched_equivalence` integration tests). Returns `(loss, correct,
 /// grads)`.
-fn sample_pass(
+pub fn sample_pass(
     net: &NormXCorrNet,
     sample: &PairSample,
     dropout_seed: u64,
@@ -91,16 +110,66 @@ fn sample_pass(
     (loss, pred == sample.label, grads)
 }
 
+/// One micro-batch: stack the selected pairs, run the batched
+/// forward/backward, and return per-row losses/correctness plus the
+/// micro's gradient store (per-sample contributions accumulated in row
+/// order, bit-identical to the [`sample_pass`] oracle).
+fn micro_pass(
+    net: &NormXCorrNet,
+    samples: &[PairSample],
+    idxs: &[usize],
+    epoch: usize,
+    seed: u64,
+) -> Result<(Vec<f32>, Vec<bool>, NetGrads), TensorError> {
+    let pairs: Vec<&PairSample> = idxs.iter().map(|&i| &samples[i]).collect();
+    let (a, b) = stack_pair_refs(&pairs);
+    let labels: Vec<usize> = pairs.iter().map(|p| p.label).collect();
+    // Per-sample, per-epoch dropout stream — a function of the sample
+    // index, not of the batch grouping.
+    let seeds: Vec<u64> =
+        idxs.iter().map(|&i| seed ^ ((epoch as u64) << 32) ^ (i as u64)).collect();
+    let (logits, cache) = net.forward_batch(&a, &b, Some(&seeds))?;
+    let (losses, grad) = softmax_cross_entropy_rows(&logits, &labels)?;
+    let correct: Vec<bool> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| usize::from(logits.at2(i, 1) > logits.at2(i, 0)) == l)
+        .collect();
+    let mut grads = net.zero_grads();
+    net.backward_batch(&cache, &grad, &mut grads)?;
+    Ok((losses, correct, grads))
+}
+
 /// Train `net` on `samples`. `on_epoch` is called after every epoch with
 /// the stats so far (the repro harness uses it for progress logging).
+///
+/// # Panics
+/// Panics on an empty training set or a zero batch size — the historical
+/// contract; fallible callers should use [`try_train`].
 pub fn train(
     net: &mut NormXCorrNet,
     samples: &[PairSample],
     cfg: &TrainConfig,
-    mut on_epoch: impl FnMut(&EpochStats),
+    on_epoch: impl FnMut(&EpochStats),
 ) -> TrainReport {
-    assert!(!samples.is_empty(), "training set is empty");
-    assert!(cfg.batch_size >= 1, "batch size must be >= 1");
+    // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
+    try_train(net, samples, cfg, on_epoch).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`train`]: typed errors instead of panics for the empty
+/// training set and invalid batch size conditions.
+pub fn try_train(
+    net: &mut NormXCorrNet,
+    samples: &[PairSample],
+    cfg: &TrainConfig,
+    mut on_epoch: impl FnMut(&EpochStats),
+) -> Result<TrainReport, TensorError> {
+    if samples.is_empty() {
+        return Err(TensorError::EmptyTrainingSet);
+    }
+    if cfg.batch_size < 1 {
+        return Err(TensorError::InvalidBatchSize { batch_size: cfg.batch_size });
+    }
     let mut adam = Adam::new(cfg.learning_rate, cfg.decay).with_weight_decay(cfg.weight_decay);
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed);
@@ -116,23 +185,25 @@ pub fn train(
         let mut correct = 0usize;
 
         for chunk in order.chunks(cfg.batch_size) {
-            // Per-sample passes in parallel; reduce losses and gradients.
-            let results: Vec<(f32, bool, NetGrads)> = chunk
-                .par_iter()
-                .map(|&i| {
-                    // Per-sample, per-epoch dropout stream.
-                    let ds = cfg.seed ^ ((epoch as u64) << 32) ^ (i as u64);
-                    sample_pass(net, &samples[i], ds)
-                })
+            // Batched micro-passes in parallel (ordered collect), then a
+            // fixed-order tree reduction of the micro gradients.
+            let results: Vec<MicroPassResult> = chunk
+                .par_chunks(MICRO_BATCH)
+                .map(|idxs| micro_pass(net, samples, idxs, epoch, cfg.seed))
                 .collect();
-            let mut batch_grads = net.zero_grads();
-            for (loss, ok, g) in &results {
-                total_loss += *loss as f64;
-                if *ok {
-                    correct += 1;
+            let mut parts = Vec::with_capacity(results.len());
+            for r in results {
+                let (losses, oks, g) = r?;
+                for l in &losses {
+                    total_loss += *l as f64;
                 }
-                batch_grads.accumulate(g).expect("grad shapes are uniform"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
+                correct += oks.iter().filter(|&&ok| ok).count();
+                parts.push(g);
             }
+            let mut batch_grads = match NetGrads::tree_sum(parts)? {
+                Some(g) => g,
+                None => continue,
+            };
             batch_grads.scale(1.0 / chunk.len() as f32);
             // The gradient store and the network are disjoint objects, so
             // Adam can read the gradients in place — no per-step clone.
@@ -159,7 +230,7 @@ pub fn train(
         }
         prev_loss = mean_loss;
     }
-    TrainReport { epochs, early_stopped }
+    Ok(TrainReport { epochs, early_stopped })
 }
 
 /// Pairs stacked per forward pass during evaluation. The whole chunk
@@ -169,6 +240,13 @@ const EVAL_BATCH: usize = 16;
 
 /// Stack a chunk of `[1, 3, H, W]` pairs into one `[B, 3, H, W]` pair.
 fn stack_pairs(chunk: &[PairSample]) -> (Tensor, Tensor) {
+    let refs: Vec<&PairSample> = chunk.iter().collect();
+    stack_pair_refs(&refs)
+}
+
+/// [`stack_pairs`] over borrowed pairs (the training loop indexes into a
+/// shuffled order and never owns a contiguous chunk).
+fn stack_pair_refs(chunk: &[&PairSample]) -> (Tensor, Tensor) {
     let s = chunk[0].a.shape();
     let (c, h, w) = (s[1], s[2], s[3]);
     let mut a = Vec::with_capacity(chunk.len() * c * h * w);
@@ -184,15 +262,34 @@ fn stack_pairs(chunk: &[PairSample]) -> (Tensor, Tensor) {
 }
 
 /// Evaluate: predicted label (argmax) per sample.
+///
+/// # Panics
+/// Panics on malformed pair shapes; fallible callers should use
+/// [`try_predict_labels`].
 pub fn predict_labels(net: &NormXCorrNet, samples: &[PairSample]) -> Vec<usize> {
-    samples
+    // taor-lint: allow(panic::panic) — documented legacy wrapper: panicking on Err is this shim's contract; callers wanting Results use the try_* API
+    try_predict_labels(net, samples).unwrap_or_else(|e| panic!("predict_labels: {e}"))
+}
+
+/// Fallible [`predict_labels`]: pool-parallel batched scoring with typed
+/// errors.
+pub fn try_predict_labels(
+    net: &NormXCorrNet,
+    samples: &[PairSample],
+) -> Result<Vec<usize>, TensorError> {
+    let results: Vec<Result<Vec<usize>, TensorError>> = samples
         .par_chunks(EVAL_BATCH)
-        .flat_map(|chunk| {
+        .map(|chunk| {
             let (a, b) = stack_pairs(chunk);
-            let probs = net.predict_similar(&a, &b).expect("shapes fixed by dataset"); // taor-lint: allow(panic::expect) — invariant expect: the message states why this cannot fail on valid state
-            probs.into_iter().map(|p| usize::from(p > 0.5)).collect::<Vec<_>>()
+            let probs = net.predict_similar(&a, &b)?;
+            Ok(probs.into_iter().map(|p| usize::from(p > 0.5)).collect::<Vec<_>>())
         })
-        .collect()
+        .collect();
+    let mut out = Vec::with_capacity(samples.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -292,5 +389,37 @@ mod tests {
         let mut net = tiny_net();
         let cfg = TrainConfig::default();
         train(&mut net, &[], &cfg, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be >= 1")]
+    fn zero_batch_size_panics() {
+        let mut net = tiny_net();
+        let samples = separable_samples(4, 24, 20, 15);
+        let cfg = TrainConfig { batch_size: 0, ..Default::default() };
+        train(&mut net, &samples, &cfg, |_| {});
+    }
+
+    #[test]
+    fn try_train_reports_typed_errors() {
+        let mut net = tiny_net();
+        let cfg = TrainConfig::default();
+        assert!(matches!(
+            try_train(&mut net, &[], &cfg, |_| {}),
+            Err(TensorError::EmptyTrainingSet)
+        ));
+        let samples = separable_samples(4, 24, 20, 15);
+        let bad = TrainConfig { batch_size: 0, ..Default::default() };
+        assert!(matches!(
+            try_train(&mut net, &samples, &bad, |_| {}),
+            Err(TensorError::InvalidBatchSize { batch_size: 0 })
+        ));
+    }
+
+    #[test]
+    fn try_predict_labels_matches_panicking_wrapper() {
+        let net = tiny_net();
+        let samples = separable_samples(6, 24, 20, 13);
+        assert_eq!(try_predict_labels(&net, &samples).unwrap(), predict_labels(&net, &samples));
     }
 }

@@ -19,7 +19,25 @@
 //! `NCC(a, b) = ⟨â, b̂⟩ / (‖â‖·‖b̂‖ + ε)`,  `â = a − mean(a)`.
 //!
 //! Patches are square (`patch` side) with zero padding outside the map.
+//!
+//! Two implementations live here. [`NormXCorr::forward`] /
+//! [`NormXCorr::backward`] expand each `(n, c)` plane once into
+//! mean-centred *patch panels* held in the [`Scratch`] arena and turn
+//! every displacement cell into a banded row-product between the A panel
+//! and a shifted view of the B panel — the layout the PR-3 norm-trick
+//! matcher uses for its GEMM panels. Each output dot keeps the exact
+//! sequential `j = 0..psz` fold of the scalar path, so the results are
+//! bit-identical to [`NormXCorr::forward_naive`] /
+//! [`NormXCorr::backward_naive`], which are retained as the
+//! bit-exactness oracles. (Bit-identical up to NaN payloads: IEEE 754
+//! leaves NaN sign/payload propagation unspecified and the compiler may
+//! commute `fmul`/`fadd` operands, so on NaN-quarantine inputs only the
+//! NaN *positions* are pinned, not their payload bits.) (a full `taor_nn::gemm` call is deliberately
+//! not used: the needed output is a `K`-band of the `PAᵀ·PB` product and
+//! the shared `k = psz` dimension is tiny, so packing overhead would
+//! dominate the saved flops).
 
+use crate::scratch::Scratch;
 use crate::tensor::{Tensor, TensorError};
 
 /// Stabiliser added to the product of patch norms.
@@ -110,8 +128,130 @@ impl NormXCorr {
         norm_sq.sqrt()
     }
 
+    /// Expand one `h × w` plane into a mean-centred patch panel.
+    ///
+    /// Column `ey·(w+2·pad) + ex` holds the centred patch around centre
+    /// `(ex − pad, ey − pad)`; row `j` is patch element `j` (row-major
+    /// `(dy, dx)` order), i.e. the panel is stored transposed so the
+    /// displacement kernels read contiguous rows. `norms[col]` is the
+    /// centred patch's Euclidean norm. Per column this replays
+    /// [`Self::centred_patch`]'s fill/sum/centre order exactly, so every
+    /// stored value and norm is bit-identical to the scalar path.
+    fn build_panel(
+        &self,
+        plane: &[f32],
+        h: usize,
+        w: usize,
+        pad: usize,
+        panel: &mut [f32],
+        norms: &mut [f32],
+    ) {
+        let r = (self.patch / 2) as i64;
+        let psz = self.patch * self.patch;
+        let (gh, gw) = (h + 2 * pad, w + 2 * pad);
+        let ncols = gh * gw;
+        let mut col = 0usize;
+        for ey in 0..gh {
+            let cy = ey as i64 - pad as i64;
+            for ex in 0..gw {
+                let cx = ex as i64 - pad as i64;
+                let mut sum = 0.0f32;
+                let mut i = 0usize;
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        let x = cx + dx;
+                        let y = cy + dy;
+                        let v = if x >= 0 && x < w as i64 && y >= 0 && y < h as i64 {
+                            plane[y as usize * w + x as usize]
+                        } else {
+                            0.0
+                        };
+                        panel[i * ncols + col] = v;
+                        sum += v;
+                        i += 1;
+                    }
+                }
+                let mean = sum / psz as f32;
+                let mut norm_sq = 0.0f32;
+                for j in 0..psz {
+                    let p = &mut panel[j * ncols + col];
+                    *p -= mean;
+                    norm_sq += *p * *p;
+                }
+                norms[col] = norm_sq.sqrt();
+                col += 1;
+            }
+        }
+    }
+
     /// Forward: `(A, B)` of shape `[N, C, H, W]` → `[N, C·K, H, W]`.
+    ///
+    /// Panel formulation: both planes are centred once ([`Self::build_panel`]),
+    /// then each displacement cell is a banded row-product between the A
+    /// panel and a shifted window of the B panel. Bit-identical to
+    /// [`Self::forward_naive`] (pinned by the `*_matches_naive` tests).
     pub fn forward(&self, a: &Tensor, b: &Tensor) -> Result<(Tensor, XCorrCache), TensorError> {
+        let [n, c, h, w] = self.check(a, b)?;
+        let k_side = 2 * self.radius + 1;
+        let koff = self.offsets();
+        let psz = self.patch * self.patch;
+        let rad = self.radius;
+        let npos = h * w;
+        let (gh, gw) = (h + 2 * rad, w + 2 * rad);
+        let next = gh * gw;
+        let mut out = Tensor::zeros(&[n, c * koff, h, w]);
+        let out_data = out.data_mut();
+        let mut pa = Scratch::take(psz * npos);
+        let mut pb = Scratch::take(psz * next);
+        let mut norms_a = Scratch::take(npos);
+        let mut norms_b = Scratch::take(next);
+        let mut acc = Scratch::take(w);
+        let a_data = a.data();
+        let b_data = b.data();
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * npos;
+                self.build_panel(&a_data[plane..plane + npos], h, w, 0, &mut pa, &mut norms_a);
+                self.build_panel(&b_data[plane..plane + npos], h, w, rad, &mut pb, &mut norms_b);
+                for ky in 0..k_side {
+                    for kx in 0..k_side {
+                        let oc = ci * koff + ky * k_side + kx;
+                        for y in 0..h {
+                            // B centre for output (y, x) at this offset is
+                            // extended-grid cell (y + ky, x + kx).
+                            let bbase = (y + ky) * gw + kx;
+                            let arow = y * w;
+                            acc[..w].fill(0.0);
+                            // j-outer so each acc[x] is the same sequential
+                            // j-fold as the scalar dot product.
+                            for j in 0..psz {
+                                let pa_row = &pa[j * npos + arow..j * npos + arow + w];
+                                let pb_row = &pb[j * next + bbase..j * next + bbase + w];
+                                for x in 0..w {
+                                    acc[x] += pa_row[x] * pb_row[x];
+                                }
+                            }
+                            let orow = ((ni * c * koff + oc) * h + y) * w;
+                            for x in 0..w {
+                                out_data[orow + x] =
+                                    acc[x] / (norms_a[arow + x] * norms_b[bbase + x] + EPS);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok((out, XCorrCache { a: a.clone(), b: b.clone() }))
+    }
+
+    /// Reference scalar forward, retained as the bit-exactness oracle for
+    /// the panel path: [`Self::forward`] must match it bit-for-bit,
+    /// including NaN payloads.
+    pub fn forward_naive(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+    ) -> Result<(Tensor, XCorrCache), TensorError> {
         let [n, c, h, w] = self.check(a, b)?;
         let k_side = 2 * self.radius as i64 + 1;
         let koff = self.offsets();
@@ -155,19 +295,49 @@ impl NormXCorr {
         dvals: &[f32],
     ) {
         let s = grad_t.shape();
-        let (h, w) = (s[2] as i64, s[3] as i64);
-        let r = (self.patch / 2) as i64;
+        let (h, w) = (s[2], s[3]);
+        let base = (n * s[1] + c) * h * w;
+        Self::scatter_into_plane(
+            self.patch,
+            &mut grad_t.data_mut()[base..base + h * w],
+            h,
+            w,
+            cx,
+            cy,
+            dvals,
+        );
+    }
+
+    /// Plane-slice core of [`Self::scatter_patch_grad`]: identical add
+    /// order and boundary handling, with the plane base hoisted by the
+    /// caller so the hot backward loop skips per-element 4-D indexing.
+    fn scatter_into_plane(
+        patch: usize,
+        plane: &mut [f32],
+        h: usize,
+        w: usize,
+        cx: i64,
+        cy: i64,
+        dvals: &[f32],
+    ) {
+        let r = (patch / 2) as i64;
+        let (hi, wi) = (h as i64, w as i64);
         // Chain through the mean subtraction: the gradient w.r.t. the raw
         // patch is (I − 11ᵀ/n) · dvals, and positions outside the image are
         // dropped (they were constant zeros, not samples of t).
         let mean_d: f32 = dvals.iter().sum::<f32>() / dvals.len() as f32;
         let mut i = 0usize;
         for dy in -r..=r {
+            let y = cy + dy;
+            if y < 0 || y >= hi {
+                i += patch;
+                continue;
+            }
+            let row = y as usize * w;
             for dx in -r..=r {
                 let x = cx + dx;
-                let y = cy + dy;
-                if x >= 0 && x < w && y >= 0 && y < h {
-                    *grad_t.at4_mut(n, c, y as usize, x as usize) += dvals[i] - mean_d;
+                if x >= 0 && x < wi {
+                    plane[row + x as usize] += dvals[i] - mean_d;
                 }
                 i += 1;
             }
@@ -175,7 +345,125 @@ impl NormXCorr {
     }
 
     /// Backward: returns `(grad_a, grad_b)`.
+    ///
+    /// Panel formulation: the centred panels and every `(position,
+    /// displacement)` dot product are precomputed with the forward's
+    /// banded kernel, then the scatter loop replays the oracle's exact
+    /// `(y, x, ky, kx)` order — including the `g == 0` sparsity skip and
+    /// the `FLAT`-gated norm coefficients — reading patches out of the
+    /// panels instead of re-extracting them per displacement.
+    /// Bit-identical to [`Self::backward_naive`].
     pub fn backward(
+        &self,
+        cache: &XCorrCache,
+        grad_out: &Tensor,
+    ) -> Result<(Tensor, Tensor), TensorError> {
+        let [n, c, h, w] = self.check(&cache.a, &cache.b)?;
+        let k_side = 2 * self.radius + 1;
+        let koff = self.offsets();
+        let psz = self.patch * self.patch;
+        let rad = self.radius;
+        let npos = h * w;
+        let (gh, gw) = (h + 2 * rad, w + 2 * rad);
+        let next = gh * gw;
+        let mut grad_a = Tensor::zeros(cache.a.shape());
+        let mut grad_b = Tensor::zeros(cache.b.shape());
+        let mut pa = Scratch::take(psz * npos);
+        let mut pb = Scratch::take(psz * next);
+        let mut norms_a = Scratch::take(npos);
+        let mut norms_b = Scratch::take(next);
+        let mut dots = Scratch::take(koff * npos);
+        let mut da = Scratch::take(psz);
+        let mut db = Scratch::take(psz);
+        let mut pa_patch = Scratch::take(psz);
+        let a_data = cache.a.data();
+        let b_data = cache.b.data();
+        let go_data = grad_out.data();
+        let ga_data = grad_a.data_mut();
+        let gb_data = grad_b.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * npos;
+                self.build_panel(&a_data[plane..plane + npos], h, w, 0, &mut pa, &mut norms_a);
+                self.build_panel(&b_data[plane..plane + npos], h, w, rad, &mut pb, &mut norms_b);
+                // Same banded kernel as the forward, so each dot is the
+                // identical sequential j-fold the oracle computes inline.
+                for ky in 0..k_side {
+                    for kx in 0..k_side {
+                        let off = ky * k_side + kx;
+                        for y in 0..h {
+                            let bbase = (y + ky) * gw + kx;
+                            let arow = y * w;
+                            let drow = off * npos + arow;
+                            dots[drow..drow + w].fill(0.0);
+                            for j in 0..psz {
+                                let pa_row = &pa[j * npos + arow..j * npos + arow + w];
+                                let pb_row = &pb[j * next + bbase..j * next + bbase + w];
+                                for x in 0..w {
+                                    dots[drow + x] += pa_row[x] * pb_row[x];
+                                }
+                            }
+                        }
+                    }
+                }
+                // Scatter in the oracle's (y, x, ky, kx) order, on raw
+                // plane slices with the A patch gathered once per position.
+                let gbase = plane * koff;
+                let ga_plane = &mut ga_data[plane..plane + npos];
+                let gb_plane = &mut gb_data[plane..plane + npos];
+                for y in 0..h {
+                    for x in 0..w {
+                        let pos = y * w + x;
+                        let na = norms_a[pos];
+                        for (i, p) in pa_patch.iter_mut().enumerate().take(psz) {
+                            *p = pa[i * npos + pos];
+                        }
+                        for ky in 0..k_side {
+                            for kx in 0..k_side {
+                                let off = ky * k_side + kx;
+                                let g = go_data[gbase + off * npos + pos];
+                                // taor-lint: allow(float::eq) — sparsity skip: only a bit-exact zero may be elided
+                                if g == 0.0 {
+                                    continue;
+                                }
+                                let epos = (y + ky) * gw + (x + kx);
+                                let nb = norms_b[epos];
+                                let dot = dots[off * npos + pos];
+                                let denom = na * nb + EPS;
+                                let inv = 1.0 / denom;
+                                let coef_a =
+                                    if na > FLAT { dot * nb / (na * denom * denom) } else { 0.0 };
+                                let coef_b =
+                                    if nb > FLAT { dot * na / (nb * denom * denom) } else { 0.0 };
+                                for i in 0..psz {
+                                    let (u, v) = (pa_patch[i], pb[i * next + epos]);
+                                    da[i] = g * (v * inv - coef_a * u);
+                                    db[i] = g * (u * inv - coef_b * v);
+                                }
+                                let (cy, cx) = (y as i64, x as i64);
+                                let (dy, dx) = (ky as i64 - rad as i64, kx as i64 - rad as i64);
+                                Self::scatter_into_plane(self.patch, ga_plane, h, w, cx, cy, &da);
+                                Self::scatter_into_plane(
+                                    self.patch,
+                                    gb_plane,
+                                    h,
+                                    w,
+                                    cx + dx,
+                                    cy + dy,
+                                    &db,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok((grad_a, grad_b))
+    }
+
+    /// Reference scalar backward, retained as the bit-exactness oracle
+    /// for the panel path: [`Self::backward`] must match it bit-for-bit.
+    pub fn backward_naive(
         &self,
         cache: &XCorrCache,
         grad_out: &Tensor,
@@ -325,6 +613,70 @@ mod tests {
                 assert!((u - v).abs() < 1e-5, "({xx},{yy}): {u} vs {v}");
             }
         }
+    }
+
+    /// Bit-for-bit equality, except that two NaNs always match: IEEE 754
+    /// leaves NaN sign/payload propagation unspecified and LLVM may
+    /// commute `fmul`/`fadd` operands, so separately compiled instances
+    /// of the same fold can legally pick different NaN payloads. NaN
+    /// *positions* must still coincide exactly.
+    fn assert_bits_eq(x: &Tensor, y: &Tensor) {
+        assert_eq!(x.shape(), y.shape());
+        for (i, (u, v)) in x.data().iter().zip(y.data()).enumerate() {
+            if u.is_nan() && v.is_nan() {
+                continue;
+            }
+            assert_eq!(u.to_bits(), v.to_bits(), "elem {i}: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn panel_forward_matches_naive_bitwise() {
+        for (patch, radius, shape) in
+            [(3usize, 1usize, [2usize, 3, 6, 5]), (5, 2, [1, 2, 5, 7]), (3, 0, [2, 1, 4, 3])]
+        {
+            let layer = NormXCorr::new(patch, radius);
+            let a = tensor_from(&shape, |i| (i as f32 * 0.37).sin() * 2.0 - 0.4);
+            let b = tensor_from(&shape, |i| (i as f32 * 0.73).cos() * 1.5 + 0.1);
+            let (fast, _) = layer.forward(&a, &b).unwrap();
+            let (slow, _) = layer.forward_naive(&a, &b).unwrap();
+            assert_bits_eq(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn panel_backward_matches_naive_bitwise() {
+        for (patch, radius, shape) in [(3usize, 1usize, [2usize, 3, 6, 5]), (5, 2, [1, 2, 5, 7])] {
+            let layer = NormXCorr::new(patch, radius);
+            let a = tensor_from(&shape, |i| (i as f32 * 0.41).sin() + 0.2);
+            let b = tensor_from(&shape, |i| (i as f32 * 0.77).cos() - 0.1);
+            let (y, cache) = layer.forward(&a, &b).unwrap();
+            // Exercise the g == 0 sparsity skip alongside dense entries.
+            let g =
+                tensor_from(y.shape(), |i| if i % 7 == 0 { 0.0 } else { (i as f32 * 0.13).sin() });
+            let (fa, fb) = layer.backward(&cache, &g).unwrap();
+            let (sa, sb) = layer.backward_naive(&cache, &g).unwrap();
+            assert_bits_eq(&fa, &sa);
+            assert_bits_eq(&fb, &sb);
+        }
+    }
+
+    #[test]
+    fn panel_matches_naive_on_nan_quarantine_inputs() {
+        let layer = NormXCorr::new(3, 1);
+        let mut a = tensor_from(&[1, 2, 5, 4], |i| (i as f32 * 0.29).sin());
+        let mut b = tensor_from(&[1, 2, 5, 4], |i| (i as f32 * 0.61).cos());
+        a.data_mut()[3] = f32::NAN;
+        a.data_mut()[17] = f32::INFINITY;
+        b.data_mut()[9] = f32::NAN;
+        let (fast, cache) = layer.forward(&a, &b).unwrap();
+        let (slow, _) = layer.forward_naive(&a, &b).unwrap();
+        assert_bits_eq(&fast, &slow);
+        let g = tensor_from(fast.shape(), |i| if i % 5 == 0 { 0.0 } else { 1.0 });
+        let (fa, fb) = layer.backward(&cache, &g).unwrap();
+        let (sa, sb) = layer.backward_naive(&cache, &g).unwrap();
+        assert_bits_eq(&fa, &sa);
+        assert_bits_eq(&fb, &sb);
     }
 
     #[test]
