@@ -1,0 +1,91 @@
+//! `bench_serve` — load-test the recognition service across worker
+//! widths and write a `taor-bench-serve-perf-v1` record.
+//!
+//! ```text
+//! bench_serve [--widths 1,4] [--requests N] [--clients N] [--seed N]
+//!             [--no-siamese] [--chaos] [--json PATH]
+//! ```
+
+use taor_bench::{run_serve_bench, ServeBenchConfig};
+
+const USAGE: &str = "bench_serve: recognition-service load generator
+  --widths W1,W2   worker widths to benchmark (default 1,4)
+  --requests N     well-formed requests per width (default 64)
+  --clients N      concurrent client threads (default 4)
+  --seed N         gallery + network seed (default 2019)
+  --no-siamese     cheap pipeline only (use in debug builds)
+  --chaos          interleave fault injectors with the load
+  --json PATH      write the record to PATH (default: stdout only)";
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
+    value
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag}: unparseable value"))
+}
+
+fn run() -> Result<(), String> {
+    let mut cfg = ServeBenchConfig::default();
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--widths" => {
+                let spec: String = parse("--widths", args.next())?;
+                cfg.widths = spec
+                    .split(',')
+                    .map(|w| w.trim().parse().map_err(|_| format!("--widths: bad width {w:?}")))
+                    .collect::<Result<_, _>>()?;
+                if cfg.widths.is_empty() {
+                    return Err("--widths: at least one width required".to_string());
+                }
+            }
+            "--requests" => cfg.requests = parse("--requests", args.next())?,
+            "--clients" => cfg.clients = parse("--clients", args.next())?,
+            "--seed" => cfg.seed = parse("--seed", args.next())?,
+            "--no-siamese" => cfg.siamese = false,
+            "--chaos" => cfg.chaos = true,
+            "--json" => json_path = Some(parse("--json", args.next())?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+
+    let record = run_serve_bench(&cfg);
+    for w in &record.widths {
+        println!(
+            "width {}: {} answered, {} ok, {} shed, {} timeouts, {} degraded, {} malformed, \
+             p50 {:.2} ms, p99 {:.2} ms, {:.1} req/s",
+            w.width,
+            w.requests,
+            w.ok,
+            w.shed,
+            w.timeouts,
+            w.degraded,
+            w.malformed,
+            w.p50_ms,
+            w.p99_ms,
+            w.req_per_sec
+        );
+    }
+    let json =
+        serde_json::to_string_pretty(&record).map_err(|e| format!("serialising record: {e}"))?;
+    if let Some(path) = json_path {
+        std::fs::write(&path, json.as_bytes()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("record written to {path}");
+    } else {
+        println!("{json}");
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("bench_serve: {msg}");
+        std::process::exit(2);
+    }
+}

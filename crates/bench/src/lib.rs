@@ -23,9 +23,11 @@
 pub mod extensions;
 pub mod perf;
 pub mod repro;
+pub mod serve_perf;
 
 pub use perf::{PerfRecord, TablePerf};
 pub use repro::{PreparedRepro, ReproConfig, TableOutput};
+pub use serve_perf::{run_serve_bench, ServeBenchConfig, ServePerfRecord, WidthPerf};
 
 use taor_core::prelude::*;
 

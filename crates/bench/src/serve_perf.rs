@@ -1,0 +1,268 @@
+//! Load generator for the recognition service (`bench_serve` binary).
+//!
+//! Spins up an in-process [`taor_serve::Server`] per worker width, fires
+//! a fixed request mix at it from concurrent client threads (optionally
+//! laced with chaos-harness faults), and records per-width latency
+//! percentiles, throughput and the shed/timeout/degraded counts into a
+//! versioned JSON record under `bench_records/`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use taor_core::wire::encode_rgb8;
+use taor_imgproc::image::RgbImage;
+use taor_serve::{chaos, RecognizerService, Server, ServerConfig, ServiceConfig};
+
+/// Schema tag written into every record.
+pub const SERVE_PERF_SCHEMA: &str = "taor-bench-serve-perf-v1";
+
+/// Load-test results at one worker-pool width.
+#[derive(Debug, Clone, Serialize)]
+pub struct WidthPerf {
+    /// Recognition worker threads in the server.
+    pub width: usize,
+    /// Well-formed requests fired.
+    pub requests: usize,
+    /// 200 answers.
+    pub ok: usize,
+    /// 429 answers (admission queue full).
+    pub shed: usize,
+    /// 504 answers (deadline missed).
+    pub timeouts: usize,
+    /// 200 answers whose body said `degraded: true`.
+    pub degraded: usize,
+    /// 400 answers to the deliberately malformed part of the mix.
+    pub malformed: usize,
+    /// Median request latency (well-formed requests only).
+    pub p50_ms: f64,
+    /// 99th-percentile request latency.
+    pub p99_ms: f64,
+    /// Well-formed requests answered per wall-clock second.
+    pub req_per_sec: f64,
+}
+
+/// One full `bench_serve` run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServePerfRecord {
+    /// Always [`SERVE_PERF_SCHEMA`].
+    pub schema: String,
+    /// Gallery/network seed the servers used.
+    pub seed: u64,
+    /// Whether the Siamese pipeline was enabled.
+    pub siamese: bool,
+    /// Whether chaos faults were interleaved with the load.
+    pub chaos: bool,
+    /// Results per worker width, in the order benchmarked.
+    pub widths: Vec<WidthPerf>,
+}
+
+/// Tunables for one load run.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Worker widths to benchmark, e.g. `[1, 4]`.
+    pub widths: Vec<usize>,
+    /// Well-formed requests per width.
+    pub requests: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Gallery/network seed.
+    pub seed: u64,
+    /// Run the full Siamese pipeline (debug builds: keep off).
+    pub siamese: bool,
+    /// Interleave chaos-harness faults with the load.
+    pub chaos: bool,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            widths: vec![1, 4],
+            requests: 64,
+            clients: 4,
+            seed: 2019,
+            siamese: true,
+            chaos: false,
+        }
+    }
+}
+
+fn bench_crop() -> Vec<u8> {
+    let mut img = RgbImage::new(48, 48);
+    for y in 0..48 {
+        for x in 0..48 {
+            img.put_pixel(x, y, [(x * 5) as u8, (y * 5) as u8, ((x + y) * 2) as u8]);
+        }
+    }
+    encode_rgb8(&img)
+}
+
+/// `q`-th percentile (0..=100) of `sorted` latencies, in milliseconds.
+fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted.get(rank.min(sorted.len() - 1)).map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0)
+}
+
+/// Run the load mix against one server and tally the outcome.
+fn bench_width(cfg: &ServeBenchConfig, width: usize) -> WidthPerf {
+    let service = Arc::new(
+        RecognizerService::new(ServiceConfig {
+            seed: cfg.seed,
+            use_siamese: cfg.siamese,
+            ..ServiceConfig::default()
+        })
+        .expect("service builds"),
+    );
+    let server = Server::spawn(
+        service,
+        ServerConfig { workers: width, queue_cap: 32, ..ServerConfig::default() },
+    )
+    .expect("server binds");
+    let addr = server.local_addr();
+    let crop = Arc::new(bench_crop());
+
+    let fired = Arc::new(AtomicUsize::new(0));
+    let total = cfg.requests;
+    let start = Instant::now();
+    let clients: Vec<_> = (0..cfg.clients.max(1))
+        .map(|c| {
+            let crop = Arc::clone(&crop);
+            let fired = Arc::clone(&fired);
+            let chaos_on = cfg.chaos;
+            std::thread::spawn(move || {
+                let mut latencies = Vec::new();
+                let (mut ok, mut shed, mut timeouts, mut degraded, mut malformed) =
+                    (0usize, 0usize, 0usize, 0usize, 0usize);
+                let mut i = 0usize;
+                // Ordering::Relaxed — a shared work counter; clients only
+                // need each increment to be unique, not ordered against
+                // any other memory.
+                while fired.fetch_add(1, Ordering::Relaxed) < total {
+                    // One client interleaves faults with its load when
+                    // chaos is on: every 8th request misbehaves.
+                    if chaos_on && c == 0 && i % 8 == 3 {
+                        let _ = chaos::truncated_body(addr);
+                        let _ = chaos::disconnect_mid_request(addr);
+                    }
+                    if chaos_on && i % 8 == 5 {
+                        if let Ok((status, _)) = chaos::post_crop(addr, b"not a TAOR buffer") {
+                            if status == 400 {
+                                malformed += 1;
+                            }
+                        }
+                    }
+                    let t0 = Instant::now();
+                    if let Ok((status, body)) = chaos::post_crop(addr, &crop) {
+                        latencies.push(t0.elapsed());
+                        match status {
+                            200 => {
+                                ok += 1;
+                                if body.windows(16).any(|w| w == b"\"degraded\":true,") {
+                                    degraded += 1;
+                                }
+                            }
+                            429 => shed += 1,
+                            504 => timeouts += 1,
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+                (latencies, ok, shed, timeouts, degraded, malformed)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let (mut ok, mut shed, mut timeouts, mut degraded, mut malformed) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
+    for h in clients {
+        let (l, o, s, t, d, m) = h.join().expect("client thread");
+        latencies.extend(l);
+        ok += o;
+        shed += s;
+        timeouts += t;
+        degraded += d;
+        malformed += m;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    latencies.sort_unstable();
+    let answered = latencies.len();
+    WidthPerf {
+        width,
+        requests: answered,
+        ok,
+        shed,
+        timeouts,
+        degraded,
+        malformed,
+        p50_ms: percentile_ms(&latencies, 50.0),
+        p99_ms: percentile_ms(&latencies, 99.0),
+        req_per_sec: if elapsed > 0.0 { answered as f64 / elapsed } else { 0.0 },
+    }
+}
+
+/// Benchmark every configured width and assemble the record.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServePerfRecord {
+    let widths = cfg.widths.iter().map(|&w| bench_width(cfg, w.max(1))).collect();
+    ServePerfRecord {
+        schema: SERVE_PERF_SCHEMA.to_string(),
+        seed: cfg.seed,
+        siamese: cfg.siamese,
+        chaos: cfg.chaos,
+        widths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn percentiles_on_small_sorted_sets() {
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+        let one = [Duration::from_millis(10)];
+        assert_eq!(percentile_ms(&one, 50.0), 10.0);
+        assert_eq!(percentile_ms(&one, 99.0), 10.0);
+        let four: Vec<Duration> = (1..=4).map(Duration::from_millis).collect();
+        assert_eq!(percentile_ms(&four, 0.0), 1.0);
+        assert_eq!(percentile_ms(&four, 100.0), 4.0);
+        assert!(percentile_ms(&four, 50.0) >= 2.0);
+    }
+
+    /// A tiny end-to-end load run: every well-formed request is
+    /// answered, the record round-trips through JSON.
+    #[test]
+    fn small_bench_run_produces_a_complete_record() {
+        let cfg = ServeBenchConfig {
+            widths: vec![1],
+            requests: 6,
+            clients: 2,
+            siamese: false,
+            chaos: false,
+            ..ServeBenchConfig::default()
+        };
+        let rec = run_serve_bench(&cfg);
+        assert_eq!(rec.widths.len(), 1);
+        let w = &rec.widths[0];
+        assert_eq!(w.width, 1);
+        assert!(w.ok > 0, "some requests must be answered 200: {w:?}");
+        assert_eq!(w.ok + w.shed + w.timeouts, w.requests, "every answer tallied: {w:?}");
+        assert!(w.p99_ms >= w.p50_ms);
+
+        let json = serde_json::to_string_pretty(&rec).expect("serialises");
+        let v: Value = serde_json::from_str(&json).expect("parses back");
+        let Value::Map(fields) = &v else { panic!("record must be a JSON object") };
+        let get = |name: &str| serde::field(fields, name).expect(name);
+        assert_eq!(get("schema"), &Value::Str(SERVE_PERF_SCHEMA.into()));
+        let Value::Seq(widths) = get("widths") else { panic!("widths must be a list") };
+        assert_eq!(widths.len(), 1);
+    }
+}

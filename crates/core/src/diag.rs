@@ -19,6 +19,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct Diagnostics {
     nan_scores: AtomicU64,
     degraded: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 impl Diagnostics {
@@ -47,6 +49,27 @@ impl Diagnostics {
         }
     }
 
+    /// Record `n` requests shed at the admission boundary (bounded
+    /// queue full: the service answered 429 instead of queueing
+    /// unboundedly).
+    pub fn record_shed(&self, n: u64) {
+        if n > 0 {
+            // Ordering::Relaxed — a statistics counter: only the total
+            // matters, and it is read after the parallel section joins.
+            self.shed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` requests that missed their deadline (answered with a
+    /// typed timeout instead of stale work).
+    pub fn record_timeouts(&self, n: u64) {
+        if n > 0 {
+            // Ordering::Relaxed — a statistics counter: only the total
+            // matters, and it is read after the parallel section joins.
+            self.timeouts.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// NaN scores quarantined so far.
     pub fn nan_scores(&self) -> u64 {
         // Ordering::Relaxed — the pool's AcqRel completion latch already
@@ -61,20 +84,42 @@ impl Diagnostics {
         self.degraded.load(Ordering::Relaxed)
     }
 
-    /// Whether the run saw no quarantined NaNs and no fallbacks.
+    /// Requests shed at the admission boundary so far.
+    pub fn shed(&self) -> u64 {
+        // Ordering::Relaxed — the pool's AcqRel completion latch already
+        // orders these reads after every recording thread's writes.
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests that missed their deadline so far.
+    pub fn timeouts(&self) -> u64 {
+        // Ordering::Relaxed — the pool's AcqRel completion latch already
+        // orders these reads after every recording thread's writes.
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Whether the run saw no quarantined NaNs, no fallbacks, no shed
+    /// requests and no missed deadlines.
     pub fn is_clean(&self) -> bool {
-        self.nan_scores() == 0 && self.degraded() == 0
+        self.nan_scores() == 0 && self.degraded() == 0 && self.shed() == 0 && self.timeouts() == 0
     }
 
     /// Fold another ledger's counts into this one.
     pub fn merge(&self, other: &Diagnostics) {
         self.record_nan_scores(other.nan_scores());
         self.record_degraded(other.degraded());
+        self.record_shed(other.shed());
+        self.record_timeouts(other.timeouts());
     }
 
     /// Immutable snapshot for reporting.
     pub fn report(&self) -> DiagnosticsReport {
-        DiagnosticsReport { nan_scores: self.nan_scores(), degraded: self.degraded() }
+        DiagnosticsReport {
+            nan_scores: self.nan_scores(),
+            degraded: self.degraded(),
+            shed: self.shed(),
+            timeouts: self.timeouts(),
+        }
     }
 }
 
@@ -83,6 +128,8 @@ impl Clone for Diagnostics {
         Diagnostics {
             nan_scores: AtomicU64::new(self.nan_scores()),
             degraded: AtomicU64::new(self.degraded()),
+            shed: AtomicU64::new(self.shed()),
+            timeouts: AtomicU64::new(self.timeouts()),
         }
     }
 }
@@ -94,12 +141,19 @@ pub struct DiagnosticsReport {
     pub nan_scores: u64,
     /// Per-item fallback predictions emitted instead of aborting.
     pub degraded: u64,
+    /// Requests shed at the service admission boundary (HTTP 429).
+    #[serde(default)]
+    pub shed: u64,
+    /// Requests that missed their deadline (typed timeout responses).
+    #[serde(default)]
+    pub timeouts: u64,
 }
 
 impl DiagnosticsReport {
-    /// Whether the run saw no quarantined NaNs and no fallbacks.
+    /// Whether the run saw no quarantined NaNs, no fallbacks, no shed
+    /// requests and no missed deadlines.
     pub fn is_clean(&self) -> bool {
-        self.nan_scores == 0 && self.degraded == 0
+        self.nan_scores == 0 && self.degraded == 0 && self.shed == 0 && self.timeouts == 0
     }
 }
 
@@ -113,12 +167,16 @@ mod tests {
         assert!(d.is_clean());
         d.record_nan_scores(3);
         d.record_degraded(1);
+        d.record_shed(4);
+        d.record_timeouts(2);
         d.record_nan_scores(0); // no-op
         assert_eq!(d.nan_scores(), 3);
         assert_eq!(d.degraded(), 1);
+        assert_eq!(d.shed(), 4);
+        assert_eq!(d.timeouts(), 2);
         assert!(!d.is_clean());
         let r = d.report();
-        assert_eq!(r, DiagnosticsReport { nan_scores: 3, degraded: 1 });
+        assert_eq!(r, DiagnosticsReport { nan_scores: 3, degraded: 1, shed: 4, timeouts: 2 });
         assert!(!r.is_clean());
     }
 
@@ -128,10 +186,14 @@ mod tests {
         let b = Diagnostics::new();
         b.record_nan_scores(2);
         b.record_degraded(5);
+        b.record_shed(1);
+        b.record_timeouts(3);
         a.merge(&b);
         a.merge(&b);
         assert_eq!(a.nan_scores(), 4);
         assert_eq!(a.degraded(), 10);
+        assert_eq!(a.shed(), 2);
+        assert_eq!(a.timeouts(), 6);
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub enum Error {
     Feature(FeatureError),
     /// A neural-network operation failed.
     Nn(TensorError),
+    /// A wire-format crop buffer was malformed (service boundary).
+    Wire(crate::wire::WireError),
 }
 
 impl fmt::Display for Error {
@@ -53,6 +55,7 @@ impl fmt::Display for Error {
             Error::Img(e) => write!(f, "image processing: {e}"),
             Error::Feature(e) => write!(f, "feature extraction: {e}"),
             Error::Nn(e) => write!(f, "network: {e}"),
+            Error::Wire(e) => write!(f, "wire: {e}"),
         }
     }
 }
@@ -63,6 +66,7 @@ impl std::error::Error for Error {
             Error::Img(e) => Some(e),
             Error::Feature(e) => Some(e),
             Error::Nn(e) => Some(e),
+            Error::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -83,6 +87,12 @@ impl From<FeatureError> for Error {
 impl From<TensorError> for Error {
     fn from(e: TensorError) -> Self {
         Error::Nn(e)
+    }
+}
+
+impl From<crate::wire::WireError> for Error {
+    fn from(e: crate::wire::WireError) -> Self {
+        Error::Wire(e)
     }
 }
 

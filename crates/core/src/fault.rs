@@ -24,6 +24,7 @@ use crate::pipeline::{
 use crate::preprocess::{Background, Preprocessed};
 use crate::shape_only::ShapeScorer;
 use crate::siamese::image_to_tensor;
+use crate::wire;
 use rand::{Rng, SeedableRng};
 use taor_data::{Dataset, DatasetKind, LabeledImage, ObjectClass};
 use taor_imgproc::histogram::HistCompare;
@@ -179,20 +180,24 @@ fn check_batch<T>(
     }
 }
 
-/// The corpus as a query dataset (labels are irrelevant; the harness
+/// A corpus as a query dataset (labels are irrelevant; the harness
 /// checks shape, not accuracy).
-fn corpus_dataset() -> Dataset {
-    let images = adversarial_corpus()
+fn images_to_dataset(images: Vec<RgbImage>) -> Dataset {
+    let images = images
         .into_iter()
         .enumerate()
-        .map(|(i, case)| LabeledImage {
-            image: case.image,
+        .map(|(i, image)| LabeledImage {
+            image,
             class: ObjectClass::from_index(i % ObjectClass::COUNT).unwrap_or(ObjectClass::Box),
             model_id: i,
             view_id: 0,
         })
         .collect();
     Dataset { kind: DatasetKind::NyuSet, images }
+}
+
+fn corpus_dataset() -> Dataset {
+    images_to_dataset(adversarial_corpus().into_iter().map(|c| c.image).collect())
 }
 
 /// Drive all five pipelines over the adversarial corpus against
@@ -202,7 +207,14 @@ fn corpus_dataset() -> Dataset {
 pub fn run_fault_injection(catalog: &Dataset) -> FaultReport {
     let diag = Diagnostics::new();
     let crops = corpus_dataset();
-    let queries = prepare_views(&crops, Background::Black);
+    let mut outcomes = drive_pipelines(&crops, catalog, &diag);
+    outcomes.extend(drive_stubs(&crops, catalog, &diag));
+    FaultReport { outcomes, diagnostics: diag.report() }
+}
+
+/// The five real pipelines over an arbitrary query dataset.
+fn drive_pipelines(crops: &Dataset, catalog: &Dataset, diag: &Diagnostics) -> Vec<PipelineOutcome> {
+    let queries = prepare_views(crops, Background::Black);
     let refs = prepare_views(catalog, Background::White);
     let n = queries.len();
     let mut outcomes = Vec::new();
@@ -210,31 +222,31 @@ pub fn run_fault_injection(catalog: &Dataset) -> FaultReport {
     // (i) shape-only and (ii) colour-only: per-view argmin matching.
     let shape = ShapeScorer { mode: MatchShapesMode::I3 };
     outcomes.push(drive("shape-only", || {
-        check_batch(try_classify_per_view(&queries, &refs, &shape, &diag), n)
+        check_batch(try_classify_per_view(&queries, &refs, &shape, diag), n)
     }));
     let color = ColorScorer { metric: HistCompare::Hellinger };
     outcomes.push(drive("color-only", || {
-        check_batch(try_classify_per_view(&queries, &refs, &color, &diag), n)
+        check_batch(try_classify_per_view(&queries, &refs, &color, diag), n)
     }));
 
     // (iii) hybrid, every aggregation rule.
     let hybrid_cfg = HybridConfig::default();
     for agg in Aggregation::ALL {
         outcomes.push(drive(agg.label(), || {
-            check_batch(try_classify_hybrid(&queries, &refs, &hybrid_cfg, agg, &diag), n)
+            check_batch(try_classify_hybrid(&queries, &refs, &hybrid_cfg, agg, diag), n)
         }));
     }
 
     // (iv) descriptor matching (ORB: the cheapest family; featureless
     // constant crops must fall back, not abort).
     outcomes.push(drive("descriptors-orb", || {
-        let q_idx = extract_index(&crops, DescriptorKind::Orb);
+        let q_idx = extract_index(crops, DescriptorKind::Orb);
         let r_idx = extract_index(catalog, DescriptorKind::Orb);
-        check_batch(try_classify_descriptors(&q_idx, &r_idx, 0.75, &diag), n)
+        check_batch(try_classify_descriptors(&q_idx, &r_idx, 0.75, diag), n)
     }));
 
     // (v) siamese: an untrained Normalized-X-Corr forward pass over every
-    // adversarial crop (resize + tensorise + full net), plus the
+    // query crop (resize + tensorise + full net), plus the
     // undersized-input error path.
     outcomes.push(drive("siamese-forward", || {
         let cfg = NetConfig {
@@ -250,10 +262,10 @@ pub fn run_fault_injection(catalog: &Dataset) -> FaultReport {
         let reference_img =
             catalog.images.first().map(|i| &i.image).ok_or("catalog has no images")?;
         let reference = image_to_tensor(reference_img, &cfg);
-        for case in adversarial_corpus() {
-            let t = image_to_tensor(&case.image, &cfg);
+        for (i, labeled) in crops.images.iter().enumerate() {
+            let t = image_to_tensor(&labeled.image, &cfg);
             net.predict_similar(&t, &reference)
-                .map_err(|e| format!("{}: forward failed: {e}", case.name))?;
+                .map_err(|e| format!("crop #{i}: forward failed: {e}"))?;
         }
         match NormXCorrNet::new(NetConfig { height: 6, width: 6, ..cfg }) {
             Err(TensorError::InputTooSmall { .. }) => {
@@ -264,10 +276,22 @@ pub fn run_fault_injection(catalog: &Dataset) -> FaultReport {
         }
     }));
 
+    outcomes
+}
+
+/// The score-poisoning and empty-reference stubs: failure modes that
+/// live below the image boundary.
+fn drive_stubs(crops: &Dataset, _catalog: &Dataset, diag: &Diagnostics) -> Vec<PipelineOutcome> {
+    let queries = prepare_views(crops, Background::Black);
+    let refs = prepare_views(crops, Background::White);
+    let n = queries.len();
+    let shape = ShapeScorer { mode: MatchShapesMode::I3 };
+    let mut outcomes = Vec::new();
+
     // NaN-score stub: ranking must quarantine, not panic.
     outcomes.push(drive("nan-scorer", || {
-        let top1 = try_classify_per_view(&queries, &refs, &NanScorer, &diag);
-        let ranked = try_classify_per_view_ranked(&queries, &refs, &NanScorer, &diag);
+        let top1 = try_classify_per_view(&queries, &refs, &NanScorer, diag);
+        let ranked = try_classify_per_view_ranked(&queries, &refs, &NanScorer, diag);
         check_batch(top1, n)?;
         match ranked {
             Ok(r) if r.iter().all(|perm| perm.len() == ObjectClass::COUNT) => {
@@ -280,19 +304,161 @@ pub fn run_fault_injection(catalog: &Dataset) -> FaultReport {
 
     // Empty reference catalog: a typed error, never a panic or a guess.
     outcomes.push(drive("empty-reference", || {
-        match try_classify_per_view(&queries, &[], &shape, &diag) {
+        match try_classify_per_view(&queries, &[], &shape, diag) {
             Err(Error::EmptyReference(_)) => Ok("empty reference set rejected".into()),
             Err(e) => Err(format!("wrong error kind: {e}")),
             Ok(_) => Err("empty reference set produced predictions".into()),
         }
     }));
 
-    FaultReport { outcomes, diagnostics: diag.report() }
+    outcomes
 }
 
 /// Narrow helper for tests: prepared views of the adversarial corpus.
 pub fn adversarial_views() -> Vec<RefView> {
     prepare_views(&corpus_dataset(), Background::Black)
+}
+
+// ---------------------------------------------------------------------------
+// Service-shaped corpus: raw byte buffers, as a client would POST them.
+// ---------------------------------------------------------------------------
+
+/// Expected wire-boundary outcome for a service-shaped buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceExpect {
+    /// Decodes into a usable crop (possibly with quarantined samples).
+    Decodes,
+    /// Rejected at the wire boundary with a typed [`WireError`].
+    ///
+    /// [`WireError`]: crate::wire::WireError
+    Rejected,
+}
+
+/// One named service-shaped input: the exact bytes a client would put
+/// in a request body.
+#[derive(Debug, Clone)]
+pub struct ServiceCase {
+    /// Short name used in failure reports.
+    pub name: &'static str,
+    /// The raw body bytes.
+    pub bytes: Vec<u8>,
+    /// What the wire decoder must do with them.
+    pub expect: ServiceExpect,
+}
+
+/// A bare wire header with the given format tag and dimensions.
+fn wire_header(format_tag: u8, width: u32, height: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(wire::WIRE_HEADER_LEN);
+    out.extend_from_slice(&wire::WIRE_MAGIC);
+    out.push(wire::WIRE_VERSION);
+    out.push(format_tag);
+    out.extend_from_slice(&width.to_le_bytes());
+    out.extend_from_slice(&height.to_le_bytes());
+    out
+}
+
+/// The service-shaped corpus: everything a hostile, buggy or flaky
+/// client can put on the wire. Deterministic, so failures reproduce.
+pub fn service_corpus() -> Vec<ServiceCase> {
+    let mut gradient = RgbImage::new(48, 48);
+    for y in 0..48u32 {
+        for x in 0..48u32 {
+            gradient.put_pixel(x, y, [(x * 5) as u8, (y * 5) as u8, ((x + y) * 2) as u8]);
+        }
+    }
+    let valid = wire::encode_rgb8(&gradient);
+
+    // An 8x8 float crop with a repeating ramp, poisoned with NaN and
+    // infinity every seventh sample.
+    let poisoned: Vec<f32> = (0..8 * 8 * 3)
+        .map(|i| match i % 7 {
+            0 => f32::NAN,
+            3 => f32::INFINITY,
+            _ => (i % 192) as f32 / 191.0,
+        })
+        .collect();
+    let clean_f32: Vec<f32> = (0..8 * 8 * 3).map(|i| (i % 192) as f32 / 191.0).collect();
+
+    let mut truncated_header = valid.clone();
+    truncated_header.truncate(7);
+    let mut truncated_payload = valid.clone();
+    truncated_payload.truncate(valid.len() - 3);
+    let mut trailing = valid.clone();
+    trailing.extend_from_slice(&[0u8; 5]);
+    let mut bad_magic = valid.clone();
+    bad_magic[0] = b'X';
+    let mut bad_version = valid.clone();
+    bad_version[4] = 0;
+
+    let mut bad_format = wire_header(9, 4, 4);
+    bad_format.extend_from_slice(&[0u8; 4 * 4 * 3]);
+
+    vec![
+        ServiceCase { name: "valid_rgb8", bytes: valid, expect: ServiceExpect::Decodes },
+        ServiceCase {
+            name: "valid_f32",
+            bytes: wire::encode_f32(8, 8, &clean_f32),
+            expect: ServiceExpect::Decodes,
+        },
+        ServiceCase {
+            name: "nan_pixels_f32",
+            bytes: wire::encode_f32(8, 8, &poisoned),
+            expect: ServiceExpect::Decodes,
+        },
+        ServiceCase { name: "empty_body", bytes: Vec::new(), expect: ServiceExpect::Rejected },
+        ServiceCase {
+            name: "truncated_header",
+            bytes: truncated_header,
+            expect: ServiceExpect::Rejected,
+        },
+        ServiceCase {
+            name: "truncated_payload",
+            bytes: truncated_payload,
+            expect: ServiceExpect::Rejected,
+        },
+        ServiceCase { name: "trailing_bytes", bytes: trailing, expect: ServiceExpect::Rejected },
+        ServiceCase {
+            name: "zero_dimension_header",
+            bytes: wire_header(0, 0, 16),
+            expect: ServiceExpect::Rejected,
+        },
+        ServiceCase {
+            name: "oversized_dims_header",
+            bytes: wire_header(0, wire::MAX_WIRE_DIM + 1, 1),
+            expect: ServiceExpect::Rejected,
+        },
+        ServiceCase { name: "bad_magic", bytes: bad_magic, expect: ServiceExpect::Rejected },
+        ServiceCase { name: "bad_version", bytes: bad_version, expect: ServiceExpect::Rejected },
+        ServiceCase { name: "bad_format_tag", bytes: bad_format, expect: ServiceExpect::Rejected },
+    ]
+}
+
+/// Drive the service boundary under fault: decode every corpus buffer,
+/// asserting typed rejection for the malformed ones, then push every
+/// decodable crop through all five recognition pipelines. Never panics
+/// itself.
+pub fn run_service_fault_injection(catalog: &Dataset) -> FaultReport {
+    let diag = Diagnostics::new();
+    let mut outcomes = Vec::new();
+    let mut decoded: Vec<RgbImage> = Vec::new();
+    for case in service_corpus() {
+        let ServiceCase { name, bytes, expect } = case;
+        let dec = &mut decoded;
+        outcomes.push(drive(name, move || match (wire::decode_crop(&bytes), expect) {
+            (Ok((img, stats)), ServiceExpect::Decodes) => {
+                dec.push(img);
+                Ok(format!("decoded ({} samples quarantined)", stats.nan_pixels))
+            }
+            (Ok(_), ServiceExpect::Rejected) => Err("malformed buffer decoded successfully".into()),
+            (Err(Error::Wire(e)), ServiceExpect::Rejected) => Ok(format!("rejected: {e}")),
+            (Err(e), ServiceExpect::Rejected) => Err(format!("wrong error kind: {e}")),
+            (Err(e), ServiceExpect::Decodes) => Err(format!("unexpected rejection: {e}")),
+        }));
+    }
+    let crops = images_to_dataset(decoded);
+    outcomes.extend(drive_pipelines(&crops, catalog, &diag));
+    outcomes.extend(drive_stubs(&crops, catalog, &diag));
+    FaultReport { outcomes, diagnostics: diag.report() }
 }
 
 #[cfg(test)]
@@ -318,5 +484,35 @@ mod tests {
     fn nan_scorer_scores_nan() {
         let views = adversarial_views();
         assert!(NanScorer.score(&views[0].feat, &views[0].feat).is_nan());
+    }
+
+    #[test]
+    fn service_corpus_is_deterministic_and_covers_both_outcomes() {
+        let corpus = service_corpus();
+        assert!(corpus.len() >= 10);
+        assert!(corpus.iter().any(|c| c.expect == ServiceExpect::Decodes));
+        assert!(corpus.iter().filter(|c| c.expect == ServiceExpect::Rejected).count() >= 6);
+        let again = service_corpus();
+        for (a, b) in corpus.iter().zip(&again) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.bytes, b.bytes);
+        }
+    }
+
+    #[test]
+    fn service_decode_outcomes_match_expectations() {
+        for case in service_corpus() {
+            let res = wire::decode_crop(&case.bytes);
+            match case.expect {
+                ServiceExpect::Decodes => {
+                    assert!(res.is_ok(), "{} failed to decode: {res:?}", case.name)
+                }
+                ServiceExpect::Rejected => assert!(
+                    matches!(res, Err(Error::Wire(_))),
+                    "{} was not rejected with a wire error",
+                    case.name
+                ),
+            }
+        }
     }
 }

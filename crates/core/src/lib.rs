@@ -51,6 +51,7 @@ pub mod report;
 pub mod segment;
 pub mod shape_only;
 pub mod siamese;
+pub mod wire;
 
 /// Glob-import of the common pipeline API.
 pub mod prelude {
@@ -65,8 +66,8 @@ pub mod prelude {
         evaluate, evaluate_binary, random_baseline, BinaryEvaluation, ClassMetrics, Evaluation,
     };
     pub use crate::fault::{
-        adversarial_corpus, run_fault_injection, AdversarialCase, FaultReport, NanScorer,
-        PipelineOutcome,
+        adversarial_corpus, run_fault_injection, run_service_fault_injection, service_corpus,
+        AdversarialCase, FaultReport, NanScorer, PipelineOutcome, ServiceCase, ServiceExpect,
     };
     pub use crate::hybrid::{classify_hybrid, try_classify_hybrid, Aggregation, HybridConfig};
     pub use crate::pipeline::{
@@ -87,6 +88,10 @@ pub mod prelude {
     pub use crate::siamese::{
         evaluate_siamese, image_to_tensor, pairs_to_samples, train_siamese, try_train_siamese,
         CosineSiamese, SiameseConfig,
+    };
+    pub use crate::wire::{
+        decode_crop, encode_f32, encode_rgb8, DecodeStats, PixelFormat, WireError, MAX_WIRE_DIM,
+        WIRE_HEADER_LEN, WIRE_MAGIC, WIRE_VERSION,
     };
 }
 

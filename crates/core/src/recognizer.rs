@@ -15,6 +15,7 @@ use crate::hybrid::HybridConfig;
 use crate::pipeline::{prepare_views, MatchScorer, RefView};
 use crate::preprocess::{preprocess, Background, HIST_BINS};
 use crate::shape_only::ShapeScorer;
+use std::sync::Arc;
 use taor_data::{Dataset, ObjectClass};
 use taor_imgproc::cmp::nan_last_f64;
 use taor_imgproc::image::RgbImage;
@@ -51,14 +52,23 @@ pub struct Recognition {
     pub distances: [f64; ObjectClass::COUNT],
     /// The grounded synset of the top-1 label.
     pub synset: taor_data::Synset,
+    /// Whether this answer came from a fallback path (nothing matched:
+    /// uniform confidence) rather than a real ranking.
+    pub degraded: bool,
 }
 
 /// A ready-to-use recogniser over a prepared reference catalog.
+///
+/// The reference views are `Arc`-shared and the diagnostics ledger is
+/// too, so `Clone` is cheap: clones answer queries over the same
+/// precomputed gallery and fold their degradation counts into one
+/// shared ledger — exactly what a multi-worker service needs.
+#[derive(Clone)]
 pub struct Recognizer {
-    refs: Vec<RefView>,
+    refs: Arc<[RefView]>,
     method: Method,
     query_background: Background,
-    diag: Diagnostics,
+    diag: Arc<Diagnostics>,
 }
 
 impl Recognizer {
@@ -85,12 +95,32 @@ impl Recognizer {
         if catalog.is_empty() {
             return Err(Error::EmptyReference("reference catalog is empty"));
         }
-        Ok(Recognizer {
-            refs: prepare_views(catalog, Background::White),
+        Recognizer::from_shared_views(
+            prepare_views(catalog, Background::White).into(),
             method,
             query_background,
-            diag: Diagnostics::new(),
-        })
+        )
+    }
+
+    /// Build over already-prepared, `Arc`-shared reference views —
+    /// preprocess the gallery once at service startup, then hand the
+    /// same immutable views to any number of recognisers (one per
+    /// method, say) without re-extracting features.
+    pub fn from_shared_views(
+        refs: Arc<[RefView]>,
+        method: Method,
+        query_background: Background,
+    ) -> Result<Self> {
+        if refs.is_empty() {
+            return Err(Error::EmptyReference("reference catalog is empty"));
+        }
+        Ok(Recognizer { refs, method, query_background, diag: Arc::new(Diagnostics::new()) })
+    }
+
+    /// The shared reference views, for building further recognisers
+    /// over the same gallery.
+    pub fn shared_views(&self) -> Arc<[RefView]> {
+        Arc::clone(&self.refs)
     }
 
     /// Snapshot of the degradation counters accumulated over every
@@ -123,7 +153,7 @@ impl Recognizer {
         let q = preprocess(crop, self.query_background, HIST_BINS);
         let mut best = [f64::INFINITY; ObjectClass::COUNT];
         let mut nan_seen = 0u64;
-        for v in &self.refs {
+        for v in self.refs.iter() {
             let d = self.distance(&q, v);
             let i = v.class.index();
             if d.is_nan() {
@@ -143,8 +173,10 @@ impl Recognizer {
         // finite distances (0.5 = tie, → 1 as the gap grows).
         let d1 = best[order[0]];
         let d2 = best[order[1]];
+        let mut degraded = false;
         let confidence = if !d1.is_finite() {
             self.diag.record_degraded(1);
+            degraded = true;
             1.0 / ObjectClass::COUNT as f64 // nothing matched: uniform
         } else if !d2.is_finite() {
             1.0
@@ -154,7 +186,14 @@ impl Recognizer {
             1.0 - 0.5 * (-gap / scale).exp()
         };
 
-        Recognition { class, confidence, ranking, distances: best, synset: class.synset() }
+        Recognition {
+            class,
+            confidence,
+            ranking,
+            distances: best,
+            synset: class.synset(),
+            degraded,
+        }
     }
 
     /// Batch evaluation helper: top-k accuracy over labelled crops.
@@ -235,5 +274,36 @@ mod tests {
         let rec = r.recognize(&crop);
         assert!(rec.confidence.is_finite());
         assert_eq!(rec.ranking.len(), 10);
+        // The degraded flag agrees with the ledger.
+        assert_eq!(rec.degraded, r.diagnostics().degraded > 0);
+    }
+
+    #[test]
+    fn clones_share_the_gallery_and_the_ledger() {
+        let r = recognizer();
+        let clone = r.clone();
+        assert!(Arc::ptr_eq(&r.shared_views(), &clone.shared_views()));
+        // A degraded answer recorded through the clone is visible on the
+        // original's ledger: the counters are one shared ledger.
+        let rec = clone.recognize(&RgbImage::new(32, 32));
+        if rec.degraded {
+            assert!(r.diagnostics().degraded >= 1);
+        }
+        // Prepared views feed a second method with zero re-preprocessing.
+        let color = Recognizer::from_shared_views(
+            r.shared_views(),
+            Method::Color(ColorScorer::ALL[0]),
+            Background::Black,
+        )
+        .unwrap();
+        assert_eq!(color.reference_count(), 82);
+        assert!(color.recognize(&nyu_set_subsampled(2019, 1).images[0].image).ranking.len() == 10);
+    }
+
+    #[test]
+    fn empty_shared_views_are_a_typed_error() {
+        let res =
+            Recognizer::from_shared_views(Vec::new().into(), Method::default(), Background::Black);
+        assert!(matches!(res.err(), Some(Error::EmptyReference(_))));
     }
 }

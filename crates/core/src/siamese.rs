@@ -234,28 +234,15 @@ pub fn try_evaluate_siamese(
     Ok(evaluate_binary(&truth, &preds))
 }
 
-/// Stack `[1, …]` tensors into one `[B, …]` batch.
+/// Stack `[1, …]` tensors into one `[B, …]` batch
+/// ([`Tensor::stack_batch`], lifted into the crate error type).
 fn stack_rows(items: &[&Tensor]) -> crate::error::Result<Tensor> {
-    let s = items[0].shape();
-    let mut data = Vec::with_capacity(items.len() * items[0].len());
-    for t in items {
-        data.extend_from_slice(t.data());
-    }
-    let mut shape = s.to_vec();
-    shape[0] = items.len();
-    Ok(Tensor::from_vec(&shape, data)?)
+    Ok(Tensor::stack_batch(items)?)
 }
 
 /// Split a `[B, …]` batch back into `B` tensors of leading dimension 1.
 fn split_rows(batch: &Tensor) -> crate::error::Result<Vec<Tensor>> {
-    let s = batch.shape();
-    let n = s[0];
-    let plane = batch.len().checked_div(n).unwrap_or(0);
-    let mut shape = s.to_vec();
-    shape[0] = 1;
-    (0..n)
-        .map(|i| Ok(Tensor::from_vec(&shape, batch.data()[i * plane..(i + 1) * plane].to_vec())?))
-        .collect()
+    Ok(batch.split_batch()?)
 }
 
 // ---------------------------------------------------------------------

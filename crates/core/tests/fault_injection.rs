@@ -86,6 +86,81 @@ fn all_pipelines_survive_the_adversarial_corpus() {
 }
 
 // ---------------------------------------------------------------------
+// The service boundary: raw byte buffers through the wire decoder, the
+// decodable crops through every pipeline.
+// ---------------------------------------------------------------------
+
+#[test]
+fn all_pipelines_survive_the_service_corpus() {
+    let report = run_service_fault_injection(ref_catalog());
+    assert!(report.no_panics(), "service pipelines panicked: {:?}", report.failures());
+    assert!(report.all_well_formed(), "malformed service outputs: {:?}", report.failures());
+}
+
+#[test]
+fn service_corpus_decodables_run_every_pipeline_individually() {
+    // Beyond the aggregate harness: each decodable buffer, decoded by
+    // hand, through shape, colour, hybrid, descriptors and siamese.
+    let diag = Diagnostics::new();
+    let (net, cfg) = untrained_net();
+    let reference = image_to_tensor(&ref_catalog().images[0].image, cfg);
+    for case in service_corpus() {
+        let Ok((img, stats)) = decode_crop(&case.bytes) else { continue };
+        if case.name == "nan_pixels_f32" {
+            assert!(stats.nan_pixels > 0, "poisoned buffer must report quarantined samples");
+        }
+        let queries = [query_of(&img)];
+        let shape = ShapeScorer { mode: MatchShapesMode::I3 };
+        let color = ColorScorer { metric: HistCompare::Hellinger };
+        assert_eq!(
+            try_classify_per_view(&queries, ref_views(), &shape, &diag).unwrap().len(),
+            1,
+            "{}: shape-only",
+            case.name
+        );
+        assert_eq!(
+            try_classify_per_view(&queries, ref_views(), &color, &diag).unwrap().len(),
+            1,
+            "{}: color-only",
+            case.name
+        );
+        for agg in Aggregation::ALL {
+            let preds =
+                try_classify_hybrid(&queries, ref_views(), &HybridConfig::default(), agg, &diag)
+                    .unwrap();
+            assert_eq!(preds.len(), 1, "{}: hybrid {}", case.name, agg.label());
+        }
+        let ds = Dataset {
+            kind: DatasetKind::NyuSet,
+            images: vec![LabeledImage {
+                image: img.clone(),
+                class: ObjectClass::Box,
+                model_id: 0,
+                view_id: 0,
+            }],
+        };
+        let q_idx = extract_index(&ds, DescriptorKind::Orb);
+        let preds = try_classify_descriptors(&q_idx, ref_orb(), 0.75, &diag).unwrap();
+        assert_eq!(preds.len(), 1, "{}: descriptors", case.name);
+        let t = image_to_tensor(&img, cfg);
+        assert!(net.predict_similar(&t, &reference).is_ok(), "{}: siamese", case.name);
+    }
+}
+
+#[test]
+fn malformed_service_buffers_are_typed_wire_errors() {
+    for case in service_corpus() {
+        match (decode_crop(&case.bytes), case.expect) {
+            (Ok(_), ServiceExpect::Decodes) => {}
+            (Err(Error::Wire(_)), ServiceExpect::Rejected) => {}
+            (res, expect) => {
+                panic!("{}: expected {expect:?}, got {res:?}", case.name)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // NaN-injection regression: the eleven partial_cmp().expect() sorts used
 // to panic on the first NaN; now NaNs rank last and are counted.
 // ---------------------------------------------------------------------

@@ -15,8 +15,14 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` is result-producing inference code: the strict
 /// rule families apply there.
-const STRICT_CRATES: &[&str] =
-    &["crates/core", "crates/data", "crates/features", "crates/imgproc", "crates/nn"];
+const STRICT_CRATES: &[&str] = &[
+    "crates/core",
+    "crates/data",
+    "crates/features",
+    "crates/imgproc",
+    "crates/nn",
+    "crates/serve",
+];
 
 /// Top-level directories the workspace walk covers.
 const WALK_ROOTS: &[&str] = &["src", "tests", "examples", "crates", "vendor"];

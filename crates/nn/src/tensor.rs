@@ -193,6 +193,52 @@ impl Tensor {
         Ok(out)
     }
 
+    /// Stack same-shaped tensors along a fresh leading batch axis:
+    /// `B × [1, …] → [B, …]` (any leading dimension is replaced by the
+    /// item count; every other dimension must match the first item).
+    ///
+    /// This is the batched-inference entry point: callers assemble a
+    /// micro-batch of independent items, run it through the batch
+    /// kernels once, and split the result back with
+    /// [`Tensor::split_batch`]. Per-item values are bit-identical to
+    /// running each item alone — the layers fold per item, independent
+    /// of the batch grouping.
+    pub fn stack_batch(items: &[&Tensor]) -> Result<Tensor, TensorError> {
+        let Some(first) = items.first() else {
+            return Err(TensorError::EmptyTrainingSet);
+        };
+        let per_item: usize = first.shape().iter().skip(1).product();
+        let mut data = Vec::with_capacity(items.len() * per_item);
+        for t in items {
+            if t.shape().len() != first.shape().len() || t.shape()[1..] != first.shape()[1..] {
+                return Err(TensorError::ShapeMismatch {
+                    expected: first.shape().to_vec(),
+                    got: t.shape().to_vec(),
+                });
+            }
+            // Items may themselves carry a leading batch axis; flatten it.
+            data.extend_from_slice(t.data());
+        }
+        let mut shape = first.shape().to_vec();
+        shape[0] = data.len() / per_item.max(1);
+        Tensor::from_vec(&shape, data)
+    }
+
+    /// Undo [`Tensor::stack_batch`]: split `[B, …]` into `B` tensors of
+    /// leading dimension 1.
+    pub fn split_batch(&self) -> Result<Vec<Tensor>, TensorError> {
+        if self.shape.is_empty() {
+            return Err(TensorError::ShapeMismatch { expected: vec![0], got: vec![] });
+        }
+        let n = self.shape[0];
+        let plane = self.len().checked_div(n).unwrap_or(0);
+        let mut shape = self.shape.clone();
+        shape[0] = 1;
+        (0..n)
+            .map(|i| Tensor::from_vec(&shape, self.data[i * plane..(i + 1) * plane].to_vec()))
+            .collect()
+    }
+
     /// Transpose of a rank-2 tensor.
     pub fn transpose2(&self) -> Result<Tensor, TensorError> {
         if self.shape.len() != 2 {
@@ -291,6 +337,31 @@ mod tests {
         let mut a = Tensor::full(&[3], 7.0);
         a.zero();
         assert!(a.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn stack_and_split_batch_roundtrip() {
+        let a = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Tensor::from_vec(&[1, 2, 2], vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let batch = Tensor::stack_batch(&[&a, &b]).unwrap();
+        assert_eq!(batch.shape(), &[2, 2, 2]);
+        let parts = batch.split_batch().unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn stack_batch_flattens_nested_batches_and_validates() {
+        let a = Tensor::zeros(&[2, 3]); // already a 2-item batch
+        let b = Tensor::zeros(&[1, 3]);
+        let batch = Tensor::stack_batch(&[&a, &b]).unwrap();
+        assert_eq!(batch.shape(), &[3, 3]);
+        // Trailing-dimension mismatch is a typed error.
+        let c = Tensor::zeros(&[1, 4]);
+        assert!(matches!(Tensor::stack_batch(&[&a, &c]), Err(TensorError::ShapeMismatch { .. })));
+        // Empty input is a typed error, not a panic.
+        assert!(Tensor::stack_batch(&[]).is_err());
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Client-side fault injectors: every way a robot's flaky uplink can
+//! mistreat the server, packaged for the chaos tests and the load
+//! generator.
+//!
+//! Each injector opens a raw TCP connection and misbehaves in one
+//! specific way — truncated bodies, oversized declarations, slow-loris
+//! dribbles, mid-request disconnects — then reports what the server
+//! did. The contract under chaos is always the same: the server
+//! answers *something typed* (or observes the disconnect), never
+//! panics, and keeps answering well-formed requests afterwards.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// What a chaos client observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// The server answered with this status code.
+    Responded(u16),
+    /// The connection closed without a parseable response (fine for
+    /// clients that hung up first).
+    ConnectionClosed,
+    /// A socket error on the client side.
+    IoError(String),
+}
+
+/// Parse `HTTP/1.1 <code> ...` out of a raw response.
+fn parse_status(raw: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(raw).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    if !parts.next()?.starts_with("HTTP/1.") {
+        return None;
+    }
+    parts.next()?.parse().ok()
+}
+
+/// Body bytes after the blank line, if any.
+fn parse_body(raw: &[u8]) -> Vec<u8> {
+    raw.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| raw.get(i + 4..).unwrap_or(&[]).to_vec())
+        .unwrap_or_default()
+}
+
+fn connect(addr: SocketAddr) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    Ok(stream)
+}
+
+fn read_to_end(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    Ok(raw)
+}
+
+/// A well-formed request: write `raw`, half-close, read the response.
+/// Returns `(status, body)`.
+pub fn http_roundtrip(addr: SocketAddr, raw: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = connect(addr)?;
+    stream.write_all(raw)?;
+    stream.flush()?;
+    let response = read_to_end(&mut stream)?;
+    let status = parse_status(&response)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line"))?;
+    Ok((status, parse_body(&response)))
+}
+
+/// POST `body` to `path` with optional extra headers.
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut raw =
+        format!("POST {path} HTTP/1.1\r\nHost: taor\r\nContent-Length: {}\r\n", body.len());
+    for (name, value) in extra_headers {
+        raw.push_str(&format!("{name}: {value}\r\n"));
+    }
+    raw.push_str("\r\n");
+    let mut bytes = raw.into_bytes();
+    bytes.extend_from_slice(body);
+    http_roundtrip(addr, &bytes)
+}
+
+/// POST a wire crop to `/recognize`.
+pub fn post_crop(addr: SocketAddr, crop: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+    post(addr, "/recognize", crop, &[])
+}
+
+/// GET a path (for `/healthz`).
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+    http_roundtrip(addr, format!("GET {path} HTTP/1.1\r\nHost: taor\r\n\r\n").as_bytes())
+}
+
+fn outcome_of(res: std::io::Result<(u16, Vec<u8>)>) -> ChaosOutcome {
+    match res {
+        Ok((status, _)) => ChaosOutcome::Responded(status),
+        Err(e) if e.kind() == std::io::ErrorKind::InvalidData => ChaosOutcome::ConnectionClosed,
+        Err(e) => ChaosOutcome::IoError(e.to_string()),
+    }
+}
+
+/// Declare a large body, deliver a fraction, then half-close. The
+/// server must answer 400 (truncated) rather than hang or panic.
+pub fn truncated_body(addr: SocketAddr) -> ChaosOutcome {
+    let run = || -> std::io::Result<(u16, Vec<u8>)> {
+        let mut stream = connect(addr)?;
+        stream
+            .write_all(b"POST /recognize HTTP/1.1\r\nHost: taor\r\nContent-Length: 1000\r\n\r\n")?;
+        stream.write_all(&[0u8; 10])?;
+        stream.flush()?;
+        // Half-close: the server sees EOF mid-body.
+        stream.shutdown(std::net::Shutdown::Write)?;
+        let response = read_to_end(&mut stream)?;
+        parse_status(&response)
+            .map(|s| (s, parse_body(&response)))
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line"))
+    };
+    outcome_of(run())
+}
+
+/// Declare a body over the server's cap. Must be 413 before any body
+/// byte is transferred.
+pub fn oversized_declaration(addr: SocketAddr, over: usize) -> ChaosOutcome {
+    let run = || -> std::io::Result<(u16, Vec<u8>)> {
+        let mut stream = connect(addr)?;
+        stream.write_all(
+            format!("POST /recognize HTTP/1.1\r\nHost: taor\r\nContent-Length: {over}\r\n\r\n")
+                .as_bytes(),
+        )?;
+        stream.flush()?;
+        let response = read_to_end(&mut stream)?;
+        parse_status(&response)
+            .map(|s| (s, parse_body(&response)))
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line"))
+    };
+    outcome_of(run())
+}
+
+/// Dribble the request one small chunk at a time with `gap` pauses —
+/// the classic slow-loris. The server's read budget must cut it off
+/// with 408 (or a close), never an unbounded stall.
+pub fn slow_loris(addr: SocketAddr, chunks: usize, gap: Duration) -> ChaosOutcome {
+    let run = || -> std::io::Result<(u16, Vec<u8>)> {
+        let mut stream = connect(addr)?;
+        for _ in 0..chunks {
+            stream.write_all(b"X-Pad: y\r\n")?;
+            stream.flush()?;
+            std::thread::sleep(gap);
+        }
+        // Never sends the request line or the blank line.
+        let response = read_to_end(&mut stream)?;
+        parse_status(&response)
+            .map(|s| (s, parse_body(&response)))
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line"))
+    };
+    outcome_of(run())
+}
+
+/// Write half a request head and hang up. The server must treat the
+/// disconnect as that client's problem and move on.
+pub fn disconnect_mid_request(addr: SocketAddr) -> ChaosOutcome {
+    let run = || -> std::io::Result<()> {
+        let mut stream = connect(addr)?;
+        stream.write_all(b"POST /recogni")?;
+        stream.flush()?;
+        drop(stream);
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ChaosOutcome::ConnectionClosed,
+        Err(e) => ChaosOutcome::IoError(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_and_body_parse_from_raw_responses() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 1\r\n\r\n{\"error\":\"full\"}";
+        assert_eq!(parse_status(raw), Some(429));
+        assert_eq!(parse_body(raw), b"{\"error\":\"full\"}");
+        assert_eq!(parse_status(b"garbage"), None);
+        assert!(parse_body(b"no blank line").is_empty());
+    }
+}

@@ -1,0 +1,354 @@
+//! A minimal, defensive HTTP/1.1 subset — just enough wire protocol to
+//! carry one request and one response, hardened against the hostile
+//! byte streams the chaos harness throws at it.
+//!
+//! The parser is incremental and bounded everywhere: header bytes are
+//! capped, the body is read to an exact declared `Content-Length`
+//! (bounded by [`HttpLimits::max_body`]), every read is cut off by the
+//! caller-supplied [`Deadline`], and each failure is a typed
+//! [`HttpError`] the server maps to a precise status code. No routing,
+//! no keep-alive, no chunked encoding: one request, one response, one
+//! connection.
+
+use crate::robust::Deadline;
+use std::io::{Read, Write};
+
+/// Transport bounds for one connection.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Maximum accepted `Content-Length`; beyond it the request is a
+    /// 413 before any body byte is read.
+    pub max_body: usize,
+    /// Maximum header-section bytes before the request is malformed.
+    pub max_header_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        // 2 MiB fits any plausible segmented crop (a full 256x256 RGBF32
+        // crop is 768 KiB); headers never legitimately reach 8 KiB.
+        HttpLimits { max_body: 2 << 20, max_header_bytes: 8 << 10 }
+    }
+}
+
+/// Typed transport failures, each with its own HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Unparseable request head (400).
+    Malformed(&'static str),
+    /// Declared body larger than [`HttpLimits::max_body`] (413).
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The client went quiet before delivering what it declared (408).
+    Timeout,
+    /// The client disconnected mid-request.
+    Disconnected,
+    /// Any other socket error.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::BodyTooLarge { declared, max } => {
+                write!(f, "declared body of {declared} bytes exceeds the {max}-byte limit")
+            }
+            HttpError::Timeout => write!(f, "client did not deliver the request in time"),
+            HttpError::Disconnected => write!(f, "client disconnected mid-request"),
+            HttpError::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, verbatim, query string included.
+    pub path: String,
+    /// Lower-cased header names with their raw values.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// One response ready to serialise.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Length`/`Connection`.
+    pub headers: Vec<(&'static str, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: vec![("Content-Type", "application/json".into())],
+            body: body.into(),
+        }
+    }
+
+    /// The standard error body: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let quoted =
+            serde_json::to_string(&message.to_string()).unwrap_or_else(|_| "\"error\"".to_string());
+        Response::json(status, format!("{{\"error\":{quoted}}}"))
+    }
+}
+
+/// Canonical reason phrases for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Read one byte, treating timeout-ish kinds as [`HttpError::Timeout`]
+/// and EOF as [`HttpError::Disconnected`].
+fn read_some<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, HttpError> {
+    loop {
+        match r.read(buf) {
+            Ok(0) => return Err(HttpError::Disconnected),
+            Ok(n) => return Ok(n),
+            Err(e) => match e.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                    return Err(HttpError::Timeout)
+                }
+                std::io::ErrorKind::Interrupted => continue,
+                kind => return Err(HttpError::Io(kind)),
+            },
+        }
+    }
+}
+
+/// Read a full request, hard-bounded by `limits` and `read_deadline`.
+///
+/// The deadline covers the whole request (head and body): the
+/// per-socket read timeout bounds each individual `read`, and this
+/// bound stops the slow-loris client that dribbles one byte per
+/// interval forever.
+pub fn read_request<R: Read>(
+    r: &mut R,
+    limits: &HttpLimits,
+    read_deadline: &Deadline,
+) -> Result<Request, HttpError> {
+    // Head: accumulate until the blank line, bounded in bytes and time.
+    let mut head: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let split = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() > limits.max_header_bytes {
+            return Err(HttpError::Malformed("header section too large"));
+        }
+        if read_deadline.expired() {
+            return Err(HttpError::Timeout);
+        }
+        let n = read_some(r, &mut chunk)?;
+        head.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+    };
+    let (head_bytes, rest) = head.split_at(split);
+    let mut body: Vec<u8> = rest.get(4..).unwrap_or(&[]).to_vec(); // skip "\r\n\r\n"
+
+    let head_str = std::str::from_utf8(head_bytes)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 request head"))?;
+    let mut lines = head_str.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::Malformed("empty request line"))?.to_string();
+    let path = parts.next().ok_or(HttpError::Malformed("request line has no path"))?.to_string();
+    let version = parts.next().ok_or(HttpError::Malformed("request line has no version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header line without a colon"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => {
+            v.parse::<usize>().map_err(|_| HttpError::Malformed("unparseable Content-Length"))?
+        }
+    };
+    if content_length > limits.max_body {
+        return Err(HttpError::BodyTooLarge { declared: content_length, max: limits.max_body });
+    }
+    if body.len() > content_length {
+        return Err(HttpError::Malformed("more body bytes than Content-Length"));
+    }
+
+    while body.len() < content_length {
+        if read_deadline.expired() {
+            return Err(HttpError::Timeout);
+        }
+        let n = read_some(r, &mut chunk)?;
+        let need = content_length - body.len();
+        if n > need {
+            return Err(HttpError::Malformed("more body bytes than Content-Length"));
+        }
+        body.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+    }
+
+    Ok(Request { method, path, headers, body })
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Serialise `resp` as an HTTP/1.1 close-delimited response.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(resp.body.len() + 256);
+    out.extend_from_slice(
+        format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status)).as_bytes(),
+    );
+    for (name, value) in &resp.headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
+    out.extend_from_slice(b"Connection: close\r\n\r\n");
+    out.extend_from_slice(&resp.body);
+    w.write_all(&out)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn deadline() -> Deadline {
+        Deadline::after(Duration::from_secs(5))
+    }
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut std::io::Cursor::new(raw.to_vec()), &HttpLimits::default(), &deadline())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /recognize HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/recognize");
+        assert_eq!(req.body, b"hello");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let raw = b"POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\nX-Taor-Test-Delay-Ms: 9\r\n\r\nok";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.body, b"ok");
+        assert_eq!(req.header("x-taor-test-delay-ms"), Some("9"));
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_heads() {
+        assert!(matches!(parse(b"\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(b"GET\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(parse(b"GET / SPDY/9\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_declaration_rejected_before_reading_the_body() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::BodyTooLarge { declared: 99999999, .. })));
+    }
+
+    #[test]
+    fn truncated_body_is_a_disconnect() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        assert_eq!(parse(raw), Err(HttpError::Disconnected));
+    }
+
+    #[test]
+    fn expired_deadline_times_out_an_incomplete_request() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\n".to_vec();
+        struct Stall(std::io::Cursor<Vec<u8>>);
+        impl Read for Stall {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.0.read(buf)?;
+                if n == 0 {
+                    // A live-but-silent client: each read "times out".
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                Ok(n)
+            }
+        }
+        let expired = Deadline::after(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let res =
+            read_request(&mut Stall(std::io::Cursor::new(raw)), &HttpLimits::default(), &expired);
+        assert_eq!(res, Err(HttpError::Timeout));
+    }
+
+    #[test]
+    fn response_roundtrips_with_length_and_close() {
+        let resp = Response::json(200, "{\"ok\":true}");
+        let mut out = Vec::new();
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_body_is_json() {
+        let resp = Response::error(429, "queue full");
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.body, b"{\"error\":\"queue full\"}");
+    }
+}

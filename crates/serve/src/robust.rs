@@ -1,0 +1,286 @@
+// taor-lint: allow(det::wall-clock) — deadlines, queue waits and shutdown polling are wall-clock by nature; nothing in this module feeds pipeline outputs, which stay a pure function of the request bytes.
+//! Robustness primitives: deadlines, bounded admission, panic walls.
+//!
+//! This module is the testable core of the service's overload story,
+//! deliberately free of any HTTP or recognition detail:
+//!
+//! * [`Deadline`] — a wall-clock budget carried by each request.
+//! * [`AdmissionQueue`] — a bounded MPMC queue whose `try_push` *sheds*
+//!   instead of blocking, and whose `pop_batch` hands workers up to a
+//!   micro-batch of items at once.
+//! * [`isolate`] — `catch_unwind` with the panic payload rendered to a
+//!   string, so one poisoned request cannot take the process down.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget. Requests carry one from admission to response;
+/// work that outlives it is answered with a typed timeout instead of
+/// being completed stale.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        let now = Instant::now();
+        Deadline { at: now.checked_add(budget).unwrap_or(now) }
+    }
+
+    /// Has the budget run out?
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Budget left, zero once expired.
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// Why [`AdmissionQueue::try_push`] refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue was at capacity: the caller must shed the request
+    /// (HTTP 429), not wait.
+    Shed {
+        /// Depth observed at rejection (== capacity).
+        depth: usize,
+    },
+    /// The queue was closed for shutdown.
+    Closed,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with explicit
+/// load-shedding and batched consumption.
+///
+/// Producers never block: a full queue is an [`AdmitError::Shed`] and
+/// the caller turns it into backpressure the client can see. Consumers
+/// block (bounded by a poll interval) and drain up to a micro-batch per
+/// wakeup.
+pub struct AdmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+/// A poisoned robustness-layer lock only means another thread panicked
+/// mid-push/pop; the queue's VecDeque is still structurally sound, so
+/// recover the guard instead of propagating the poison.
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `cap` items (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admit `item`, or refuse immediately: `Shed` at capacity,
+    /// `Closed` during shutdown. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), AdmitError> {
+        let mut st = relock(self.state.lock());
+        if st.closed {
+            return Err(AdmitError::Closed);
+        }
+        if st.items.len() >= self.cap {
+            return Err(AdmitError::Shed { depth: st.items.len() });
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Wait up to `wait` for work, then drain up to `max` items.
+    ///
+    /// `Some(batch)` may be empty (timeout: poll again); `None` means
+    /// the queue is closed *and* drained — the consumer should exit.
+    pub fn pop_batch(&self, max: usize, wait: Duration) -> Option<Vec<T>> {
+        let mut st = relock(self.state.lock());
+        if st.items.is_empty() {
+            if st.closed {
+                return None;
+            }
+            let (g, _timeout) = relock2(self.cv.wait_timeout(st, wait));
+            st = g;
+        }
+        if st.items.is_empty() {
+            return if st.closed { None } else { Some(Vec::new()) };
+        }
+        let take = max.max(1).min(st.items.len());
+        Some(st.items.drain(..take).collect())
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        relock(self.state.lock()).items.len()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Close for shutdown: producers get `Closed`, consumers drain the
+    /// remainder and then see `None`.
+    pub fn close(&self) {
+        relock(self.state.lock()).closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Has [`AdmissionQueue::close`] been called?
+    pub fn is_closed(&self) -> bool {
+        relock(self.state.lock()).closed
+    }
+}
+
+/// The `(guard, timeout-flag)` pair `Condvar::wait_timeout` returns.
+type TimedWait<'a, T> = (MutexGuard<'a, T>, std::sync::WaitTimeoutResult);
+
+/// [`relock`] for the `(guard, timeout-flag)` pair of `wait_timeout`.
+fn relock2<'a, T>(
+    r: Result<TimedWait<'a, T>, std::sync::PoisonError<TimedWait<'a, T>>>,
+) -> TimedWait<'a, T> {
+    r.unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `f` behind a panic wall. A panic becomes an `Err` carrying the
+/// rendered payload; the caller answers that one request with a 500 and
+/// keeps serving.
+pub fn isolate<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn deadline_expires_and_reports_remaining() {
+        let d = Deadline::after(Duration::from_millis(30));
+        assert!(!d.expired());
+        assert!(d.remaining() <= Duration::from_millis(30));
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn queue_sheds_at_capacity_instead_of_blocking() {
+        let q = AdmissionQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(AdmitError::Shed { depth: 2 }));
+        assert_eq!(q.depth(), 2);
+        let batch = q.pop_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn pop_batch_respects_the_micro_batch_cap() {
+        let q = AdmissionQueue::new(8);
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(4, Duration::ZERO).unwrap().len(), 4);
+        assert_eq!(q.pop_batch(4, Duration::ZERO).unwrap().len(), 2);
+        assert!(q.pop_batch(4, Duration::from_millis(5)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn close_rejects_producers_and_drains_consumers() {
+        let q = AdmissionQueue::new(4);
+        q.try_push("job").unwrap();
+        q.close();
+        assert_eq!(q.try_push("late"), Err(AdmitError::Closed));
+        assert_eq!(q.pop_batch(4, Duration::ZERO), Some(vec!["job"]));
+        assert_eq!(q.pop_batch(4, Duration::ZERO), None);
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let q = Arc::new(AdmissionQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            // Long wait: only the close() should end it promptly.
+            q2.pop_batch(4, Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn queue_is_mpmc_and_loses_nothing() {
+        let q = Arc::new(AdmissionQueue::new(1024));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        while q.try_push(p * 100 + i).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match q.pop_batch(16, Duration::from_millis(20)) {
+                            None => break got,
+                            Some(batch) => got.extend(batch),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<i32> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let expect: Vec<i32> = (0..4).flat_map(|p| (0..100).map(move |i| p * 100 + i)).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn isolate_turns_panics_into_errors() {
+        assert_eq!(isolate(|| 7), Ok(7));
+        let err = isolate(|| panic!("poisoned request {}", 3)).unwrap_err();
+        assert!(err.contains("poisoned request 3"));
+    }
+}

@@ -1,0 +1,437 @@
+//! The recognition service: precomputed gallery artifacts behind a
+//! deterministic, degradable `recognize` entry point.
+//!
+//! Everything immutable is built once at startup and `Arc`-shared from
+//! then on: the preprocessed reference views (histograms, Hu moments,
+//! contours) inside the fallback [`Recognizer`], the seeded
+//! Normalized-X-Corr network, and the gallery's tower embeddings. A
+//! request therefore costs one crop decode, one (optionally
+//! micro-batched) tower forward and a head sweep over the gallery —
+//! never a re-preparation of the reference set.
+//!
+//! The degrade ladder: the Siamese pipeline is the primary answer;
+//! when it fails with a typed error (or is deliberately skipped
+//! because the request's remaining deadline budget is too small), the
+//! service answers from the cheap histogram/Hu pipelines instead and
+//! labels the response `degraded: true`. Every fallback is counted in
+//! the shared [`Diagnostics`] ledger.
+
+use taor_core::prelude::*;
+use taor_core::wire::{decode_crop, DecodeStats};
+use taor_core::{Error, Result};
+use taor_data::{shapenet_set1, ObjectClass};
+use taor_imgproc::cmp::nan_last_f64;
+use taor_imgproc::image::RgbImage;
+use taor_nn::{NetConfig, NormXCorrNet, Tensor, TensorError};
+
+/// How the service is assembled.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Seed for the reference gallery and the network init.
+    pub seed: u64,
+    /// The cheap fallback pipeline (and the primary one when
+    /// `use_siamese` is off).
+    pub method: Method,
+    /// Whether the Siamese pipeline is the primary answer.
+    pub use_siamese: bool,
+    /// Network architecture. The default is a small deterministic net
+    /// sized for service latency, not accuracy.
+    pub net: NetConfig,
+    /// Chaos knob: force the Siamese step to fail with a typed error,
+    /// exercising the degrade ladder deterministically.
+    pub chaos_siamese_error: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            seed: 2019,
+            method: Method::default(),
+            use_siamese: true,
+            net: NetConfig {
+                height: 32,
+                width: 24,
+                c1: 4,
+                c2: 4,
+                c3: 4,
+                dense: 8,
+                ..NetConfig::default()
+            },
+            chaos_siamese_error: false,
+        }
+    }
+}
+
+/// One recognition answer, as serialised into the response body.
+///
+/// Deliberately free of timing fields: identical crop bytes must yield
+/// byte-identical bodies across thread widths and server spawns.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServiceResponse {
+    /// Top-1 class name.
+    pub class: String,
+    /// WordNet synset id of the top-1 class.
+    pub synset: String,
+    /// Softmin-margin confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Full hypothesis ranking, best first.
+    pub ranking: Vec<String>,
+    /// Which pipeline answered: `siamese`, `hybrid`, `shape`, `color`.
+    pub pipeline: String,
+    /// Whether this answer came from a fallback path.
+    pub degraded: bool,
+    /// Non-finite samples quarantined while decoding the crop.
+    pub quarantined_samples: u64,
+}
+
+/// The shared immutable artifacts plus the per-run ledger.
+pub struct RecognizerService {
+    fallback: Recognizer,
+    net: Option<NormXCorrNet>,
+    /// Tower embeddings of every gallery view, stacked `[N, …]`.
+    ref_embeds: Option<Tensor>,
+    /// Class of each stacked gallery view, row-aligned with
+    /// `ref_embeds`.
+    ref_classes: Vec<ObjectClass>,
+    cfg: ServiceConfig,
+    diag: Diagnostics,
+}
+
+fn method_label(method: &Method) -> &'static str {
+    match method {
+        Method::Shape(_) => "shape",
+        Method::Color(_) => "color",
+        Method::Hybrid(_) => "hybrid",
+    }
+}
+
+impl RecognizerService {
+    /// Build every immutable artifact once: reference views, network,
+    /// gallery embeddings.
+    pub fn new(cfg: ServiceConfig) -> Result<Self> {
+        let catalog = shapenet_set1(cfg.seed);
+        let fallback = Recognizer::try_new(&catalog, cfg.method, Background::Black)?;
+        let (net, ref_embeds, ref_classes) = if cfg.use_siamese {
+            let mut net_cfg = cfg.net.clone();
+            net_cfg.seed = cfg.seed;
+            let net = NormXCorrNet::new(net_cfg.clone())?;
+            let tensors: Vec<Tensor> =
+                catalog.images.iter().map(|li| image_to_tensor(&li.image, &net_cfg)).collect();
+            let views: Vec<&Tensor> = tensors.iter().collect();
+            let stacked = Tensor::stack_batch(&views)?;
+            let embeds = net.tower_embed(&stacked)?;
+            let classes = catalog.images.iter().map(|li| li.class).collect();
+            (Some(net), Some(embeds), classes)
+        } else {
+            (None, None, Vec::new())
+        };
+        Ok(RecognizerService {
+            fallback,
+            net,
+            ref_embeds,
+            ref_classes,
+            cfg,
+            diag: Diagnostics::new(),
+        })
+    }
+
+    /// A service over the same gallery artifacts and the same ledger.
+    /// `Recognizer` is `Arc`-shared internally, so this is cheap; the
+    /// network weights are cloned (small, immutable after init).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Number of reference views in the gallery.
+    pub fn reference_count(&self) -> usize {
+        self.fallback.reference_count()
+    }
+
+    /// Decode a wire crop (typed errors for malformed buffers).
+    pub fn decode(&self, bytes: &[u8]) -> Result<(RgbImage, DecodeStats)> {
+        decode_crop(bytes)
+    }
+
+    /// Merged degradation ledger: the fallback recogniser's counters
+    /// plus the service-level ones (shed, timeouts, siamese fallbacks).
+    pub fn diagnostics(&self) -> DiagnosticsReport {
+        let merged = Diagnostics::new();
+        merged.merge(&self.diag);
+        let r = self.fallback.diagnostics();
+        merged.record_nan_scores(r.nan_scores);
+        merged.record_degraded(r.degraded);
+        merged.record_shed(r.shed);
+        merged.record_timeouts(r.timeouts);
+        merged.report()
+    }
+
+    /// Record a request shed at the admission boundary.
+    pub fn record_shed(&self) {
+        self.diag.record_shed(1);
+    }
+
+    /// Record a request that missed its deadline.
+    pub fn record_timeout(&self) {
+        self.diag.record_timeouts(1);
+    }
+
+    /// Recognise one decoded crop. `allow_expensive` gates the Siamese
+    /// pipeline: overload control passes `false` to drop straight to
+    /// the cheap pipelines (a labelled degradation, not an error).
+    pub fn recognize_image(
+        &self,
+        img: &RgbImage,
+        stats: DecodeStats,
+        allow_expensive: bool,
+    ) -> ServiceResponse {
+        self.recognize_batch(&[(img.clone(), stats, allow_expensive)])
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| self.fallback_response(img, stats, true))
+    }
+
+    /// Recognise a micro-batch. All crops that may use the Siamese
+    /// pipeline share one batched tower forward; per-item results are
+    /// bit-identical regardless of how requests were grouped, so
+    /// batching never shows in the bodies.
+    pub fn recognize_batch(&self, items: &[(RgbImage, DecodeStats, bool)]) -> Vec<ServiceResponse> {
+        // Embed the expensive-path crops in one batched tower forward.
+        let mut embeds: Vec<Option<Tensor>> = vec![None; items.len()];
+        if let Some(net) = &self.net {
+            let expensive: Vec<usize> = items
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, _, allow))| *allow && !self.cfg.chaos_siamese_error)
+                .map(|(i, _)| i)
+                .collect();
+            if !expensive.is_empty() {
+                let tensors: Vec<Tensor> = expensive
+                    .iter()
+                    .filter_map(|&i| items.get(i))
+                    .map(|(img, _, _)| image_to_tensor(img, &net.config))
+                    .collect();
+                let views: Vec<&Tensor> = tensors.iter().collect();
+                if let Ok(batch_embed) = Tensor::stack_batch(&views).and_then(|b| {
+                    let e = net.tower_embed(&b)?;
+                    e.split_batch()
+                }) {
+                    for (&i, e) in expensive.iter().zip(batch_embed) {
+                        if let Some(slot) = embeds.get_mut(i) {
+                            *slot = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+
+        items
+            .iter()
+            .zip(embeds)
+            .map(|((img, stats, allow), embed)| {
+                if self.net.is_some() && *allow {
+                    match self.siamese_answer(embed, *stats) {
+                        Ok(resp) => resp,
+                        Err(_) => {
+                            // Typed pipeline failure: degrade to the
+                            // cheap pipelines, labelled and counted.
+                            self.diag.record_degraded(1);
+                            self.fallback_response(img, *stats, true)
+                        }
+                    }
+                } else if *allow {
+                    // The cheap pipeline IS the configured primary: a
+                    // normal answer, not a degradation.
+                    self.fallback_response(img, *stats, false)
+                } else {
+                    // Overload control skipped the expensive pipeline.
+                    self.diag.record_degraded(1);
+                    self.fallback_response(img, *stats, true)
+                }
+            })
+            .collect()
+    }
+
+    /// Score one embedded query against every gallery embedding and
+    /// rank per-class minima.
+    fn siamese_answer(&self, embed: Option<Tensor>, stats: DecodeStats) -> Result<ServiceResponse> {
+        if self.cfg.chaos_siamese_error {
+            return Err(Error::Nn(TensorError::EmptyTrainingSet));
+        }
+        let (net, refs) = match (&self.net, &self.ref_embeds) {
+            (Some(n), Some(r)) => (n, r),
+            _ => return Err(Error::EmptyReference("siamese gallery is not built")),
+        };
+        let embed = embed.ok_or(Error::Nn(TensorError::EmptyTrainingSet))?;
+        let n = self.ref_classes.len();
+        let repeated: Vec<&Tensor> = std::iter::repeat_n(&embed, n).collect();
+        let query_rows = Tensor::stack_batch(&repeated)?;
+        let probs = net.predict_similar_features(&query_rows, refs)?;
+
+        let mut best = [f64::INFINITY; ObjectClass::COUNT];
+        let mut nan_seen = 0u64;
+        for (class, p) in self.ref_classes.iter().zip(&probs) {
+            let d = 1.0 - f64::from(*p);
+            if d.is_nan() {
+                nan_seen += 1;
+            } else {
+                let slot = best.get_mut(class.index());
+                if let Some(slot) = slot {
+                    if d < *slot {
+                        *slot = d;
+                    }
+                }
+            }
+        }
+        self.diag.record_nan_scores(nan_seen);
+        let (ranking, confidence, degraded) = rank_distances(&best);
+        if degraded {
+            self.diag.record_degraded(1);
+        }
+        let class = ranking.first().copied().unwrap_or(ObjectClass::Box);
+        Ok(ServiceResponse {
+            class: class.name().to_string(),
+            synset: class.synset().id.to_string(),
+            confidence,
+            ranking: ranking.iter().map(|c| c.name().to_string()).collect(),
+            pipeline: "siamese".to_string(),
+            degraded,
+            quarantined_samples: stats.nan_pixels,
+        })
+    }
+
+    /// The cheap-pipeline answer (histograms/Hu via the shared
+    /// [`Recognizer`]).
+    fn fallback_response(
+        &self,
+        img: &RgbImage,
+        stats: DecodeStats,
+        degraded_by_ladder: bool,
+    ) -> ServiceResponse {
+        let rec = self.fallback.recognize(img);
+        ServiceResponse {
+            class: rec.class.name().to_string(),
+            synset: rec.synset.id.to_string(),
+            confidence: rec.confidence,
+            ranking: rec.ranking.iter().map(|c| c.name().to_string()).collect(),
+            pipeline: method_label(&self.cfg.method).to_string(),
+            degraded: degraded_by_ladder || rec.degraded,
+            quarantined_samples: stats.nan_pixels,
+        }
+    }
+}
+
+/// Ranking + softmin-margin confidence from per-class best distances —
+/// the same conventions as `Recognizer::recognize`, shared here for the
+/// siamese path. Returns `(ranking, confidence, degraded)`.
+fn rank_distances(best: &[f64; ObjectClass::COUNT]) -> (Vec<ObjectClass>, f64, bool) {
+    let mut order: Vec<usize> = (0..ObjectClass::COUNT).collect();
+    order.sort_by(|&a, &b| {
+        let (da, db) = (best.get(a), best.get(b));
+        match (da, db) {
+            (Some(x), Some(y)) => nan_last_f64(*x, *y),
+            _ => std::cmp::Ordering::Equal,
+        }
+    });
+    let ranking: Vec<ObjectClass> =
+        order.iter().copied().filter_map(ObjectClass::from_index).collect();
+    let d1 = order.first().and_then(|&i| best.get(i)).copied().unwrap_or(f64::INFINITY);
+    let d2 = order.get(1).and_then(|&i| best.get(i)).copied().unwrap_or(f64::INFINITY);
+    if !d1.is_finite() {
+        (ranking, 1.0 / ObjectClass::COUNT as f64, true)
+    } else if !d2.is_finite() {
+        (ranking, 1.0, false)
+    } else {
+        let gap = (d2 - d1).max(0.0);
+        let scale = d1.abs().max(1e-6);
+        (ranking, 1.0 - 0.5 * (-gap / scale).exp(), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taor_core::wire::encode_rgb8;
+    use taor_data::nyu_set_subsampled;
+
+    fn service(use_siamese: bool) -> RecognizerService {
+        RecognizerService::new(ServiceConfig { use_siamese, ..ServiceConfig::default() })
+            .expect("gallery builds")
+    }
+
+    fn crop() -> RgbImage {
+        nyu_set_subsampled(2019, 1).images[0].image.clone()
+    }
+
+    #[test]
+    fn siamese_answer_is_full_and_deterministic() {
+        let s = service(true);
+        let (img, stats) = s.decode(&encode_rgb8(&crop())).unwrap();
+        let a = s.recognize_image(&img, stats, true);
+        let b = s.recognize_image(&img, stats, true);
+        assert_eq!(a.pipeline, "siamese");
+        assert!(!a.degraded);
+        assert_eq!(a.ranking.len(), ObjectClass::COUNT);
+        assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn batched_and_single_answers_are_identical() {
+        let s = service(true);
+        let crops = nyu_set_subsampled(2019, 1);
+        let items: Vec<(RgbImage, DecodeStats, bool)> = crops
+            .images
+            .iter()
+            .take(4)
+            .map(|li| (li.image.clone(), DecodeStats::default(), true))
+            .collect();
+        let batched = s.recognize_batch(&items);
+        for (item, batched_resp) in items.iter().zip(&batched) {
+            let single = s.recognize_image(&item.0, item.1, true);
+            assert_eq!(
+                serde_json::to_string(&single).unwrap(),
+                serde_json::to_string(batched_resp).unwrap(),
+                "micro-batching must not change the answer"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_knob_degrades_with_a_label() {
+        let s = RecognizerService::new(ServiceConfig {
+            chaos_siamese_error: true,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let resp = s.recognize_image(&crop(), DecodeStats::default(), true);
+        assert!(resp.degraded, "forced siamese failure must be labelled");
+        assert_eq!(resp.pipeline, "hybrid");
+        assert!(s.diagnostics().degraded >= 1);
+    }
+
+    #[test]
+    fn overload_skip_degrades_with_a_label() {
+        let s = service(true);
+        let resp = s.recognize_image(&crop(), DecodeStats::default(), false);
+        assert!(resp.degraded);
+        assert_eq!(resp.pipeline, "hybrid");
+    }
+
+    #[test]
+    fn no_siamese_config_answers_with_the_cheap_pipeline() {
+        let s = service(false);
+        let resp = s.recognize_image(&crop(), DecodeStats::default(), true);
+        assert_eq!(resp.pipeline, "hybrid");
+        assert!(!resp.degraded, "the configured primary pipeline is not a degradation");
+    }
+
+    #[test]
+    fn shed_and_timeout_counters_reach_the_merged_report() {
+        let s = service(false);
+        s.record_shed();
+        s.record_shed();
+        s.record_timeout();
+        let d = s.diagnostics();
+        assert_eq!(d.shed, 2);
+        assert_eq!(d.timeouts, 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! SIGTERM/SIGINT → one atomic flag, with no signal-handling crate.
+//!
+//! The handler does the only thing that is async-signal-safe here: an
+//! atomic store. The binary's main loop polls [`shutdown_requested`]
+//! and runs the ordinary graceful-shutdown path — queued work drains,
+//! workers join, the process exits 0.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Has a termination signal arrived (or [`request_shutdown`] been
+/// called)?
+pub fn shutdown_requested() -> bool {
+    // Ordering::SeqCst — cold shutdown handoff; strongest ordering
+    // keeps the flag trivially correct.
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Trip the flag programmatically (tests, admin paths).
+pub fn request_shutdown() {
+    // Ordering::SeqCst — cold shutdown handoff; strongest ordering
+    // keeps the flag trivially correct.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Install the handler for SIGTERM and SIGINT. On non-unix targets
+/// this is a no-op (ctrl-c still kills the process, just not
+/// gracefully).
+pub fn install_handlers() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(unix)]
+mod unix {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`. std already links libc on unix targets,
+        /// so the symbol is always present.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// The handler body is a single atomic store — async-signal-safe.
+    extern "C" fn on_signal(_signum: i32) {
+        super::request_shutdown();
+    }
+
+    pub(super) fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal` is the POSIX C API with the documented
+        // signature; the handler passed is a valid `extern "C" fn(i32)`
+        // for the process's lifetime (a static item), and its body
+        // performs only an async-signal-safe atomic store.
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_shutdown_trips_the_flag() {
+        // Note: the flag is process-global; this test is the only one
+        // in the crate that trips it.
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

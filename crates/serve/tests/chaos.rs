@@ -1,0 +1,155 @@
+//! The chaos harness: every fault injector and the full service-shaped
+//! malformed-buffer corpus against a live server. The invariant under
+//! every attack is the same — a typed response (or an observed
+//! disconnect), no panic, and the server keeps answering well-formed
+//! requests afterwards.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use taor_core::prelude::{ServiceCase, ServiceExpect};
+use taor_core::service_corpus;
+use taor_core::wire::encode_rgb8;
+use taor_imgproc::image::RgbImage;
+use taor_serve::chaos::{self, ChaosOutcome};
+use taor_serve::{RecognizerService, Server, ServerConfig, ServiceConfig};
+
+fn crop_bytes() -> Vec<u8> {
+    let mut img = RgbImage::new(48, 48);
+    for y in 0..48 {
+        for x in 0..48 {
+            img.put_pixel(x, y, [(x * 3) as u8, (y * 4) as u8, 128]);
+        }
+    }
+    encode_rgb8(&img)
+}
+
+fn spawn(server_cfg: ServerConfig) -> Server {
+    let service = Arc::new(
+        RecognizerService::new(ServiceConfig { use_siamese: false, ..ServiceConfig::default() })
+            .expect("service builds"),
+    );
+    Server::spawn(service, server_cfg).expect("server binds")
+}
+
+/// The server is alive and sane: healthz 200, a valid crop answers 200.
+fn assert_still_serving(server: &Server, context: &str) {
+    let addr = server.local_addr();
+    let (status, _) = chaos::get(addr, "/healthz").unwrap_or_else(|e| {
+        panic!("healthz unreachable after {context}: {e}");
+    });
+    assert_eq!(status, 200, "healthz broken after {context}");
+    let (status, _) = chaos::post_crop(addr, &crop_bytes()).unwrap_or_else(|e| {
+        panic!("recognize unreachable after {context}: {e}");
+    });
+    assert_eq!(status, 200, "valid crops rejected after {context}");
+}
+
+/// Every buffer in the shared service corpus gets its contractual
+/// answer over HTTP: decodable crops 200, malformed buffers 400.
+#[test]
+fn service_corpus_over_http_maps_to_200_and_400() {
+    let server = spawn(ServerConfig::default());
+    let addr = server.local_addr();
+    for ServiceCase { name, bytes, expect } in service_corpus() {
+        let (status, body) = chaos::post_crop(addr, &bytes)
+            .unwrap_or_else(|e| panic!("case {name}: transport error {e}"));
+        match expect {
+            ServiceExpect::Decodes => {
+                assert_eq!(status, 200, "case {name} should decode and answer");
+                let text = String::from_utf8(body).unwrap();
+                if name == "nan_pixels_f32" {
+                    assert!(
+                        !text.contains("\"quarantined_samples\":0"),
+                        "case {name} must report quarantined samples: {text}"
+                    );
+                }
+            }
+            ServiceExpect::Rejected => {
+                assert_eq!(status, 400, "case {name} should be rejected as malformed");
+                let text = String::from_utf8(body).unwrap();
+                assert!(text.contains("bad crop"), "case {name} body: {text}");
+            }
+        }
+    }
+    assert_still_serving(&server, "the service corpus");
+    server.shutdown();
+}
+
+#[test]
+fn truncated_body_answers_400_and_the_server_survives() {
+    let server = spawn(ServerConfig::default());
+    let outcome = chaos::truncated_body(server.local_addr());
+    assert_eq!(outcome, ChaosOutcome::Responded(400), "truncated body must be a typed 400");
+    assert_still_serving(&server, "a truncated body");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_declaration_answers_413_and_the_server_survives() {
+    let server = spawn(ServerConfig::default());
+    let max = taor_serve::HttpLimits::default().max_body;
+    let outcome = chaos::oversized_declaration(server.local_addr(), max + 1);
+    assert_eq!(outcome, ChaosOutcome::Responded(413));
+    assert_still_serving(&server, "an oversized declaration");
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_off_by_the_read_budget() {
+    let server =
+        spawn(ServerConfig { read_budget: Duration::from_millis(300), ..ServerConfig::default() });
+    let start = std::time::Instant::now();
+    let outcome = chaos::slow_loris(server.local_addr(), 12, Duration::from_millis(100));
+    // The server must answer 408 or drop the connection — and must not
+    // let the dribbler hold a connection thread indefinitely.
+    match outcome {
+        ChaosOutcome::Responded(408)
+        | ChaosOutcome::ConnectionClosed
+        | ChaosOutcome::IoError(_) => {}
+        other => panic!("slow-loris got an unexpected outcome: {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "the read budget must bound a slow-loris connection"
+    );
+    assert_still_serving(&server, "a slow-loris client");
+    server.shutdown();
+}
+
+#[test]
+fn mid_request_disconnect_is_the_clients_problem() {
+    let server = spawn(ServerConfig::default());
+    for _ in 0..3 {
+        let outcome = chaos::disconnect_mid_request(server.local_addr());
+        assert!(
+            matches!(outcome, ChaosOutcome::ConnectionClosed | ChaosOutcome::IoError(_)),
+            "unexpected outcome: {outcome:?}"
+        );
+    }
+    assert_still_serving(&server, "mid-request disconnects");
+    server.shutdown();
+}
+
+/// The kitchen sink: all injectors interleaved with valid traffic, then
+/// a final health check. This is the chaos harness the issue asks for.
+#[test]
+fn interleaved_chaos_never_takes_the_server_down() {
+    let server =
+        spawn(ServerConfig { read_budget: Duration::from_millis(400), ..ServerConfig::default() });
+    let addr = server.local_addr();
+    for round in 0..2 {
+        let _ = chaos::truncated_body(addr);
+        assert_eq!(chaos::post_crop(addr, &crop_bytes()).unwrap().0, 200, "round {round}");
+        let _ = chaos::disconnect_mid_request(addr);
+        let _ = chaos::oversized_declaration(addr, 100 << 20);
+        for ServiceCase { bytes, .. } in service_corpus() {
+            let _ = chaos::post_crop(addr, &bytes);
+        }
+        assert_still_serving(&server, "an interleaved chaos round");
+    }
+    let (_, body) = chaos::get(addr, "/healthz").unwrap();
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"status\":\"ok\""), "final health: {text}");
+    server.shutdown();
+}
