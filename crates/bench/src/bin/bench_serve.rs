@@ -2,16 +2,21 @@
 //! widths and write a `taor-bench-serve-perf-v1` record.
 //!
 //! ```text
-//! bench_serve [--widths 1,4] [--requests N] [--clients N] [--seed N]
-//!             [--no-siamese] [--chaos] [--json PATH]
+//! bench_serve [--widths 1,4] [--modes close,keepalive] [--requests N]
+//!             [--clients N] [--seed N] [--no-siamese] [--chaos]
+//!             [--json PATH]
 //! ```
 
-use taor_bench::{run_serve_bench, ServeBenchConfig};
+use taor_bench::{run_serve_bench, ConnMode, ServeBenchConfig};
 
 const USAGE: &str = "bench_serve: recognition-service load generator
   --widths W1,W2   worker widths to benchmark (default 1,4)
-  --requests N     well-formed requests per width (default 64)
-  --clients N      concurrent client threads (default 4)
+  --modes M1,M2    connection modes per width: close (one TCP connection
+                   per request) and/or keepalive (each client thread
+                   reuses one connection) (default close,keepalive)
+  --requests N     well-formed requests per width+mode (default 64)
+  --clients N      concurrent client threads — and, in keepalive mode,
+                   the number of persistent connections (default 4)
   --seed N         gallery + network seed (default 2019)
   --no-siamese     cheap pipeline only (use in debug builds)
   --chaos          interleave fault injectors with the load
@@ -41,6 +46,17 @@ fn run() -> Result<(), String> {
                     return Err("--widths: at least one width required".to_string());
                 }
             }
+            "--modes" => {
+                let spec: String = parse("--modes", args.next())?;
+                cfg.modes = spec
+                    .split(',')
+                    .map(|m| m.trim().parse::<ConnMode>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--modes: {e}"))?;
+                if cfg.modes.is_empty() {
+                    return Err("--modes: at least one mode required".to_string());
+                }
+            }
             "--requests" => cfg.requests = parse("--requests", args.next())?,
             "--clients" => cfg.clients = parse("--clients", args.next())?,
             "--seed" => cfg.seed = parse("--seed", args.next())?,
@@ -58,9 +74,11 @@ fn run() -> Result<(), String> {
     let record = run_serve_bench(&cfg);
     for w in &record.widths {
         println!(
-            "width {}: {} answered, {} ok, {} shed, {} timeouts, {} degraded, {} malformed, \
-             p50 {:.2} ms, p99 {:.2} ms, {:.1} req/s",
+            "width {} [{}, {} conns]: {} answered, {} ok, {} shed, {} timeouts, {} degraded, \
+             {} malformed, p50 {:.2} ms, p99 {:.2} ms, {:.1} req/s",
             w.width,
+            w.mode,
+            w.connections,
             w.requests,
             w.ok,
             w.shed,

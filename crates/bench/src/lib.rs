@@ -27,7 +27,7 @@ pub mod serve_perf;
 
 pub use perf::{PerfRecord, TablePerf};
 pub use repro::{PreparedRepro, ReproConfig, TableOutput};
-pub use serve_perf::{run_serve_bench, ServeBenchConfig, ServePerfRecord, WidthPerf};
+pub use serve_perf::{run_serve_bench, ConnMode, ServeBenchConfig, ServePerfRecord, WidthPerf};
 
 use taor_core::prelude::*;
 

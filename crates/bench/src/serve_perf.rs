@@ -15,14 +15,54 @@ use taor_core::wire::encode_rgb8;
 use taor_imgproc::image::RgbImage;
 use taor_serve::{chaos, RecognizerService, Server, ServerConfig, ServiceConfig};
 
-/// Schema tag written into every record.
-pub const SERVE_PERF_SCHEMA: &str = "taor-bench-serve-perf-v1";
+/// Schema tag written into every record. v2 adds per-entry connection
+/// modes: `close` opens a fresh TCP connection per request (the PR 7
+/// baseline), `keepalive` reuses one connection per client thread for
+/// its whole share of the load.
+pub const SERVE_PERF_SCHEMA: &str = "taor-bench-serve-perf-v2";
 
-/// Load-test results at one worker-pool width.
+/// How the load generator's clients use connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnMode {
+    /// One TCP connection per request: connect, ask, read, close.
+    Close,
+    /// Each client thread keeps one connection open and sends its whole
+    /// share of requests down it.
+    KeepAlive,
+}
+
+impl ConnMode {
+    /// The token used in `--modes` and in the record.
+    pub fn token(self) -> &'static str {
+        match self {
+            ConnMode::Close => "close",
+            ConnMode::KeepAlive => "keepalive",
+        }
+    }
+}
+
+impl std::str::FromStr for ConnMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "close" => Ok(ConnMode::Close),
+            "keepalive" | "keep-alive" => Ok(ConnMode::KeepAlive),
+            other => Err(format!("unknown connection mode {other:?}")),
+        }
+    }
+}
+
+/// Load-test results at one (worker-pool width, connection mode) point.
 #[derive(Debug, Clone, Serialize)]
 pub struct WidthPerf {
     /// Recognition worker threads in the server.
     pub width: usize,
+    /// Connection mode: `close` or `keepalive`.
+    pub mode: String,
+    /// Connections the well-formed load used: one per request in
+    /// `close` mode, one per client thread in `keepalive` mode
+    /// (plus reconnects after server-side rotation).
+    pub connections: usize,
     /// Well-formed requests fired.
     pub requests: usize,
     /// 200 answers.
@@ -54,7 +94,7 @@ pub struct ServePerfRecord {
     pub siamese: bool,
     /// Whether chaos faults were interleaved with the load.
     pub chaos: bool,
-    /// Results per worker width, in the order benchmarked.
+    /// Results per (width, mode) pair, in the order benchmarked.
     pub widths: Vec<WidthPerf>,
 }
 
@@ -73,6 +113,8 @@ pub struct ServeBenchConfig {
     pub siamese: bool,
     /// Interleave chaos-harness faults with the load.
     pub chaos: bool,
+    /// Connection modes to benchmark at every width.
+    pub modes: Vec<ConnMode>,
 }
 
 impl Default for ServeBenchConfig {
@@ -84,6 +126,7 @@ impl Default for ServeBenchConfig {
             seed: 2019,
             siamese: true,
             chaos: false,
+            modes: vec![ConnMode::Close, ConnMode::KeepAlive],
         }
     }
 }
@@ -107,8 +150,41 @@ fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
     sorted.get(rank.min(sorted.len() - 1)).map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0)
 }
 
+/// One measured exchange in the chosen connection mode. In `keepalive`
+/// mode the connection is lazily (re)opened — a server-side rotation or
+/// error costs one reconnect, tallied by the caller.
+fn measured_post(
+    mode: ConnMode,
+    addr: std::net::SocketAddr,
+    conn: &mut Option<chaos::PersistentClient>,
+    reconnects: &mut usize,
+    crop: &[u8],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    match mode {
+        ConnMode::Close => chaos::post_crop(addr, crop),
+        ConnMode::KeepAlive => {
+            if conn.is_none() {
+                *conn = Some(chaos::PersistentClient::connect(addr)?);
+                *reconnects += 1;
+            }
+            let client = conn.as_mut().ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::NotConnected, "no connection")
+            })?;
+            match client.post_crop(crop) {
+                Ok(answer) => Ok(answer),
+                Err(e) => {
+                    // Rotation or breakage: drop the socket; the next
+                    // request reconnects.
+                    *conn = None;
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
 /// Run the load mix against one server and tally the outcome.
-fn bench_width(cfg: &ServeBenchConfig, width: usize) -> WidthPerf {
+fn bench_width(cfg: &ServeBenchConfig, width: usize, mode: ConnMode) -> WidthPerf {
     let service = Arc::new(
         RecognizerService::new(ServiceConfig {
             seed: cfg.seed,
@@ -137,6 +213,8 @@ fn bench_width(cfg: &ServeBenchConfig, width: usize) -> WidthPerf {
                 let mut latencies = Vec::new();
                 let (mut ok, mut shed, mut timeouts, mut degraded, mut malformed) =
                     (0usize, 0usize, 0usize, 0usize, 0usize);
+                let mut conn: Option<chaos::PersistentClient> = None;
+                let mut conns_used = 0usize;
                 let mut i = 0usize;
                 // Ordering::Relaxed — a shared work counter; clients only
                 // need each increment to be unique, not ordered against
@@ -147,6 +225,7 @@ fn bench_width(cfg: &ServeBenchConfig, width: usize) -> WidthPerf {
                     if chaos_on && c == 0 && i % 8 == 3 {
                         let _ = chaos::truncated_body(addr);
                         let _ = chaos::disconnect_mid_request(addr);
+                        let _ = chaos::smuggled_framing(addr);
                     }
                     if chaos_on && i % 8 == 5 {
                         if let Ok((status, _)) = chaos::post_crop(addr, b"not a TAOR buffer") {
@@ -156,7 +235,9 @@ fn bench_width(cfg: &ServeBenchConfig, width: usize) -> WidthPerf {
                         }
                     }
                     let t0 = Instant::now();
-                    if let Ok((status, body)) = chaos::post_crop(addr, &crop) {
+                    if let Ok((status, body)) =
+                        measured_post(mode, addr, &mut conn, &mut conns_used, &crop)
+                    {
                         latencies.push(t0.elapsed());
                         match status {
                             200 => {
@@ -170,24 +251,28 @@ fn bench_width(cfg: &ServeBenchConfig, width: usize) -> WidthPerf {
                             _ => {}
                         }
                     }
+                    if mode == ConnMode::Close {
+                        conns_used += 1;
+                    }
                     i += 1;
                 }
-                (latencies, ok, shed, timeouts, degraded, malformed)
+                (latencies, ok, shed, timeouts, degraded, malformed, conns_used)
             })
         })
         .collect();
 
     let mut latencies = Vec::new();
-    let (mut ok, mut shed, mut timeouts, mut degraded, mut malformed) =
-        (0usize, 0usize, 0usize, 0usize, 0usize);
+    let (mut ok, mut shed, mut timeouts, mut degraded, mut malformed, mut connections) =
+        (0usize, 0usize, 0usize, 0usize, 0usize, 0usize);
     for h in clients {
-        let (l, o, s, t, d, m) = h.join().expect("client thread");
+        let (l, o, s, t, d, m, cu) = h.join().expect("client thread");
         latencies.extend(l);
         ok += o;
         shed += s;
         timeouts += t;
         degraded += d;
         malformed += m;
+        connections += cu;
     }
     let elapsed = start.elapsed().as_secs_f64();
     server.shutdown();
@@ -196,6 +281,8 @@ fn bench_width(cfg: &ServeBenchConfig, width: usize) -> WidthPerf {
     let answered = latencies.len();
     WidthPerf {
         width,
+        mode: mode.token().to_string(),
+        connections,
         requests: answered,
         ok,
         shed,
@@ -208,9 +295,20 @@ fn bench_width(cfg: &ServeBenchConfig, width: usize) -> WidthPerf {
     }
 }
 
-/// Benchmark every configured width and assemble the record.
+/// Benchmark every configured (width, mode) pair and assemble the
+/// record: close-per-request first at each width, so the keep-alive
+/// entry that follows reads as the delta over the baseline.
 pub fn run_serve_bench(cfg: &ServeBenchConfig) -> ServePerfRecord {
-    let widths = cfg.widths.iter().map(|&w| bench_width(cfg, w.max(1))).collect();
+    let mut modes = cfg.modes.clone();
+    if modes.is_empty() {
+        modes.push(ConnMode::Close);
+    }
+    let widths = cfg
+        .widths
+        .iter()
+        .flat_map(|&w| modes.iter().map(move |&m| (w, m)))
+        .map(|(w, m)| bench_width(cfg, w.max(1), m))
+        .collect();
     ServePerfRecord {
         schema: SERVE_PERF_SCHEMA.to_string(),
         seed: cfg.seed,
@@ -237,8 +335,9 @@ mod tests {
         assert!(percentile_ms(&four, 50.0) >= 2.0);
     }
 
-    /// A tiny end-to-end load run: every well-formed request is
-    /// answered, the record round-trips through JSON.
+    /// A tiny end-to-end load run in both connection modes: every
+    /// well-formed request is answered, both modes are tallied, the
+    /// record round-trips through JSON.
     #[test]
     fn small_bench_run_produces_a_complete_record() {
         let cfg = ServeBenchConfig {
@@ -250,12 +349,24 @@ mod tests {
             ..ServeBenchConfig::default()
         };
         let rec = run_serve_bench(&cfg);
-        assert_eq!(rec.widths.len(), 1);
-        let w = &rec.widths[0];
-        assert_eq!(w.width, 1);
-        assert!(w.ok > 0, "some requests must be answered 200: {w:?}");
-        assert_eq!(w.ok + w.shed + w.timeouts, w.requests, "every answer tallied: {w:?}");
-        assert!(w.p99_ms >= w.p50_ms);
+        assert_eq!(rec.widths.len(), 2, "one entry per (width, mode) pair");
+        for w in &rec.widths {
+            assert_eq!(w.width, 1);
+            assert!(w.ok > 0, "some requests must be answered 200: {w:?}");
+            assert_eq!(w.ok + w.shed + w.timeouts, w.requests, "every answer tallied: {w:?}");
+            assert!(w.p99_ms >= w.p50_ms);
+            assert!(w.connections > 0, "connection usage must be counted: {w:?}");
+        }
+        let close = &rec.widths[0];
+        let keepalive = &rec.widths[1];
+        assert_eq!(close.mode, "close");
+        assert_eq!(keepalive.mode, "keepalive");
+        assert!(
+            keepalive.connections < close.connections,
+            "keep-alive must reuse connections: {} vs {}",
+            keepalive.connections,
+            close.connections
+        );
 
         let json = serde_json::to_string_pretty(&rec).expect("serialises");
         let v: Value = serde_json::from_str(&json).expect("parses back");
@@ -263,6 +374,16 @@ mod tests {
         let get = |name: &str| serde::field(fields, name).expect(name);
         assert_eq!(get("schema"), &Value::Str(SERVE_PERF_SCHEMA.into()));
         let Value::Seq(widths) = get("widths") else { panic!("widths must be a list") };
-        assert_eq!(widths.len(), 1);
+        assert_eq!(widths.len(), 2);
+    }
+
+    #[test]
+    fn conn_mode_tokens_roundtrip() {
+        assert_eq!("close".parse::<ConnMode>(), Ok(ConnMode::Close));
+        assert_eq!("keepalive".parse::<ConnMode>(), Ok(ConnMode::KeepAlive));
+        assert_eq!("keep-alive".parse::<ConnMode>(), Ok(ConnMode::KeepAlive));
+        assert!("quic".parse::<ConnMode>().is_err());
+        assert_eq!(ConnMode::Close.token(), "close");
+        assert_eq!(ConnMode::KeepAlive.token(), "keepalive");
     }
 }

@@ -59,14 +59,208 @@ fn read_to_end(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
 
 /// A well-formed request: write `raw`, half-close, read the response.
 /// Returns `(status, body)`.
+///
+/// The half-close is what makes one-shot clients coexist with the
+/// keep-alive server: after answering, the server's next read sees EOF
+/// and closes, so `read_to_end` terminates without waiting out the
+/// idle timeout.
 pub fn http_roundtrip(addr: SocketAddr, raw: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
     let mut stream = connect(addr)?;
     stream.write_all(raw)?;
     stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
     let response = read_to_end(&mut stream)?;
     let status = parse_status(&response)
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line"))?;
     Ok((status, parse_body(&response)))
+}
+
+/// A client that keeps one connection open across requests — the
+/// counterpart of the server's keep-alive path, used by the reuse and
+/// pipelining tests and `bench_serve`'s persistent mode.
+///
+/// Responses are framed by their `Content-Length` (never by EOF), so
+/// several can be read back-to-back off one socket in order.
+pub struct PersistentClient {
+    stream: TcpStream,
+    /// Response bytes read past the last parsed response.
+    buf: Vec<u8>,
+}
+
+impl PersistentClient {
+    /// Open a connection to reuse.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Ok(PersistentClient { stream: connect(addr)?, buf: Vec::new() })
+    }
+
+    /// Write raw request bytes without reading anything — the
+    /// pipelining primitive.
+    pub fn send_raw(&mut self, raw: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(raw)?;
+        self.stream.flush()
+    }
+
+    /// Serialise a request for this connection; `close` asks the server
+    /// to end the connection after answering.
+    pub fn request_bytes(
+        method: &str,
+        path: &str,
+        body: &[u8],
+        extra_headers: &[(&str, &str)],
+        close: bool,
+    ) -> Vec<u8> {
+        let mut raw = format!("{method} {path} HTTP/1.1\r\nHost: taor\r\n");
+        if !body.is_empty() || method == "POST" {
+            raw.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        for (name, value) in extra_headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        if close {
+            raw.push_str("Connection: close\r\n");
+        }
+        raw.push_str("\r\n");
+        let mut bytes = raw.into_bytes();
+        bytes.extend_from_slice(body);
+        bytes
+    }
+
+    /// One request-response exchange on the reused connection.
+    pub fn roundtrip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        close: bool,
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        self.send_raw(&Self::request_bytes(method, path, body, &[], close))?;
+        self.read_response()
+    }
+
+    /// POST a wire crop to `/recognize` on the reused connection.
+    pub fn post_crop(&mut self, crop: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+        self.roundtrip("POST", "/recognize", crop, false)
+    }
+
+    /// Read exactly one `Content-Length`-framed response; surplus bytes
+    /// (the next pipelined response) stay buffered.
+    pub fn read_response(&mut self) -> std::io::Result<(u16, Vec<u8>)> {
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        // Head: accumulate until the blank line.
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(bad("connection closed mid-response"));
+            }
+            self.buf.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+        };
+        let rest = self.buf.split_off(head_end + 4);
+        let head = std::mem::replace(&mut self.buf, rest);
+        let head_text = std::str::from_utf8(head.get(..head_end).unwrap_or(&[]))
+            .map_err(|_| bad("non-UTF-8 head"))?;
+        let status = parse_status(head_text.as_bytes()).ok_or_else(|| bad("no status line"))?;
+        let content_length: usize = head_text
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.trim().eq_ignore_ascii_case("content-length").then(|| value.trim())
+            })
+            .ok_or_else(|| bad("response without Content-Length"))?
+            .parse()
+            .map_err(|_| bad("unparseable Content-Length"))?;
+        // Body: exact bytes; surplus stays for the next response.
+        while self.buf.len() < content_length {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(bad("connection closed mid-body"));
+            }
+            self.buf.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+        }
+        let mut body = std::mem::take(&mut self.buf);
+        self.buf = body.split_off(content_length.min(body.len()));
+        Ok((status, body))
+    }
+
+    /// Has the server closed the connection? Waits up to two seconds
+    /// for the close to land. Call it at quiescence (no response
+    /// outstanding): a `false` may also mean unread bytes arrived.
+    pub fn server_closed(&mut self) -> bool {
+        let _ = self.stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let mut probe = [0u8; 1];
+        let closed = matches!(self.stream.read(&mut probe), Ok(0));
+        let _ = self.stream.set_read_timeout(Some(Duration::from_secs(30)));
+        closed
+    }
+}
+
+/// Pipelined burst: `n` requests written in one `write`, answered in
+/// order off the same socket. Returns each response's status, or the
+/// error that cut the burst short.
+pub fn pipelined_burst(addr: SocketAddr, n: usize) -> std::io::Result<Vec<u16>> {
+    let mut client = PersistentClient::connect(addr)?;
+    let mut burst = Vec::new();
+    for i in 0..n {
+        let close = i + 1 == n;
+        burst.extend_from_slice(&PersistentClient::request_bytes(
+            "GET",
+            "/healthz",
+            &[],
+            &[],
+            close,
+        ));
+    }
+    client.send_raw(&burst)?;
+    (0..n).map(|_| client.read_response().map(|(status, _)| status)).collect()
+}
+
+/// Half a request head, then silence with the socket held open — the
+/// patient cousin of the slow-loris. The server's read budget must
+/// answer 408 (or close), never leave the connection thread parked.
+pub fn half_request_then_idle(addr: SocketAddr, idle: Duration) -> ChaosOutcome {
+    let run = || -> std::io::Result<(u16, Vec<u8>)> {
+        let mut stream = connect(addr)?;
+        stream.write_all(b"POST /recognize HTTP/1.1\r\nHost: taor\r\nContent-Le")?;
+        stream.flush()?;
+        std::thread::sleep(idle);
+        let response = read_to_end(&mut stream)?;
+        parse_status(&response)
+            .map(|s| (s, parse_body(&response)))
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line"))
+    };
+    outcome_of(run())
+}
+
+/// Smuggling-shaped framing: two conflicting `Content-Length` headers,
+/// with a second request hidden where the larger length would put it.
+/// A safe server answers 400 and closes — the hidden request must never
+/// be parsed, let alone answered.
+pub fn smuggled_framing(addr: SocketAddr) -> (ChaosOutcome, bool) {
+    let run = || -> std::io::Result<(ChaosOutcome, bool)> {
+        let mut client = PersistentClient::connect(addr)?;
+        client.send_raw(
+            b"POST /recognize HTTP/1.1\r\nHost: taor\r\n\
+              Content-Length: 4\r\nContent-Length: 52\r\n\r\n\
+              AAAAGET /healthz HTTP/1.1\r\nHost: smuggled\r\n\r\n",
+        )?;
+        let outcome = match client.read_response() {
+            Ok((status, _)) => ChaosOutcome::Responded(status),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => ChaosOutcome::ConnectionClosed,
+            Err(e) => return Ok((ChaosOutcome::IoError(e.to_string()), false)),
+        };
+        // If a second response ever arrives, the hidden request was
+        // served: the smuggle landed.
+        let smuggle_answered = client.read_response().is_ok();
+        Ok((outcome, smuggle_answered))
+    };
+    match run() {
+        Ok(pair) => pair,
+        Err(e) => (ChaosOutcome::IoError(e.to_string()), false),
+    }
 }
 
 /// POST `body` to `path` with optional extra headers.

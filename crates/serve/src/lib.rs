@@ -29,6 +29,13 @@
 //! ([`robust::isolate`]): a panic in one request is that request's
 //! `500`, not the process's abort.
 //!
+//! Connections persist (DESIGN.md §11.4): HTTP/1.1 keep-alive is the
+//! default, pipelined requests are re-framed by [`http::ConnectionReader`]
+//! instead of rejected, and reuse is bounded by an idle timeout and a
+//! max-requests-per-connection cap. Ambiguous framing (duplicate
+//! `Content-Length`, `Transfer-Encoding`) is a hard 400 — the
+//! request-smuggling shapes die at the parser.
+//!
 //! The crate's only unsafe code is the two-line SIGTERM handler
 //! installation in [`signal`].
 
@@ -41,7 +48,7 @@ pub mod server;
 pub mod service;
 pub mod signal;
 
-pub use http::{HttpError, HttpLimits, Request, Response};
+pub use http::{ConnectionReader, HttpError, HttpLimits, Request, Response};
 pub use robust::{isolate, AdmissionQueue, AdmitError, Deadline};
 pub use server::{Server, ServerConfig};
 pub use service::{RecognizerService, ServiceConfig, ServiceResponse};

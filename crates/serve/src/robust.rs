@@ -48,7 +48,12 @@ pub enum AdmitError {
     /// The queue was at capacity: the caller must shed the request
     /// (HTTP 429), not wait.
     Shed {
-        /// Depth observed at rejection (== capacity).
+        /// Depth at the instant of rejection, observed under the queue
+        /// lock — always exactly the capacity, because pushes are
+        /// guarded by the same lock so the depth can never exceed it.
+        /// A racing pop may have drained the queue by the time the
+        /// caller reads this value; it is a snapshot for the 429 body,
+        /// not a promise the queue is still full.
         depth: usize,
     },
     /// The queue was closed for shutdown.
@@ -194,11 +199,47 @@ mod tests {
         let q = AdmissionQueue::new(2);
         assert!(q.try_push(1).is_ok());
         assert!(q.try_push(2).is_ok());
-        assert_eq!(q.try_push(3), Err(AdmitError::Shed { depth: 2 }));
+        // The shed depth is the locked snapshot at rejection: exactly
+        // the capacity, never more (pushes are guarded by the same
+        // lock), whatever pops race afterwards.
+        match q.try_push(3) {
+            Err(AdmitError::Shed { depth }) => assert_eq!(depth, q.capacity()),
+            other => panic!("expected a shed, got {other:?}"),
+        }
         assert_eq!(q.depth(), 2);
         let batch = q.pop_batch(8, Duration::ZERO).unwrap();
         assert_eq!(batch, vec![1, 2]);
         assert!(q.try_push(3).is_ok());
+    }
+
+    /// Sheds racing concurrent pops still report `depth == capacity`:
+    /// the snapshot is taken under the lock, so a pop that lands before
+    /// or after the rejection cannot make the value under- or overshoot.
+    #[test]
+    fn shed_depth_is_capacity_even_under_racing_pops() {
+        let q = Arc::new(AdmissionQueue::new(3));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let popper = {
+            let q = Arc::clone(&q);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Ordering::Relaxed — a test stop flag; no data is
+                // published through it.
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let _ = q.pop_batch(1, Duration::ZERO);
+                }
+            })
+        };
+        let mut sheds = 0usize;
+        for i in 0..10_000 {
+            if let Err(AdmitError::Shed { depth }) = q.try_push(i) {
+                assert_eq!(depth, q.capacity(), "shed depth must equal capacity");
+                sheds += 1;
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        popper.join().unwrap();
+        assert!(sheds > 0, "the push loop must outrun the single-item popper");
     }
 
     #[test]

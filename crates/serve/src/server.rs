@@ -17,11 +17,15 @@
 //!
 //! Connection threads only parse, enqueue and respond; recognition
 //! happens on a fixed pool of workers that drain the queue in
-//! micro-batches. Shutdown is graceful: the accept loop stops, open
-//! connections finish (bounded by their read budgets and deadlines),
-//! queued work drains, workers exit.
+//! micro-batches. Connections persist (HTTP/1.1 keep-alive, pipelining
+//! included) under explicit per-connection limits: an idle timeout, a
+//! max-requests-per-connection cap, and the per-request header/body/
+//! read budgets. Shutdown is graceful: the accept loop stops, kept-
+//! alive sockets refuse new requests while in-flight responses finish
+//! (bounded by their read budgets and deadlines), queued work drains,
+//! workers exit.
 
-use crate::http::{read_request, write_response, HttpError, HttpLimits, Request, Response};
+use crate::http::{write_response, ConnectionReader, HttpError, HttpLimits, Request, Response};
 use crate::robust::{isolate, AdmissionQueue, AdmitError, Deadline};
 use crate::service::RecognizerService;
 use std::io;
@@ -53,6 +57,16 @@ pub struct ServerConfig {
     pub degrade_margin: Duration,
     /// Total budget for reading one request off the socket.
     pub read_budget: Duration,
+    /// Reuse connections (HTTP/1.1 keep-alive) instead of closing after
+    /// every response. Clients asking `Connection: close` are honoured
+    /// either way.
+    pub keep_alive: bool,
+    /// Requests served on one connection before the server closes it
+    /// (a rotation bound so no client monopolises a thread forever).
+    pub max_requests_per_conn: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
     /// Transport size limits.
     pub limits: HttpLimits,
     /// Honour the `X-Taor-Test-Delay-Ms` header (tests only: lets a
@@ -70,6 +84,9 @@ impl Default for ServerConfig {
             deadline: Duration::from_secs(2),
             degrade_margin: Duration::from_millis(100),
             read_budget: Duration::from_secs(2),
+            keep_alive: true,
+            max_requests_per_conn: 128,
+            idle_timeout: Duration::from_secs(5),
             limits: HttpLimits::default(),
             allow_test_delay: false,
         }
@@ -181,7 +198,10 @@ fn accept_loop(
                 let service = Arc::clone(service);
                 let queue = Arc::clone(queue);
                 let cfg = cfg.clone();
-                conns.push(std::thread::spawn(move || handle_conn(stream, &service, &queue, &cfg)));
+                let shutdown = Arc::clone(shutdown);
+                conns.push(std::thread::spawn(move || {
+                    handle_conn(stream, &service, &queue, &cfg, &shutdown)
+                }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -195,22 +215,61 @@ fn accept_loop(
     }
 }
 
-/// One connection: read, route, answer, close.
+/// How often a blocked socket read wakes up to re-check deadlines and
+/// the shutdown flag. Purely a poll interval: correctness comes from
+/// the deadlines, this only bounds how stale they can be observed.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// One connection: read requests until the client closes, a limit
+/// trips, a transport error poisons the framing, or the server drains.
+///
+/// Responses go out in request order (pipelined clients get pipelined
+/// answers); each response's `Connection` header tells the client
+/// whether the server will read another request.
 fn handle_conn(
-    mut stream: TcpStream,
+    stream: TcpStream,
     service: &Arc<RecognizerService>,
     queue: &Arc<AdmissionQueue<Job>>,
     cfg: &ServerConfig,
+    shutdown: &Arc<AtomicBool>,
 ) {
-    let _ = stream.set_read_timeout(Some(cfg.read_budget));
+    let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let read_deadline = Deadline::after(cfg.read_budget);
-    let response = match read_request(&mut stream, &cfg.limits, &read_deadline) {
-        Ok(req) => route(&req, service, queue, cfg),
-        Err(e) => transport_error_response(&e),
-    };
-    let _ = write_response(&mut stream, &response);
-    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let mut reader = ConnectionReader::new(stream);
+    // Ordering::SeqCst — cold shutdown handoff; strongest ordering
+    // keeps the flag trivially correct.
+    let draining = || shutdown.load(Ordering::SeqCst);
+    let mut served = 0usize;
+    loop {
+        if draining() {
+            break; // refuse new requests on the kept-alive socket
+        }
+        // The first request must start arriving within the read budget
+        // (the PR 7 contract); between kept-alive requests the client
+        // gets the idle timeout instead.
+        let idle = Deadline::after(if served == 0 { cfg.read_budget } else { cfg.idle_timeout });
+        let (response, reuse) =
+            match reader.next_request(&cfg.limits, &idle, cfg.read_budget, &draining) {
+                // Quiescent: EOF, idle expiry, or drain — close quietly.
+                Ok(None) => break,
+                Ok(Some(req)) => {
+                    served += 1;
+                    let reuse = cfg.keep_alive
+                        && req.keep_alive
+                        && served < cfg.max_requests_per_conn
+                        && !draining();
+                    (route(&req, service, queue, cfg), reuse)
+                }
+                // Mid-request failures poison the framing: answer typed,
+                // then close rather than guess where the next request
+                // starts.
+                Err(e) => (transport_error_response(&e), false),
+            };
+        if write_response(reader.get_mut(), &response, reuse).is_err() || !reuse {
+            break;
+        }
+    }
+    let _ = reader.into_inner().shutdown(std::net::Shutdown::Both);
 }
 
 fn transport_error_response(e: &HttpError) -> Response {

@@ -97,6 +97,61 @@ fn binary_bodies_are_byte_identical_across_widths_and_spawns() {
     }
 }
 
+/// Delivery-mode determinism: the same crops sent pipelined down one
+/// kept-alive connection, sequentially down one kept-alive connection,
+/// and one-per-connection must produce byte-identical bodies — at both
+/// `TAOR_THREADS` widths. Framing is transport, never content.
+#[test]
+fn pipelined_and_one_shot_bodies_are_byte_identical() {
+    let crops: Vec<Vec<u8>> = (0u32..3)
+        .map(|variant| {
+            let mut img = gradient_crop();
+            let (w, h) = img.dimensions();
+            for y in 0..h {
+                for x in 0..w {
+                    let px = img.pixel(x, y);
+                    img.put_pixel(x, y, [px[0].wrapping_add(variant as u8 * 31), px[1], px[2]]);
+                }
+            }
+            encode_rgb8(&img)
+        })
+        .collect();
+    for threads in ["1", "4"] {
+        let server = ServeProc::spawn(threads, &["--no-siamese"]);
+
+        // One connection per request (the PR 7 delivery mode).
+        let one_shot: Vec<Vec<u8>> = crops.iter().map(|c| server.body_for(c)).collect();
+
+        // Sequential reuse of a single connection.
+        let mut client = chaos::PersistentClient::connect(server.addr).expect("connects");
+        for (crop, expect) in crops.iter().zip(&one_shot) {
+            let (status, body) = client.post_crop(crop).expect("reused answer");
+            assert_eq!(status, 200);
+            assert_eq!(&body, expect, "reuse changed a body at TAOR_THREADS={threads}");
+        }
+
+        // The full pipelined burst: all requests written before any
+        // response is read.
+        let mut client = chaos::PersistentClient::connect(server.addr).expect("connects");
+        let mut burst = Vec::new();
+        for crop in &crops {
+            burst.extend_from_slice(&chaos::PersistentClient::request_bytes(
+                "POST",
+                "/recognize",
+                crop,
+                &[],
+                false,
+            ));
+        }
+        client.send_raw(&burst).expect("burst written");
+        for (i, expect) in one_shot.iter().enumerate() {
+            let (status, body) = client.read_response().expect("pipelined answer");
+            assert_eq!(status, 200, "pipelined request {i}");
+            assert_eq!(&body, expect, "pipelining changed body {i} at TAOR_THREADS={threads}");
+        }
+    }
+}
+
 /// In-process: two independent `Server`s over independently built
 /// services (same seed) answer identically through the full siamese
 /// path, including micro-batch grouping differences.

@@ -3,6 +3,7 @@
 
 Asserts the service contract end to end, from outside the Rust
 workspace: 200 for a valid wire crop, 400 for a malformed buffer,
+keep-alive reuse (two requests over one connection, identical answers),
 429 (+ Retry-After) when the admission queue is saturated, and a clean
 exit 0 on SIGTERM. Stdlib only.
 
@@ -83,9 +84,9 @@ def main():
         crop = wire_crop()
 
         # 1. A valid crop answers 200 with a recognition body.
-        status, _, body = post(addr, "/recognize", crop)
-        assert status == 200, f"valid crop: expected 200, got {status}: {body!r}"
-        assert b'"class":' in body and b'"ranking":' in body, body
+        status, _, body_ok = post(addr, "/recognize", crop)
+        assert status == 200, f"valid crop: expected 200, got {status}: {body_ok!r}"
+        assert b'"class":' in body_ok and b'"ranking":' in body_ok, body_ok
         print("200 for a valid crop: ok")
 
         # 2. A malformed buffer answers a typed 400.
@@ -94,7 +95,26 @@ def main():
         assert b"bad crop" in body, body
         print("400 for a malformed buffer: ok")
 
-        # 3. Saturate: one slow request holds the worker, a second holds
+        # 3. Keep-alive: two requests over ONE reused connection, both
+        # answered, the recognition body identical to the fresh-
+        # connection answer from check 1.
+        conn = http.client.HTTPConnection(addr[0], addr[1], timeout=30)
+        try:
+            conn.request("POST", "/recognize", body=crop)
+            resp = conn.getresponse()
+            ka_status, ka_body = resp.status, resp.read()
+            conn.request("GET", "/healthz")  # same socket, second request
+            resp2 = conn.getresponse()
+            ka2_status, ka2_body = resp2.status, resp2.read()
+        finally:
+            conn.close()
+        assert ka_status == 200, f"keep-alive 1st request: {ka_status}: {ka_body!r}"
+        assert ka_body == body_ok, "reused-connection body must match the fresh one"
+        assert ka2_status == 200, f"keep-alive 2nd request: {ka2_status}: {ka2_body!r}"
+        assert b'"status":"ok"' in ka2_body, ka2_body
+        print("two requests over one reused connection: ok")
+
+        # 4. Saturate: one slow request holds the worker, a second holds
         # the single queue slot, the rest must shed with 429.
         slow_results = []
 
@@ -124,13 +144,13 @@ def main():
         assert all(s == 200 for s in slow_results), f"slow requests: {slow_results}"
         print(f"429 under saturation ({sheds} shed, Retry-After seen): ok")
 
-        # 4. The health snapshot counted the sheds.
+        # 5. The health snapshot counted the sheds.
         status, _, body = get(addr, "/healthz")
         assert status == 200, f"healthz: {status}"
         assert b'"shed":0' not in body, f"healthz must count sheds: {body!r}"
         print("healthz reports the shed count: ok")
 
-        # 5. SIGTERM: graceful shutdown, exit code 0.
+        # 6. SIGTERM: graceful shutdown, exit code 0.
         proc.send_signal(signal.SIGTERM)
         code = proc.wait(timeout=30)
         assert code == 0, f"SIGTERM: expected exit 0, got {code}"
