@@ -73,6 +73,56 @@ fn bench_matcher_pins(c: &mut Criterion) {
     g.finish();
 }
 
+/// Pins for the sub-linear gallery indexes at a past-the-crossover scale
+/// (8,192 gallery rows): a single HNSW query must beat the brute L2 scan
+/// and a single MIH query must beat the brute Hamming scan. Both pins
+/// time pure lookups — the index is built once outside the loop. The MIH
+/// pin is the nearest-gallery-view lookup (k = 1) for a lightly corrupted
+/// gallery row — the near-duplicate serving workload, as in `bench_ann`:
+/// MIH's pigeonhole stop fires once the kth kept distance drops below
+/// m·(r+1), so it is fast exactly when the answer set is close. On
+/// uniformly random codes every neighbour sits ~93+ bits away and the
+/// radius sweep enumerates more keys than the brute scan visits rows;
+/// real galleries cluster (neighbouring views of one model), which is
+/// what `bench_ann`'s k = 10 run exercises.
+fn bench_ann_pins(c: &mut Criterion) {
+    use taor_features::{
+        exact_knn_binary, exact_knn_float, HnswIndex, HnswParams, MihIndex, MihParams,
+    };
+
+    let train = random_descs(8192, 64, 21);
+    let query = random_descs(1, 64, 22);
+    let hnsw = HnswIndex::build(train.clone(), HnswParams::default()).unwrap();
+    let mut g = c.benchmark_group("pin_hnsw_query");
+    g.bench_function("hnsw", |b| b.iter(|| hnsw.search(black_box(query.row(0)), 10)));
+    g.bench_function("brute", |b| {
+        b.iter(|| exact_knn_float(black_box(query.row(0)), black_box(&train), 10))
+    });
+    g.finish();
+
+    let btrain = random_bdescs(8192, 32, 23);
+    let mut qcode: Vec<u8> = btrain.row(4096).to_vec();
+    for bit in [7usize, 64, 131, 250] {
+        qcode[bit / 8] ^= 1 << (bit % 8);
+    }
+    let _ = btrain.packed_words();
+    let qwords: Vec<u64> = qcode
+        .chunks(8)
+        .map(|chunk| {
+            let mut bytes = [0u8; 8];
+            bytes[..chunk.len()].copy_from_slice(chunk);
+            u64::from_le_bytes(bytes)
+        })
+        .collect();
+    let mih = MihIndex::build(btrain.clone(), MihParams::default()).unwrap();
+    let mut g = c.benchmark_group("pin_mih_query");
+    g.bench_function("mih", |b| b.iter(|| mih.search_words(black_box(&qwords), 1)));
+    g.bench_function("brute", |b| {
+        b.iter(|| exact_knn_binary(black_box(&qwords), black_box(&btrain), 1))
+    });
+    g.finish();
+}
+
 fn bench_matching(c: &mut Criterion) {
     let query = random_descs(50, 64, 1);
     for train_n in [100usize, 1000, 10000] {
@@ -92,6 +142,6 @@ fn bench_matching(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_matcher_pins, bench_matching
+    targets = bench_matcher_pins, bench_ann_pins, bench_matching
 }
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! repro [--table N] [--quick|--medium|--full] [--seed S] [--sweep]
 //!       [--ablate] [--extensions] [--nyu-per-class N] [--json PATH]
 //!       [--bench-json PATH] [--train-pairs N] [--train-epochs N]
-//!       [--eval-pairs N] [--verbose]
+//!       [--eval-pairs N] [--index flat|hnsw|mih] [--verbose]
 //! ```
 //!
 //! Default is `--quick`: NYU subsampled to 50 crops/class and a reduced
@@ -17,6 +17,10 @@
 //! `--bench-json PATH` writes a machine-readable perf-trajectory record
 //! (wall time, thread count and scored-pairs/sec per table, schema
 //! `taor-bench-perf-v1`) so successive commits can be compared.
+//! `--index` selects the descriptor-gallery index for tables 3 and 9:
+//! `flat` (brute force, the default), `hnsw` (approximate, float kinds)
+//! or `mih` (exact multi-index hashing, binary kinds); every mode is
+//! deterministic across spawns and `TAOR_THREADS` widths.
 
 use std::io::Write;
 use taor_bench::extensions::{table_e1, table_e2, table_e3};
@@ -25,6 +29,7 @@ use taor_bench::repro::{
     table6_with, table7or8_with, table9_with,
 };
 use taor_bench::{PerfRecord, PreparedRepro, ReproConfig, TablePerf};
+use taor_core::prelude::AnnIndexMode;
 
 #[derive(PartialEq, Clone, Copy)]
 enum Mode {
@@ -46,6 +51,7 @@ struct Args {
     train_pairs: Option<usize>,
     train_epochs: Option<usize>,
     eval_pairs: Option<usize>,
+    index: AnnIndexMode,
     verbose: bool,
 }
 
@@ -63,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         train_pairs: None,
         train_epochs: None,
         eval_pairs: None,
+        index: AnnIndexMode::Flat,
         verbose: false,
     };
     let mut it = std::env::args().skip(1);
@@ -98,6 +105,10 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--eval-pairs needs a value")?;
                 args.eval_pairs = Some(v.parse().map_err(|_| format!("bad count: {v}"))?);
             }
+            "--index" => {
+                let v = it.next().ok_or("--index needs a value")?;
+                args.index = v.parse()?;
+            }
             "--json" => args.json = Some(it.next().ok_or("--json needs a path")?),
             "--bench-json" => args.bench_json = Some(it.next().ok_or("--bench-json needs a path")?),
             "--verbose" | "-v" => args.verbose = true,
@@ -105,7 +116,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "repro [--table N] [--quick|--medium|--full] [--seed S] [--sweep] [--ablate] \
                      [--extensions] [--nyu-per-class N] [--json PATH] [--bench-json PATH] \
-                     [--train-pairs N] [--train-epochs N] [--eval-pairs N] [--verbose]"
+                     [--train-pairs N] [--train-epochs N] [--eval-pairs N] \
+                     [--index flat|hnsw|mih] [--verbose]"
                 );
                 std::process::exit(0);
             }
@@ -142,6 +154,7 @@ fn main() {
     if let Some(n) = args.eval_pairs {
         cfg.max_eval_pairs = Some(n);
     }
+    cfg.index = args.index;
 
     let wanted: Vec<usize> = match args.table {
         Some(t) if (1..=9).contains(&t) => vec![t],

@@ -20,11 +20,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ann;
 pub mod extensions;
 pub mod perf;
 pub mod repro;
 pub mod serve_perf;
 
+pub use ann::{run_ann_bench, AnnBenchConfig, AnnModePerf, AnnPerfRecord};
 pub use perf::{PerfRecord, TablePerf};
 pub use repro::{PreparedRepro, ReproConfig, TableOutput};
 pub use serve_perf::{run_serve_bench, ConnMode, ServeBenchConfig, ServePerfRecord, WidthPerf};

@@ -31,6 +31,11 @@ pub struct ReproConfig {
     /// deterministic, so a truncated run is a stable prefix of the full
     /// one). `None` (the default) evaluates every pair.
     pub max_eval_pairs: Option<usize>,
+    /// Gallery index for the descriptor tables (3 and 9): brute force
+    /// (`Flat`, the paper's matcher), HNSW for float kinds or exact MIH
+    /// for binary kinds. Every mode is deterministic across spawns and
+    /// `TAOR_THREADS` widths; MIH is additionally bit-identical to flat.
+    pub index: AnnIndexMode,
 }
 
 impl ReproConfig {
@@ -44,6 +49,7 @@ impl ReproConfig {
             alpha: 0.3,
             beta: 0.7,
             max_eval_pairs: None,
+            index: AnnIndexMode::Flat,
         }
     }
 
@@ -57,6 +63,7 @@ impl ReproConfig {
             alpha: 0.3,
             beta: 0.7,
             max_eval_pairs: None,
+            index: AnnIndexMode::Flat,
         }
     }
 
@@ -70,6 +77,7 @@ impl ReproConfig {
             alpha: 0.3,
             beta: 0.7,
             max_eval_pairs: None,
+            index: AnnIndexMode::Flat,
         }
     }
 
@@ -230,8 +238,9 @@ fn descriptor_preds(
     reference: &DescriptorIndex,
     ratio: f32,
     diag: &Diagnostics,
+    index: AnnIndexMode,
 ) -> Vec<ObjectClass> {
-    match try_classify_descriptors(queries, reference, ratio, diag) {
+    match try_classify_descriptors_with(queries, reference, ratio, diag, index) {
         Ok(preds) => preds,
         Err(e) => panic!("{e}"),
     }
@@ -418,7 +427,7 @@ pub fn table3_ex_with(prep: &PreparedRepro, ablate: bool) -> TableOutput {
         DescriptorKind::ALL.iter().zip(prep.descriptors_sns1().iter().zip(prep.descriptors_sns2()))
     {
         let acc_of = |ratio: f32| {
-            let preds = descriptor_preds(q, r, ratio, prep.diag());
+            let preds = descriptor_preds(q, r, ratio, prep.diag(), prep.cfg().index);
             evaluate(&truth, &preds)
         };
         let e05 = acc_of(0.5);
@@ -720,7 +729,9 @@ pub fn table9_with(prep: &PreparedRepro) -> TableOutput {
     let rows: Vec<_> = DescriptorKind::ALL
         .iter()
         .zip(prep.descriptors_sns1().iter().zip(prep.descriptors_sns2()))
-        .map(|(kind, (q, r))| (kind.label().to_string(), descriptor_preds(q, r, 0.5, prep.diag())))
+        .map(|(kind, (q, r))| {
+            (kind.label().to_string(), descriptor_preds(q, r, 0.5, prep.diag(), prep.cfg().index))
+        })
         .collect();
     classwise_table(
         9,

@@ -14,7 +14,8 @@ use taor_data::{Dataset, ObjectClass};
 use taor_features::{
     knn_match_binary, knn_match_float, orb_detect_and_compute, ratio_test_matches,
     sift_detect_and_compute, surf_detect_and_compute, verify_matches, BinaryDescriptors,
-    FloatDescriptors, KeyPoint, OrbParams, RansacParams, SiftParams, SurfParams,
+    FloatDescriptors, HnswIndex, HnswParams, KeyPoint, MihIndex, MihParams, OrbParams,
+    RansacParams, RatioMatch, SiftParams, SurfParams,
 };
 use taor_imgproc::cmp::nan_last_f32;
 use taor_imgproc::color::rgb_to_gray;
@@ -42,11 +43,92 @@ impl DescriptorKind {
     }
 }
 
+/// How the pooled reference gallery is searched during classification.
+///
+/// `Flat` is the paper's brute-force matcher; the other two are the
+/// sub-linear indexes of `taor-features`. Each index only applies to the
+/// metric it serves — HNSW to float (SIFT/SURF) pools, MIH to binary
+/// (ORB) pools — and the other metric transparently stays brute-force,
+/// so any mode is safe with any descriptor kind. MIH is exact
+/// (bit-identical predictions to `Flat`); HNSW is approximate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AnnIndexMode {
+    #[default]
+    Flat,
+    Hnsw,
+    Mih,
+}
+
+impl AnnIndexMode {
+    /// All modes, flat first.
+    pub const ALL: [AnnIndexMode; 3] = [AnnIndexMode::Flat, AnnIndexMode::Hnsw, AnnIndexMode::Mih];
+
+    /// CLI / report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnnIndexMode::Flat => "flat",
+            AnnIndexMode::Hnsw => "hnsw",
+            AnnIndexMode::Mih => "mih",
+        }
+    }
+}
+
+impl std::str::FromStr for AnnIndexMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "flat" => Ok(AnnIndexMode::Flat),
+            "hnsw" => Ok(AnnIndexMode::Hnsw),
+            "mih" => Ok(AnnIndexMode::Mih),
+            other => Err(format!("unknown index mode {other:?} (flat | hnsw | mih)")),
+        }
+    }
+}
+
 /// Descriptors of one image.
 #[derive(Debug, Clone)]
 enum Descs {
     Float(FloatDescriptors),
     Binary(BinaryDescriptors),
+}
+
+/// The pooled reference gallery under one of the [`AnnIndexMode`]s.
+enum PoolIndex {
+    FloatFlat(FloatDescriptors),
+    FloatHnsw(Box<HnswIndex>),
+    BinaryFlat(BinaryDescriptors),
+    BinaryMih(Box<MihIndex>),
+}
+
+impl PoolIndex {
+    fn build(pool: Descs, mode: AnnIndexMode) -> Result<PoolIndex> {
+        Ok(match (pool, mode) {
+            (Descs::Float(p), AnnIndexMode::Hnsw) => PoolIndex::FloatHnsw(Box::new(
+                HnswIndex::build(p, HnswParams::default()).map_err(Error::from)?,
+            )),
+            (Descs::Binary(p), AnnIndexMode::Mih) => PoolIndex::BinaryMih(Box::new(
+                MihIndex::build(p, MihParams::default()).map_err(Error::from)?,
+            )),
+            // The other metric stays brute-force under either ANN mode.
+            (Descs::Float(p), _) => PoolIndex::FloatFlat(p),
+            (Descs::Binary(p), _) => PoolIndex::BinaryFlat(p),
+        })
+    }
+
+    /// 2-NN match a query image's descriptors against the pool; a matcher
+    /// error degrades to "no matches" exactly like the flat path.
+    fn knn(&self, q: &Descs) -> Vec<RatioMatch> {
+        match (q, self) {
+            (Descs::Float(q), PoolIndex::FloatFlat(p)) => knn_match_float(q, p).unwrap_or_default(),
+            (Descs::Float(q), PoolIndex::FloatHnsw(ix)) => ix.knn_match(q).unwrap_or_default(),
+            (Descs::Binary(q), PoolIndex::BinaryFlat(p)) => {
+                knn_match_binary(q, p).unwrap_or_default()
+            }
+            (Descs::Binary(q), PoolIndex::BinaryMih(ix)) => ix.knn_match(q).unwrap_or_default(),
+            _ => unreachable!("index holds a single descriptor kind"),
+        }
+    }
 }
 
 /// Extracted descriptors for a whole dataset.
@@ -246,6 +328,22 @@ pub fn try_classify_descriptors(
     ratio: f32,
     diag: &Diagnostics,
 ) -> Result<Vec<ObjectClass>> {
+    try_classify_descriptors_with(queries, reference, ratio, diag, AnnIndexMode::Flat)
+}
+
+/// [`try_classify_descriptors`] with an explicit gallery index mode: the
+/// pooled reference descriptors are searched brute-force (`Flat`),
+/// through an HNSW graph (`Hnsw`, float kinds) or through multi-index
+/// hashing (`Mih`, binary kinds — exact, so predictions are bit-identical
+/// to `Flat`). The index is built once per call and amortised over every
+/// query image.
+pub fn try_classify_descriptors_with(
+    queries: &DescriptorIndex,
+    reference: &DescriptorIndex,
+    ratio: f32,
+    diag: &Diagnostics,
+    mode: AnnIndexMode,
+) -> Result<Vec<ObjectClass>> {
     if queries.kind != reference.kind {
         return Err(Error::KindMismatch {
             query: queries.kind.label(),
@@ -286,6 +384,7 @@ pub fn try_classify_descriptors(
     if owners.is_empty() {
         return Err(Error::EmptyReference("reference index has no descriptors"));
     }
+    let pool = PoolIndex::build(pool, mode)?;
 
     Ok(queries
         .descs
@@ -295,11 +394,7 @@ pub fn try_classify_descriptors(
             // Widths are uniform per kind by construction; a matcher error
             // degrades this query to "featureless" rather than poisoning
             // the whole batch.
-            let matches = match (q, &pool) {
-                (Descs::Float(q), Descs::Float(p)) => knn_match_float(q, p).unwrap_or_default(),
-                (Descs::Binary(q), Descs::Binary(p)) => knn_match_binary(q, p).unwrap_or_default(),
-                _ => unreachable!("index holds a single descriptor kind"),
-            };
+            let matches = pool.knn(q);
             let fallback = ObjectClass::from_index((qi * 7 + 3) % ObjectClass::COUNT)
                 .unwrap_or(reference.classes[0]);
             if matches.is_empty() {
@@ -400,6 +495,41 @@ mod tests {
     fn labels_match_table3() {
         let labels: Vec<_> = DescriptorKind::ALL.iter().map(|k| k.label()).collect();
         assert_eq!(labels, ["SIFT", "SURF", "ORB"]);
+    }
+
+    #[test]
+    fn mih_mode_is_bit_identical_to_flat() {
+        let q = extract_index(&shapenet_set1(6), DescriptorKind::Orb);
+        let r = extract_index(&shapenet_set2(6), DescriptorKind::Orb);
+        let diag = Diagnostics::new();
+        let flat = try_classify_descriptors_with(&q, &r, 0.5, &diag, AnnIndexMode::Flat).unwrap();
+        let mih = try_classify_descriptors_with(&q, &r, 0.5, &diag, AnnIndexMode::Mih).unwrap();
+        assert_eq!(flat, mih, "MIH is exact: predictions must match flat exactly");
+    }
+
+    #[test]
+    fn hnsw_mode_agrees_with_flat() {
+        let sns1 = shapenet_set1(7);
+        let idx = extract_index(&sns1, DescriptorKind::Surf);
+        let diag = Diagnostics::new();
+        let flat =
+            try_classify_descriptors_with(&idx, &idx, 0.75, &diag, AnnIndexMode::Flat).unwrap();
+        let hnsw =
+            try_classify_descriptors_with(&idx, &idx, 0.75, &diag, AnnIndexMode::Hnsw).unwrap();
+        // HNSW is approximate: allow a small prediction drift vs. the
+        // brute-force pool, but at self-matching recall it should agree on
+        // nearly every view.
+        let agree = flat.iter().zip(&hnsw).filter(|(a, b)| a == b).count();
+        assert!(agree as f64 / flat.len() as f64 >= 0.9, "{agree}/{}", flat.len());
+    }
+
+    #[test]
+    fn index_mode_labels_and_parsing() {
+        for mode in AnnIndexMode::ALL {
+            assert_eq!(mode.label().parse::<AnnIndexMode>().unwrap(), mode);
+        }
+        assert!("faiss".parse::<AnnIndexMode>().is_err());
+        assert_eq!(AnnIndexMode::default(), AnnIndexMode::Flat);
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub mod prelude {
     pub use crate::color_only::ColorScorer;
     pub use crate::descriptors::{
         classify_descriptors, classify_descriptors_verified, extract_index, index_truth,
-        try_classify_descriptors, try_classify_descriptors_verified, DescriptorIndex,
-        DescriptorKind,
+        try_classify_descriptors, try_classify_descriptors_verified, try_classify_descriptors_with,
+        AnnIndexMode, DescriptorIndex, DescriptorKind,
     };
     pub use crate::diag::{Diagnostics, DiagnosticsReport};
     pub use crate::eval::{

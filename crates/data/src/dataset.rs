@@ -154,6 +154,63 @@ pub fn shapenet_set2(seed: u64) -> Dataset {
     catalog_set(DatasetKind::ShapeNetSet2, seed, 0x52, |c| c.sns2_count())
 }
 
+/// Build a ShapeNet-scale gallery: `models_per_class` *distinct* models
+/// per class, each rendered over a regular `yaw_steps × pitch_steps`
+/// camera grid (`view_id = yaw · pitch_steps + pitch`). Total size is
+/// `10 · models_per_class · yaw_steps · pitch_steps` views — the regime
+/// the `taor-features` ANN indexes exist for.
+///
+/// The model draws depend only on `seed`, while every per-view jitter
+/// draw comes from a stream keyed additionally by `jitter`: two calls
+/// with equal `seed` and different `jitter` render the *same* models on
+/// the *same* grid cells as near-duplicates, which is exactly what a
+/// recall@k harness needs for realistic (non-pixel-identical) queries.
+pub fn gallery_grid(
+    seed: u64,
+    models_per_class: usize,
+    yaw_steps: usize,
+    pitch_steps: usize,
+    jitter: u64,
+) -> Dataset {
+    assert!(
+        models_per_class >= 1 && yaw_steps >= 1 && pitch_steps >= 1,
+        "need at least one model and a non-empty grid"
+    );
+    let mut images = Vec::new();
+    for class in ObjectClass::ALL {
+        let mut model_rng = substream(seed, 0x53 ^ (class.index() as u64) << 8);
+        let models: Vec<_> =
+            (0..models_per_class).map(|_| sample_model(class, &mut model_rng)).collect();
+        for (model_id, model) in models.iter().enumerate() {
+            for yaw in 0..yaw_steps {
+                for pitch in 0..pitch_steps {
+                    let view_id = yaw * pitch_steps + pitch;
+                    let cell =
+                        (class.index() as u64) << 40 | (model_id as u64) << 20 | view_id as u64;
+                    let mut view_rng = substream(
+                        seed.wrapping_add(jitter.wrapping_mul(0xB5AD_4ECE_DA1C_E2A9)),
+                        0x54 ^ cell,
+                    );
+                    images.push(LabeledImage {
+                        image: crate::render::render_grid_view(
+                            model,
+                            yaw,
+                            pitch,
+                            yaw_steps,
+                            pitch_steps,
+                            &mut view_rng,
+                        ),
+                        class,
+                        model_id,
+                        view_id,
+                    });
+                }
+            }
+        }
+    }
+    Dataset { kind: DatasetKind::ShapeNetSet2, images }
+}
+
 /// Build the full NYUSet (6,934 scene crops, Table 1 cardinalities).
 pub fn nyu_set(seed: u64) -> Dataset {
     nyu_set_with(seed, |c| c.nyu_count())
@@ -223,6 +280,27 @@ mod tests {
         let d = shapenet_set2(2019);
         assert_eq!(d.len(), 100);
         assert!(d.class_counts().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn gallery_grid_shape_and_determinism() {
+        let a = gallery_grid(7, 2, 3, 2, 0);
+        assert_eq!(a.len(), 10 * 2 * 3 * 2);
+        let counts = a.class_counts();
+        assert!(counts.iter().all(|&c| c == 12), "balanced classes: {counts:?}");
+        // view_id encodes the grid cell.
+        assert_eq!(a.images[0].view_id, 0);
+        assert_eq!(a.images[5].view_id, 5);
+        // Deterministic in the seed…
+        let b = gallery_grid(7, 2, 3, 2, 0);
+        assert_eq!(a.images[17].image.as_raw(), b.images[17].image.as_raw());
+        // …and a different jitter stream re-renders the same cells as
+        // near-duplicates, not pixel-identical copies.
+        let j = gallery_grid(7, 2, 3, 2, 1);
+        assert_eq!(j.len(), a.len());
+        assert_eq!(j.images[17].class, a.images[17].class);
+        assert_eq!(j.images[17].view_id, a.images[17].view_id);
+        assert_ne!(j.images[17].image.as_raw(), a.images[17].image.as_raw());
     }
 
     #[test]

@@ -58,12 +58,16 @@ pub fn render_catalog_view(m: &ModelParams, view_idx: usize, rng: &mut impl Rng)
     mv.detail = (m.detail + rng.gen_range(-0.12..0.12)).clamp(0.0, 1.0);
     draw_object(&mut canvas, &mv, view);
     let mut img = canvas.into_image();
+    shade_catalog(&mut img, rng);
+    img
+}
 
-    // ShapeNet 2-D views are *renders*: shaded, not flat fills. Apply a
-    // directional lighting gradient plus mild sensor noise to the object
-    // pixels (the white background stays clean). Without this, descriptor
-    // matching is unrealistically easy — every view of a model would be a
-    // pixel-exact template.
+/// ShapeNet 2-D views are *renders*: shaded, not flat fills. Apply a
+/// directional lighting gradient plus mild sensor noise to the object
+/// pixels (the white background stays clean). Without this, descriptor
+/// matching is unrealistically easy — every view of a model would be a
+/// pixel-exact template.
+fn shade_catalog(img: &mut RgbImage, rng: &mut impl Rng) {
     let light_dir = rng.gen_range(0.0..std::f32::consts::TAU);
     let (lx, ly) = (light_dir.cos(), light_dir.sin());
     let (w, h) = (img.width() as f32, img.height() as f32);
@@ -85,6 +89,43 @@ pub fn render_catalog_view(m: &ModelParams, view_idx: usize, rng: &mut impl Rng)
             img.put_pixel(x, y, out);
         }
     }
+}
+
+/// Render one cell of a yaw × pitch view grid: the regular camera orbit a
+/// real ShapeNet rendering pipeline sweeps around each CAD model (the
+/// gallery regime the ANN indexes are built for). `yaw` controls the
+/// in-plane rotation plus the shear a turntable step induces on the
+/// silhouette; `pitch` controls the anisotropic squash of looking down at
+/// the object. A small jitter keeps two renders of the same cell from
+/// being pixel-exact templates; the jitter draws come from `rng`, so the
+/// same cell re-rendered with a differently seeded stream yields a
+/// near-duplicate, not a copy.
+pub fn render_grid_view(
+    m: &ModelParams,
+    yaw_idx: usize,
+    pitch_idx: usize,
+    yaw_steps: usize,
+    pitch_steps: usize,
+    rng: &mut impl Rng,
+) -> RgbImage {
+    let yaw_t = if yaw_steps > 1 { yaw_idx as f32 / (yaw_steps - 1) as f32 } else { 0.5 };
+    let pitch_t = if pitch_steps > 1 { pitch_idx as f32 / (pitch_steps - 1) as f32 } else { 0.5 };
+    let mut canvas = Canvas::new(CANVAS, CANVAS, [255, 255, 255]);
+    let view = ViewParams {
+        rotation: (yaw_t - 0.5) * 1.6 + rng.gen_range(-0.02..0.02),
+        scale: CANVAS as f32 * (0.33 + rng.gen_range(-0.015..0.015)),
+        cx: CANVAS as f32 / 2.0 + rng.gen_range(-1.5..1.5),
+        cy: CANVAS as f32 / 2.0 + rng.gen_range(-1.5..1.5),
+        flip: yaw_idx >= yaw_steps.div_ceil(2),
+        stretch_x: 0.82 + 0.36 * yaw_t + rng.gen_range(-0.02..0.02),
+        stretch_y: 1.18 - 0.38 * pitch_t + rng.gen_range(-0.02..0.02),
+        shear: (pitch_t - 0.5) * 0.5 + rng.gen_range(-0.015..0.015),
+    };
+    let mut mv = m.clone();
+    mv.detail = (m.detail + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0);
+    draw_object(&mut canvas, &mv, view);
+    let mut img = canvas.into_image();
+    shade_catalog(&mut img, rng);
     img
 }
 

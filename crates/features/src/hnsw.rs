@@ -1,0 +1,570 @@
+// taor-lint: allow(panic::index) — dense graph kernel: node ids are row indices created in-bounds at insertion time and bounded by the adjacency arrays they index.
+//! HNSW approximate nearest-neighbour index for float descriptors.
+//!
+//! The paper's §3.3 FLANN note — "did not lead to any performance gains …
+//! most likely due to the fairly limited size of the input datasets" —
+//! stops holding once the gallery grows to thousands of views (the
+//! ROADMAP's serving direction). This module implements Hierarchical
+//! Navigable Small World graphs (Malkov & Yashunin 2016): layered
+//! insertion with seeded geometric level draws, greedy descent through the
+//! upper layers and an `ef`-bounded best-first search at layer 0.
+//!
+//! **Scoring** reuses the PR 3 norm-trick kernel economics: graph
+//! traversal ranks candidates by `‖q‖² + ‖t‖² − 2·q·t` with the cached
+//! per-row norms of [`FloatDescriptors::norms_sq`], and the final
+//! candidate set is rescored with the exact [`l2_sq`] before anything is
+//! returned — so reported distances are always exact, and the replayed
+//! naive update sequence reproduces [`knn_match_float_naive`]'s tie
+//! behaviour whenever the true top-2 sit inside the candidate set.
+//!
+//! **Determinism.** Construction is sequential in row order with all
+//! level draws taken from one seeded [`SmallRng`] stream; every
+//! comparison goes through `total_cmp` with the node index as the tie
+//! break; queries allocate their own visited bitmaps. Index build and
+//! query results are therefore byte-identical across `TAOR_THREADS`
+//! widths and repeated spawns.
+//!
+//! **Quarantine.** Rows whose squared norm is non-finite or beyond the
+//! norm-trick validity bound never enter the graph (they can never win in
+//! the oracle either, except as its `(0, ∞)` placeholder). Queries that
+//! are themselves non-finite — and any query when `ef ≥ n` — take the
+//! exact scalar loop over *all* rows, which makes the degenerate
+//! configuration bit-identical to [`knn_match_float_naive`].
+//!
+//! [`knn_match_float_naive`]: crate::matcher::knn_match_float_naive
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::error::{FeatureError, Result};
+use crate::keypoint::{l2_sq, FloatDescriptors};
+use crate::matcher::{DMatch, RatioMatch};
+
+/// Hard cap on drawn levels: with `m ≥ 2` the draw exceeds this with
+/// probability `< 2⁻¹⁶` per node; the cap only bounds the adjacency
+/// allocation.
+const MAX_LEVEL: usize = 16;
+
+/// Rows with squared norms above this (or non-finite) are quarantined out
+/// of the graph — the same bound the matcher's GEMM kernel uses to keep
+/// the norm-trick error analysis valid.
+const MAX_CLEAN_NORM: f32 = 1e30;
+
+/// HNSW build/search knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HnswParams {
+    /// Max neighbours per node on layers ≥ 1 (layer 0 keeps `2m`).
+    pub m: usize,
+    /// Dynamic candidate-list size during construction.
+    pub ef_construction: usize,
+    /// Dynamic candidate-list size during search; `ef ≥ n` degenerates to
+    /// the exact scalar loop.
+    pub ef_search: usize,
+    /// Seed of the level-draw stream: equal seeds ⇒ identical graphs.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams { m: 16, ef_construction: 100, ef_search: 96, seed: 0x5EED }
+    }
+}
+
+/// A scored graph node; orders by `(distance, index)` with `total_cmp`,
+/// so heaps never see the incomparability that poisons `partial_cmp`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cand {
+    d: f32,
+    idx: u32,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.d.total_cmp(&other.d).then(self.idx.cmp(&other.idx))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An owned HNSW index over a descriptor matrix.
+#[derive(Debug)]
+pub struct HnswIndex {
+    descs: FloatDescriptors,
+    params: HnswParams,
+    /// Drawn level per row (quarantined rows keep their draw so the RNG
+    /// stream — and therefore the graph — is independent of which rows
+    /// happen to be dirty later in the matrix).
+    levels: Vec<usize>,
+    /// `links[node][level]` = neighbour ids.
+    links: Vec<Vec<Vec<u32>>>,
+    /// Top-level entry point, `None` while the graph is empty.
+    entry: Option<u32>,
+    max_level: usize,
+    /// Whether the row passed the norm quarantine and joined the graph.
+    clean: Vec<bool>,
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+impl HnswIndex {
+    /// Build an index owning `descs`. Construction is sequential and
+    /// deterministic in `params.seed`.
+    pub fn build(descs: FloatDescriptors, params: HnswParams) -> Result<Self> {
+        if params.m < 2 {
+            return Err(FeatureError::InvalidParameter { name: "m", msg: "must be >= 2".into() });
+        }
+        if params.ef_construction == 0 {
+            return Err(FeatureError::InvalidParameter {
+                name: "ef_construction",
+                msg: "must be >= 1".into(),
+            });
+        }
+        if params.ef_search == 0 {
+            return Err(FeatureError::InvalidParameter {
+                name: "ef_search",
+                msg: "must be >= 1".into(),
+            });
+        }
+        let n = descs.len();
+        let ml = 1.0 / (params.m as f64).ln();
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let levels: Vec<usize> = (0..n)
+            .map(|_| {
+                // u ∈ (0, 1]: never ln(0).
+                let u = 1.0 - rng.gen::<f64>();
+                (-u.ln() * ml) as usize
+            })
+            .map(|l| l.min(MAX_LEVEL))
+            .collect();
+        let clean: Vec<bool> =
+            descs.norms_sq().iter().map(|n| n.is_finite() && *n <= MAX_CLEAN_NORM).collect();
+        let links: Vec<Vec<Vec<u32>>> = levels.iter().map(|&l| vec![Vec::new(); l + 1]).collect();
+        let mut index =
+            HnswIndex { descs, params, levels, links, entry: None, max_level: 0, clean };
+        for i in 0..n {
+            if index.clean[i] {
+                index.insert(i);
+            }
+        }
+        Ok(index)
+    }
+
+    /// Number of rows (including quarantined ones).
+    pub fn len(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// Whether the underlying matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+
+    /// Descriptor width.
+    pub fn width(&self) -> usize {
+        self.descs.width()
+    }
+
+    /// The build/search knobs.
+    pub fn params(&self) -> HnswParams {
+        self.params
+    }
+
+    /// Borrow the indexed descriptors.
+    pub fn descriptors(&self) -> &FloatDescriptors {
+        &self.descs
+    }
+
+    /// Approximate distance of `q` (with squared norm `qn`) to row `i`:
+    /// the PR 3 norm-trick expansion over the cached row norms. Used only
+    /// to *rank* candidates; returned distances are always exact.
+    fn approx_dist(&self, q: &[f32], qn: f32, i: usize) -> f32 {
+        qn + self.descs.norms_sq()[i] - 2.0 * dot(q, self.descs.row(i))
+    }
+
+    /// Norm-trick distance between two gallery rows (neighbour-selection
+    /// diversification).
+    fn row_dist(&self, a: usize, b: usize) -> f32 {
+        let norms = self.descs.norms_sq();
+        norms[a] + norms[b] - 2.0 * dot(self.descs.row(a), self.descs.row(b))
+    }
+
+    fn insert(&mut self, i: usize) {
+        let lvl = self.levels[i];
+        let Some(entry) = self.entry else {
+            self.entry = Some(i as u32);
+            self.max_level = lvl;
+            return;
+        };
+        let q: Vec<f32> = self.descs.row(i).to_vec();
+        let qn = self.descs.norms_sq()[i];
+        let mut visited = vec![0u64; self.descs.len().div_ceil(64)];
+        let mut eps = vec![Cand { d: self.approx_dist(&q, qn, entry as usize), idx: entry }];
+        // Greedy descent through the layers above the new node's level.
+        for l in ((lvl + 1)..=self.max_level).rev() {
+            eps = self.search_layer(&q, qn, &eps, l, 1, &mut visited);
+            visited.fill(0);
+        }
+        for l in (0..=lvl.min(self.max_level)).rev() {
+            let w = self.search_layer(&q, qn, &eps, l, self.params.ef_construction, &mut visited);
+            visited.fill(0);
+            let cap = if l == 0 { 2 * self.params.m } else { self.params.m };
+            let selected = self.select_neighbors(&w, cap);
+            self.links[i][l] = selected.iter().map(|c| c.idx).collect();
+            for c in &selected {
+                let nb = c.idx as usize;
+                self.links[nb][l].push(i as u32);
+                if self.links[nb][l].len() > cap {
+                    self.prune(nb, l, cap);
+                }
+            }
+            eps = w;
+        }
+        if lvl > self.max_level {
+            self.max_level = lvl;
+            self.entry = Some(i as u32);
+        }
+    }
+
+    /// Keep at most `cap` of the ascending-sorted candidates, preferring
+    /// diverse ones (Malkov's heuristic: admit a candidate only when it is
+    /// closer to the query than to every already-selected neighbour), then
+    /// fill remaining slots with the nearest of the skipped.
+    fn select_neighbors(&self, sorted: &[Cand], cap: usize) -> Vec<Cand> {
+        let mut out: Vec<Cand> = Vec::with_capacity(cap);
+        let mut skipped: Vec<Cand> = Vec::new();
+        for &c in sorted {
+            if out.len() >= cap {
+                break;
+            }
+            let diverse = out.iter().all(|s| self.row_dist(c.idx as usize, s.idx as usize) >= c.d);
+            if diverse {
+                out.push(c);
+            } else {
+                skipped.push(c);
+            }
+        }
+        for &c in &skipped {
+            if out.len() >= cap {
+                break;
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    /// Re-select a node's neighbour list after a reverse edge pushed it
+    /// over `cap`.
+    fn prune(&mut self, node: usize, level: usize, cap: usize) {
+        let mut cands: Vec<Cand> = self.links[node][level]
+            .iter()
+            .map(|&nb| Cand { d: self.row_dist(node, nb as usize), idx: nb })
+            .collect();
+        cands.sort_unstable();
+        cands.dedup_by_key(|c| c.idx);
+        let selected = self.select_neighbors(&cands, cap);
+        self.links[node][level] = selected.iter().map(|c| c.idx).collect();
+    }
+
+    /// `ef`-bounded best-first search of one layer from the entry set;
+    /// returns up to `ef` candidates sorted ascending by `(distance,
+    /// index)`. Distances are norm-trick approximations.
+    fn search_layer(
+        &self,
+        q: &[f32],
+        qn: f32,
+        eps: &[Cand],
+        level: usize,
+        ef: usize,
+        visited: &mut [u64],
+    ) -> Vec<Cand> {
+        let mut cands: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+        let mut results: BinaryHeap<Cand> = BinaryHeap::new();
+        for &ep in eps {
+            let word = ep.idx as usize / 64;
+            let bit = 1u64 << (ep.idx as usize % 64);
+            if visited[word] & bit == 0 {
+                visited[word] |= bit;
+                cands.push(Reverse(ep));
+                results.push(ep);
+                if results.len() > ef {
+                    results.pop();
+                }
+            }
+        }
+        while let Some(Reverse(c)) = cands.pop() {
+            if results.len() >= ef {
+                if let Some(worst) = results.peek() {
+                    if c > *worst {
+                        break;
+                    }
+                }
+            }
+            for &nb in &self.links[c.idx as usize][level] {
+                let word = nb as usize / 64;
+                let bit = 1u64 << (nb as usize % 64);
+                if visited[word] & bit != 0 {
+                    continue;
+                }
+                visited[word] |= bit;
+                let cand = Cand { d: self.approx_dist(q, qn, nb as usize), idx: nb };
+                let admit = match results.peek() {
+                    Some(worst) if results.len() >= ef => cand < *worst,
+                    _ => true,
+                };
+                if admit {
+                    results.push(cand);
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                    cands.push(Reverse(cand));
+                }
+            }
+        }
+        let mut out = results.into_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Layer-0 candidate set for one query: greedy descent from the entry
+    /// point, then an `ef`-bounded search of the bottom layer. Caller must
+    /// have checked `entry` is `Some` and the query is finite.
+    fn graph_candidates(&self, q: &[f32], qn: f32, ef: usize) -> Vec<Cand> {
+        let Some(entry) = self.entry else {
+            return Vec::new();
+        };
+        let mut visited = vec![0u64; self.descs.len().div_ceil(64)];
+        let mut eps = vec![Cand { d: self.approx_dist(q, qn, entry as usize), idx: entry }];
+        for l in (1..=self.max_level).rev() {
+            eps = self.search_layer(q, qn, &eps, l, 1, &mut visited);
+            visited.fill(0);
+        }
+        self.search_layer(q, qn, &eps, 0, ef, &mut visited)
+    }
+
+    /// `k` nearest neighbours of `query` as `(row index, exact squared-L2
+    /// distance)`, sorted ascending by `(distance, index)`; non-finite
+    /// distances are dropped. Uses `params.ef_search`.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        self.search_ef(query, k, self.params.ef_search)
+    }
+
+    /// [`HnswIndex::search`] with an explicit `ef` (clamped up to `k`).
+    /// `ef ≥ n` — or a non-finite query — runs the exact scalar scan over
+    /// every row instead of the graph.
+    pub fn search_ef(&self, query: &[f32], k: usize, ef: usize) -> Vec<(usize, f32)> {
+        let n = self.descs.len();
+        if n == 0 || k == 0 || query.len() != self.descs.width() {
+            return Vec::new();
+        }
+        let ef = ef.max(k);
+        let qn: f32 = query.iter().map(|&v| v * v).sum();
+        let q_clean = qn.is_finite() && qn <= MAX_CLEAN_NORM;
+        let mut scored: Vec<(usize, f32)> = if ef >= n || !q_clean || self.entry.is_none() {
+            (0..n).map(|i| (i, l2_sq(query, self.descs.row(i)))).collect()
+        } else {
+            self.graph_candidates(query, qn, ef)
+                .iter()
+                .map(|c| (c.idx as usize, l2_sq(query, self.descs.row(c.idx as usize))))
+                .collect()
+        };
+        scored.retain(|&(_, d)| d.is_finite());
+        scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// 2-NN match every query row against the index, mirroring
+    /// [`crate::matcher::knn_match_float`]'s output shape. When
+    /// `ef_search ≥ n` (or a query row is non-finite) the output is
+    /// bit-identical to [`crate::matcher::knn_match_float_naive`];
+    /// otherwise the candidate set is exact-rescored with the naive update
+    /// sequence, so any query whose true top-2 are found reproduces the
+    /// oracle's result tie-for-tie. Queries run in parallel with an
+    /// ordered collect.
+    pub fn knn_match(&self, query: &FloatDescriptors) -> Result<Vec<RatioMatch>> {
+        if query.is_empty() || self.descs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if query.width() != self.descs.width() {
+            return Err(FeatureError::DescriptorWidthMismatch {
+                left: query.width(),
+                right: self.descs.width(),
+            });
+        }
+        Ok((0..query.len())
+            .into_par_iter()
+            .map(|qi| self.ratio_match_row(query.row(qi), qi))
+            .collect())
+    }
+
+    fn ratio_match_row(&self, q: &[f32], qi: usize) -> RatioMatch {
+        let n = self.descs.len();
+        let ef = self.params.ef_search.max(2);
+        let qn: f32 = q.iter().map(|&v| v * v).sum();
+        let q_clean = qn.is_finite() && qn <= MAX_CLEAN_NORM;
+        let mut best = DMatch { query_idx: qi, train_idx: 0, distance: f32::INFINITY };
+        let mut second: Option<DMatch> = None;
+        let mut update = |ti: usize, d: f32| {
+            if d < best.distance {
+                second = Some(best);
+                best = DMatch { query_idx: qi, train_idx: ti, distance: d };
+            } else if second.is_none_or(|s| d < s.distance) {
+                second = Some(DMatch { query_idx: qi, train_idx: ti, distance: d });
+            }
+        };
+        if ef >= n || !q_clean || self.entry.is_none() {
+            // Exact path: replay the oracle loop over every row.
+            for ti in 0..n {
+                update(ti, l2_sq(q, self.descs.row(ti)));
+            }
+        } else {
+            // Approximate path: exact-rescore the candidate set in
+            // ascending row order — the same update order the oracle uses.
+            let mut idxs: Vec<u32> =
+                self.graph_candidates(q, qn, ef).iter().map(|c| c.idx).collect();
+            idxs.sort_unstable();
+            for &ti in &idxs {
+                update(ti as usize, l2_sq(q, self.descs.row(ti as usize)));
+            }
+        }
+        let second = second.filter(|s| s.distance.is_finite());
+        RatioMatch { best, second }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::knn_match_float_naive;
+    use rand::{Rng, SeedableRng};
+
+    fn random_descs(n: usize, w: usize, seed: u64) -> FloatDescriptors {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut d = FloatDescriptors::new(w);
+        let mut row = vec![0.0f32; w];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            d.push(&row);
+        }
+        d
+    }
+
+    #[test]
+    fn degenerate_ef_matches_oracle_exactly() {
+        let train = random_descs(120, 16, 11);
+        let query = random_descs(30, 16, 12);
+        let index =
+            HnswIndex::build(train.clone(), HnswParams { ef_search: 120, ..HnswParams::default() })
+                .unwrap();
+        let got = index.knn_match(&query).unwrap();
+        let want = knn_match_float_naive(&query, &train).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn graph_search_high_recall_on_random_data() {
+        let train = random_descs(800, 24, 21);
+        let query = random_descs(60, 24, 22);
+        let index = HnswIndex::build(train.clone(), HnswParams::default()).unwrap();
+        let exact = knn_match_float_naive(&query, &train).unwrap();
+        let got = index.knn_match(&query).unwrap();
+        let hits =
+            got.iter().zip(&exact).filter(|(g, e)| g.best.distance <= e.best.distance).count();
+        assert!(hits >= 57, "recall@1 too low: {hits}/60");
+    }
+
+    #[test]
+    fn search_returns_sorted_exact_distances() {
+        let train = random_descs(300, 8, 31);
+        let index = HnswIndex::build(train.clone(), HnswParams::default()).unwrap();
+        let q: Vec<f32> = train.row(17).to_vec();
+        let nn = index.search(&q, 5);
+        assert_eq!(nn.len(), 5);
+        assert_eq!(nn[0], (17, 0.0), "self-query must find itself");
+        for w in nn.windows(2) {
+            assert!(w[0].1 <= w[1].1, "distances must be ascending");
+        }
+        for &(i, d) in &nn {
+            assert_eq!(d, l2_sq(&q, train.row(i)), "distances must be exact");
+        }
+    }
+
+    #[test]
+    fn nan_rows_are_quarantined() {
+        let mut train = FloatDescriptors::new(2);
+        train.push(&[f32::NAN, 0.0]);
+        train.push(&[1.0, 1.0]);
+        train.push(&[f32::NAN, f32::NAN]);
+        train.push(&[2.0, 2.0]);
+        let mut query = FloatDescriptors::new(2);
+        query.push(&[1.1, 1.0]);
+        query.push(&[f32::NAN, 0.0]);
+        let index = HnswIndex::build(train.clone(), HnswParams::default()).unwrap();
+        let got = index.knn_match(&query).unwrap();
+        let want = knn_match_float_naive(&query, &train).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_nan_gallery_yields_placeholder() {
+        let mut train = FloatDescriptors::new(2);
+        train.push(&[f32::NAN, f32::NAN]);
+        train.push(&[f32::NAN, 0.0]);
+        let mut query = FloatDescriptors::new(2);
+        query.push(&[0.0, 0.0]);
+        let index = HnswIndex::build(train.clone(), HnswParams::default()).unwrap();
+        let got = index.knn_match(&query).unwrap();
+        let want = knn_match_float_naive(&query, &train).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(got[0].best.train_idx, 0);
+        assert!(got[0].best.distance.is_infinite());
+        assert!(got[0].second.is_none());
+    }
+
+    #[test]
+    fn empty_inputs_and_width_mismatch() {
+        let empty = FloatDescriptors::new(4);
+        let index = HnswIndex::build(empty, HnswParams::default()).unwrap();
+        assert!(index.knn_match(&random_descs(3, 4, 1)).unwrap().is_empty());
+        assert!(index.search(&[0.0; 4], 2).is_empty());
+        let index = HnswIndex::build(random_descs(10, 4, 2), HnswParams::default()).unwrap();
+        assert!(index.knn_match(&FloatDescriptors::new(4)).unwrap().is_empty());
+        assert!(index.knn_match(&random_descs(2, 8, 3)).is_err());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let d = random_descs(4, 4, 1);
+        assert!(HnswIndex::build(d.clone(), HnswParams { m: 1, ..HnswParams::default() }).is_err());
+        assert!(HnswIndex::build(
+            d.clone(),
+            HnswParams { ef_construction: 0, ..HnswParams::default() }
+        )
+        .is_err());
+        assert!(HnswIndex::build(d, HnswParams { ef_search: 0, ..HnswParams::default() }).is_err());
+    }
+
+    #[test]
+    fn rebuild_is_byte_identical() {
+        let train = random_descs(400, 16, 77);
+        let a = HnswIndex::build(train.clone(), HnswParams::default()).unwrap();
+        let b = HnswIndex::build(train, HnswParams::default()).unwrap();
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.entry, b.entry);
+        assert_eq!(a.levels, b.levels);
+    }
+}

@@ -100,11 +100,17 @@ impl<'a> KdTree<'a> {
 
     /// Approximate 2-NN query: best and second-best indices with squared-L2
     /// distances. Returns `None` when the index is empty.
+    ///
+    /// NaN quarantine matches the naive matcher oracle: updates use
+    /// strict `<` against an `(0, ∞)` placeholder, so a NaN distance can
+    /// never become (or poison) the best slot, an all-NaN gallery returns
+    /// the placeholder itself, and a non-finite second neighbour is
+    /// reported as `None`.
     pub fn knn2(&self, query: &[f32]) -> Knn2 {
         if self.descs.is_empty() {
             return None;
         }
-        let mut best: Option<(usize, f32)> = None;
+        let mut best: (usize, f32) = (0, f32::INFINITY);
         let mut second: Option<(usize, f32)> = None;
         let mut visited = 0usize;
         // Depth-first with a priority backlog of far branches.
@@ -113,10 +119,8 @@ impl<'a> KdTree<'a> {
             if visited >= self.checks {
                 break;
             }
-            if let Some((_, bd)) = best {
-                if bound > bd && second.is_some() {
-                    continue;
-                }
+            if bound > best.1 && second.is_some() {
+                continue;
             }
             loop {
                 match node {
@@ -124,17 +128,11 @@ impl<'a> KdTree<'a> {
                         visited += 1;
                         for &i in items {
                             let d = l2_sq(query, self.descs.row(i));
-                            match best {
-                                None => best = Some((i, d)),
-                                Some((bi, bd)) if d < bd => {
-                                    second = Some((bi, bd));
-                                    best = Some((i, d));
-                                }
-                                _ => match second {
-                                    None => second = Some((i, d)),
-                                    Some((_, sd)) if d < sd => second = Some((i, d)),
-                                    _ => {}
-                                },
+                            if d < best.1 {
+                                second = Some(best);
+                                best = (i, d);
+                            } else if second.is_none_or(|(_, sd)| d < sd) {
+                                second = Some((i, d));
                             }
                         }
                         break;
@@ -148,11 +146,16 @@ impl<'a> KdTree<'a> {
                 }
             }
         }
-        best.map(|(bi, bd)| (bi, bd, second))
+        // The placeholder must never leak out as `second`.
+        let second = second.filter(|(_, sd)| sd.is_finite());
+        Some((best.0, best.1, second))
     }
 
     /// kNN-match every query descriptor against the index, mirroring
-    /// [`crate::matcher::knn_match_float`]'s output shape.
+    /// [`crate::matcher::knn_match_float`]'s output shape: empty output
+    /// for an empty side, otherwise exactly one [`RatioMatch`] per query
+    /// row (queries with no finite neighbour get the oracle's `(0, ∞)`
+    /// placeholder, never a dropped row).
     pub fn knn_match(&self, query: &FloatDescriptors) -> Result<Vec<RatioMatch>> {
         if query.is_empty() || self.descs.is_empty() {
             return Ok(Vec::new());
@@ -165,16 +168,12 @@ impl<'a> KdTree<'a> {
         }
         let mut out = Vec::with_capacity(query.len());
         for qi in 0..query.len() {
-            if let Some((bi, bd, sec)) = self.knn2(query.row(qi)) {
-                out.push(RatioMatch {
-                    best: DMatch { query_idx: qi, train_idx: bi, distance: bd },
-                    second: sec.map(|(si, sd)| DMatch {
-                        query_idx: qi,
-                        train_idx: si,
-                        distance: sd,
-                    }),
-                });
-            }
+            // `knn2` is `None` only for an empty index, ruled out above.
+            let (bi, bd, sec) = self.knn2(query.row(qi)).unwrap_or((0, f32::INFINITY, None));
+            out.push(RatioMatch {
+                best: DMatch { query_idx: qi, train_idx: bi, distance: bd },
+                second: sec.map(|(si, sd)| DMatch { query_idx: qi, train_idx: si, distance: sd }),
+            });
         }
         Ok(out)
     }
@@ -253,5 +252,84 @@ mod tests {
         let query = random_descs(2, 8, 6);
         let tree = KdTree::build(&train, 8).unwrap();
         assert!(tree.knn_match(&query).is_err());
+    }
+
+    #[test]
+    fn nan_rows_never_poison_best() {
+        // A NaN row visited first used to lodge itself in `best` forever
+        // (every later `d < NaN` comparison is false). The oracle's
+        // quarantine: NaN never becomes best or a reported second.
+        let mut train = FloatDescriptors::new(2);
+        train.push(&[f32::NAN, f32::NAN]);
+        train.push(&[1.0, 1.0]);
+        train.push(&[f32::NAN, 0.0]);
+        train.push(&[4.0, 4.0]);
+        let tree = KdTree::build(&train, usize::MAX).unwrap();
+        let query = float_set_kd(&[&[1.0, 1.1], &[4.0, 4.0]]);
+        let got = tree.knn_match(&query).unwrap();
+        let want = crate::matcher::knn_match_float_naive(&query, &train).unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.best.train_idx, w.best.train_idx);
+            assert_eq!(g.best.distance, w.best.distance);
+            assert_eq!(g.second.map(|s| s.distance), w.second.map(|s| s.distance));
+        }
+    }
+
+    #[test]
+    fn all_nan_gallery_yields_placeholder_row() {
+        let mut train = FloatDescriptors::new(2);
+        train.push(&[f32::NAN, f32::NAN]);
+        train.push(&[f32::NAN, 1.0]);
+        let tree = KdTree::build(&train, usize::MAX).unwrap();
+        let query = float_set_kd(&[&[0.0, 0.0]]);
+        let got = tree.knn_match(&query).unwrap();
+        let want = crate::matcher::knn_match_float_naive(&query, &train).unwrap();
+        assert_eq!(got.len(), 1, "one RatioMatch per query, never a dropped row");
+        assert_eq!(got[0].best.train_idx, want[0].best.train_idx);
+        assert!(got[0].best.distance.is_infinite());
+        assert!(got[0].second.is_none());
+    }
+
+    #[test]
+    fn nan_query_gets_placeholder_not_a_dropped_row() {
+        let train = random_descs(20, 2, 9);
+        let tree = KdTree::build(&train, usize::MAX).unwrap();
+        let query = float_set_kd(&[&[f32::NAN, 0.0], &[0.0, 0.0]]);
+        let got = tree.knn_match(&query).unwrap();
+        assert_eq!(got.len(), 2, "row count must match the query count");
+        assert!(got[0].best.distance.is_infinite());
+        assert!(got[0].second.is_none());
+        assert!(got[1].best.distance.is_finite());
+    }
+
+    #[test]
+    fn k_exceeding_gallery_size_reports_no_second() {
+        // A single-row index: `k = 2 > n = 1`, second must be None — the
+        // oracle filters its placeholder out the same way.
+        let train = float_set_kd(&[&[3.0, 3.0]]);
+        let tree = KdTree::build(&train, usize::MAX).unwrap();
+        let query = float_set_kd(&[&[3.0, 3.5]]);
+        let got = tree.knn_match(&query).unwrap();
+        let want = crate::matcher::knn_match_float_naive(&query, &train).unwrap();
+        assert_eq!(got[0].best.train_idx, 0);
+        assert!(got[0].second.is_none());
+        assert_eq!(want[0].second, None);
+    }
+
+    #[test]
+    fn empty_gallery_yields_empty_output() {
+        let train = FloatDescriptors::new(3);
+        let tree = KdTree::build(&train, 4).unwrap();
+        let query = random_descs(5, 3, 10);
+        assert!(tree.knn_match(&query).unwrap().is_empty());
+    }
+
+    fn float_set_kd(rows: &[&[f32]]) -> FloatDescriptors {
+        let mut d = FloatDescriptors::new(rows[0].len());
+        for r in rows {
+            d.push(r);
+        }
+        d
     }
 }

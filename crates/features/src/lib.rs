@@ -17,28 +17,39 @@
 //!   descriptors with the ratio test, plus a kd-tree approximate matcher
 //!   ([`kdtree`]) standing in for FLANN (the paper reports FLANN gave no
 //!   gain at this dataset scale — reproduced by `taor-bench`'s `matching`
-//!   bench).
+//!   bench),
+//! * [`hnsw`] / [`mih`] — the sub-linear gallery indexes that replace
+//!   brute force once the gallery grows past the paper's toy scale: an
+//!   HNSW graph for float descriptors/embeddings and an exact
+//!   multi-index-hashing table for binary codes, with a recall@k-vs-exact
+//!   harness in [`recall`].
 
 #![forbid(unsafe_code)]
 
 pub mod error;
 pub mod evaluation;
+pub mod hnsw;
 pub mod kdtree;
 pub mod keypoint;
 pub mod matcher;
+pub mod mih;
 pub mod orb;
 pub mod ransac;
+pub mod recall;
 pub mod sift;
 pub mod surf;
 
 pub use error::{FeatureError, Result};
 pub use evaluation::{matching_score, repeatability};
+pub use hnsw::{HnswIndex, HnswParams};
 pub use keypoint::{BinaryDescriptors, FloatDescriptors, KeyPoint};
 pub use matcher::{
     knn_match_binary, knn_match_binary_naive, knn_match_float, knn_match_float_naive,
     ratio_test_matches, DMatch, RatioMatch,
 };
+pub use mih::{MihIndex, MihParams};
 pub use orb::{orb_detect_and_compute, OrbParams};
 pub use ransac::{verify_matches, RansacParams, Similarity, Verification};
+pub use recall::{exact_knn_binary, exact_knn_float, mean_recall, recall_at_k, recall_at_k_u32};
 pub use sift::{sift_detect_and_compute, SiftParams};
 pub use surf::{surf_detect_and_compute, SurfParams};

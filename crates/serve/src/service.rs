@@ -20,6 +20,9 @@ use taor_core::prelude::*;
 use taor_core::wire::{decode_crop, DecodeStats};
 use taor_core::{Error, Result};
 use taor_data::{shapenet_set1, ObjectClass};
+use taor_features::{
+    BinaryDescriptors, FloatDescriptors, HnswIndex, HnswParams, MihIndex, MihParams,
+};
 use taor_imgproc::cmp::nan_last_f64;
 use taor_imgproc::image::RgbImage;
 use taor_nn::{NetConfig, NormXCorrNet, Tensor, TensorError};
@@ -40,6 +43,15 @@ pub struct ServiceConfig {
     /// Chaos knob: force the Siamese step to fail with a typed error,
     /// exercising the degrade ladder deterministically.
     pub chaos_siamese_error: bool,
+    /// Gallery index for the Siamese path. `Flat` runs the head over
+    /// every gallery view (the original behaviour); `Hnsw` shortlists by
+    /// embedding L2 via a graph index; `Mih` shortlists by Hamming
+    /// distance over sign-projected embedding bits. Non-flat modes score
+    /// only the shortlist — classes absent from it keep an infinite
+    /// distance and rank last.
+    pub index: AnnIndexMode,
+    /// How many gallery views a non-flat index hands to the head.
+    pub shortlist: usize,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +70,8 @@ impl Default for ServiceConfig {
                 ..NetConfig::default()
             },
             chaos_siamese_error: false,
+            index: AnnIndexMode::Flat,
+            shortlist: 16,
         }
     }
 }
@@ -93,8 +107,53 @@ pub struct RecognizerService {
     /// Class of each stacked gallery view, row-aligned with
     /// `ref_embeds`.
     ref_classes: Vec<ObjectClass>,
+    /// Per-view embedding tensors (only populated for non-flat indexes,
+    /// where shortlisted subsets must be restacked per query).
+    ref_embed_views: Vec<Tensor>,
+    /// The shortlist index over the gallery embeddings.
+    gallery_index: GalleryIndex,
     cfg: ServiceConfig,
     diag: Diagnostics,
+}
+
+/// The built form of [`ServiceConfig::index`].
+enum GalleryIndex {
+    Flat,
+    Hnsw(Box<HnswIndex>),
+    Mih(Box<MihIndex>),
+}
+
+/// Bits in the sign-projection signature the MIH mode hashes.
+const SIG_BITS: usize = 256;
+const SIG_BYTES: usize = SIG_BITS / 8;
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// SimHash-style signature: each bit is the sign of the embedding's dot
+/// product with a seeded Rademacher (±1) vector. Nearby embeddings agree
+/// on most bits, so Hamming shortlists approximate L2 shortlists. Purely
+/// a function of `(row, seed)` — bit-stable across spawns and widths.
+fn sign_signature(row: &[f32], seed: u64) -> Vec<u8> {
+    let mut out = vec![0u8; SIG_BYTES];
+    for bit in 0..SIG_BITS {
+        let mut acc = 0.0f64;
+        for (i, &v) in row.iter().enumerate() {
+            let h = splitmix64(seed ^ (((bit as u64) << 32) | i as u64));
+            let w = if h & 1 == 1 { 1.0 } else { -1.0 };
+            acc += w * f64::from(v);
+        }
+        if acc > 0.0 {
+            if let Some(byte) = out.get_mut(bit / 8) {
+                *byte |= 1 << (bit % 8);
+            }
+        }
+    }
+    out
 }
 
 fn method_label(method: &Method) -> &'static str {
@@ -125,11 +184,36 @@ impl RecognizerService {
         } else {
             (None, None, Vec::new())
         };
+        let (gallery_index, ref_embed_views) = match (&ref_embeds, cfg.index) {
+            (Some(embeds), AnnIndexMode::Hnsw) => {
+                let views = embeds.split_batch()?;
+                let row_len = views.first().map_or(0, |v| v.data().len());
+                let mut descs = FloatDescriptors::new(row_len);
+                for v in &views {
+                    descs.push(v.data());
+                }
+                let params = HnswParams { seed: cfg.seed, ..HnswParams::default() };
+                let index = HnswIndex::build(descs, params).map_err(Error::from)?;
+                (GalleryIndex::Hnsw(Box::new(index)), views)
+            }
+            (Some(embeds), AnnIndexMode::Mih) => {
+                let views = embeds.split_batch()?;
+                let mut descs = BinaryDescriptors::new(SIG_BYTES);
+                for v in &views {
+                    descs.push(&sign_signature(v.data(), cfg.seed));
+                }
+                let index = MihIndex::build(descs, MihParams::default()).map_err(Error::from)?;
+                (GalleryIndex::Mih(Box::new(index)), views)
+            }
+            _ => (GalleryIndex::Flat, Vec::new()),
+        };
         Ok(RecognizerService {
             fallback,
             net,
             ref_embeds,
             ref_classes,
+            ref_embed_views,
+            gallery_index,
             cfg,
             diag: Diagnostics::new(),
         })
@@ -145,6 +229,26 @@ impl RecognizerService {
     /// Number of reference views in the gallery.
     pub fn reference_count(&self) -> usize {
         self.fallback.reference_count()
+    }
+
+    /// Number of views the active gallery (Siamese embeddings when that
+    /// pipeline is on, otherwise the fallback reference set) holds.
+    pub fn gallery_size(&self) -> usize {
+        if self.ref_classes.is_empty() {
+            self.fallback.reference_count()
+        } else {
+            self.ref_classes.len()
+        }
+    }
+
+    /// The index actually built over the gallery (`flat` when the
+    /// Siamese pipeline is off, whatever the config asked for).
+    pub fn index_label(&self) -> &'static str {
+        match &self.gallery_index {
+            GalleryIndex::Flat => "flat",
+            GalleryIndex::Hnsw(_) => "hnsw",
+            GalleryIndex::Mih(_) => "mih",
+        }
     }
 
     /// Decode a wire crop (typed errors for malformed buffers).
@@ -263,13 +367,31 @@ impl RecognizerService {
         };
         let embed = embed.ok_or(Error::Nn(TensorError::EmptyTrainingSet))?;
         let n = self.ref_classes.len();
-        let repeated: Vec<&Tensor> = std::iter::repeat_n(&embed, n).collect();
-        let query_rows = Tensor::stack_batch(&repeated)?;
-        let probs = net.predict_similar_features(&query_rows, refs)?;
+
+        // Which gallery rows the head scores: everything in flat mode,
+        // the index's shortlist otherwise (ascending row order, so the
+        // stacked batch layout is deterministic).
+        let (rows, probs) = match &self.gallery_index {
+            GalleryIndex::Flat => {
+                let repeated: Vec<&Tensor> = std::iter::repeat_n(&embed, n).collect();
+                let query_rows = Tensor::stack_batch(&repeated)?;
+                let probs = net.predict_similar_features(&query_rows, refs)?;
+                ((0..n).collect::<Vec<usize>>(), probs)
+            }
+            GalleryIndex::Hnsw(ix) => {
+                let found = ix.search(embed.data(), self.cfg.shortlist.max(1));
+                self.score_shortlist(net, &embed, found.into_iter().map(|(i, _)| i).collect())?
+            }
+            GalleryIndex::Mih(ix) => {
+                let sig = sign_signature(embed.data(), self.cfg.seed);
+                let found = ix.search(&sig, self.cfg.shortlist.max(1));
+                self.score_shortlist(net, &embed, found.into_iter().map(|(i, _)| i).collect())?
+            }
+        };
 
         let mut best = [f64::INFINITY; ObjectClass::COUNT];
         let mut nan_seen = 0u64;
-        for (class, p) in self.ref_classes.iter().zip(&probs) {
+        for (class, p) in rows.iter().filter_map(|&i| self.ref_classes.get(i)).zip(&probs) {
             let d = 1.0 - f64::from(*p);
             if d.is_nan() {
                 nan_seen += 1;
@@ -297,6 +419,31 @@ impl RecognizerService {
             degraded,
             quarantined_samples: stats.nan_pixels,
         })
+    }
+
+    /// Stack the shortlisted gallery rows, run the head over just those
+    /// pairs, and return `(rows, probs)` in ascending row order (so the
+    /// batch layout — and therefore the bytes — never depend on the
+    /// index's internal traversal order).
+    fn score_shortlist(
+        &self,
+        net: &NormXCorrNet,
+        embed: &Tensor,
+        mut rows: Vec<usize>,
+    ) -> Result<(Vec<usize>, Vec<f32>)> {
+        rows.sort_unstable();
+        let subset: Vec<&Tensor> =
+            rows.iter().filter_map(|&i| self.ref_embed_views.get(i)).collect();
+        if subset.is_empty() {
+            // A fully quarantined query (or an empty gallery) shortlists
+            // nothing: degrade down the ladder.
+            return Err(Error::EmptyReference("gallery shortlist is empty"));
+        }
+        let stacked_refs = Tensor::stack_batch(&subset)?;
+        let repeated: Vec<&Tensor> = std::iter::repeat_n(embed, subset.len()).collect();
+        let query_rows = Tensor::stack_batch(&repeated)?;
+        let probs = net.predict_similar_features(&query_rows, &stacked_refs)?;
+        Ok((rows, probs))
     }
 
     /// The cheap-pipeline answer (histograms/Hu via the shared
@@ -422,6 +569,62 @@ mod tests {
         let resp = s.recognize_image(&crop(), DecodeStats::default(), true);
         assert_eq!(resp.pipeline, "hybrid");
         assert!(!resp.degraded, "the configured primary pipeline is not a degradation");
+    }
+
+    #[test]
+    fn hnsw_shortlist_covering_the_gallery_matches_flat() {
+        // With the shortlist at least as large as the gallery, the HNSW
+        // path scores every view the flat path scores, so the answer
+        // must be byte-identical (the head is per-pair).
+        let flat = service(true);
+        let hnsw = RecognizerService::new(ServiceConfig {
+            index: AnnIndexMode::Hnsw,
+            shortlist: 1024,
+            ..ServiceConfig::default()
+        })
+        .expect("hnsw gallery builds");
+        assert_eq!(hnsw.index_label(), "hnsw");
+        assert_eq!(hnsw.gallery_size(), flat.gallery_size());
+        for li in nyu_set_subsampled(2019, 1).images.iter().take(3) {
+            let a = flat.recognize_image(&li.image, DecodeStats::default(), true);
+            let b = hnsw.recognize_image(&li.image, DecodeStats::default(), true);
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "a gallery-covering shortlist must reproduce the flat answer"
+            );
+        }
+    }
+
+    #[test]
+    fn small_shortlist_still_answers_siamese_deterministically() {
+        for index in [AnnIndexMode::Hnsw, AnnIndexMode::Mih] {
+            let s = RecognizerService::new(ServiceConfig {
+                index,
+                shortlist: 8,
+                ..ServiceConfig::default()
+            })
+            .expect("indexed gallery builds");
+            assert_eq!(s.index_label(), index.label());
+            let a = s.recognize_image(&crop(), DecodeStats::default(), true);
+            let b = s.recognize_image(&crop(), DecodeStats::default(), true);
+            assert_eq!(a.pipeline, "siamese");
+            assert!(!a.degraded, "a shortlisted answer is not a degradation");
+            assert_eq!(a.ranking.len(), ObjectClass::COUNT);
+            assert_eq!(serde_json::to_string(&a).unwrap(), serde_json::to_string(&b).unwrap());
+        }
+    }
+
+    #[test]
+    fn index_without_siamese_stays_flat() {
+        let s = RecognizerService::new(ServiceConfig {
+            use_siamese: false,
+            index: AnnIndexMode::Hnsw,
+            ..ServiceConfig::default()
+        })
+        .expect("cheap gallery builds");
+        assert_eq!(s.index_label(), "flat", "no embeddings means no index to build");
+        assert!(s.gallery_size() > 0);
     }
 
     #[test]

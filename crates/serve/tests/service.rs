@@ -171,8 +171,23 @@ fn healthz_reports_gallery_and_queue_shape() {
     let text = String::from_utf8(body).unwrap();
     assert!(text.contains("\"status\":\"ok\""), "body: {text}");
     assert!(text.contains("\"reference_views\":82"), "body: {text}");
+    assert!(text.contains("\"gallery_size\":82"), "body: {text}");
+    assert!(text.contains("\"index\":\"flat\""), "body: {text}");
     assert!(text.contains("\"queue_capacity\":64"), "body: {text}");
     assert!(text.contains("\"diagnostics\":"), "body: {text}");
+    server.shutdown();
+}
+
+#[test]
+fn healthz_reports_the_active_ann_index() {
+    let service_cfg =
+        ServiceConfig { index: taor_core::prelude::AnnIndexMode::Hnsw, ..ServiceConfig::default() };
+    let server = spawn(service_cfg, ServerConfig::default());
+    let (status, body) = chaos::get(server.local_addr(), "/healthz").unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"index\":\"hnsw\""), "body: {text}");
+    assert!(text.contains("\"gallery_size\":82"), "body: {text}");
     server.shutdown();
 }
 
