@@ -6,9 +6,9 @@
 //! percentiles, throughput and the shed/timeout/degraded counts into a
 //! versioned JSON record under `bench_records/`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use taor_model::sync::{AtomicUsize, Ordering};
 
 use serde::Serialize;
 use taor_core::wire::encode_rgb8;

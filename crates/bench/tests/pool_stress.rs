@@ -5,17 +5,22 @@
 //!
 //! The hand-off under test is the `next.fetch_add(Relaxed)` chunk
 //! allocator paired with the `finished.fetch_add(AcqRel)` completion
-//! latch: if the allocator ever handed the same chunk to two threads,
-//! the per-index counters below would read 2; if the latch's Release
-//! edge were dropped, the caller could observe stale zeros after the
-//! region "completed".
+//! latch — the same `ChunkLatch` protocol that `taor-model` explores
+//! exhaustively at small widths (`crates/model/tests/pool_handoff.rs`).
+//! Both suites phrase the postconditions through
+//! [`taor_model::invariants`], so the exhaustive checker and this
+//! statistical-at-scale test can never drift apart on what "correct"
+//! means: if the allocator double-delivered, `assert_exactly_once` sees
+//! overlapping claims; if the latch's Release edge were dropped,
+//! `assert_published` sees stale zeros after the region "completed".
 //!
 //! `TAOR_THREADS` is latched by a `OnceLock` on first pool use, so this
 //! test pins it in its own process (each integration test binary is a
 //! separate process) before any parallel call runs.
 
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use taor_model::invariants::{assert_exactly_once, assert_published};
+use taor_model::sync::{AtomicUsize, Ordering};
 
 /// Force a wide pool before the first parallel region latches the
 /// width. Safe in edition 2021; this binary is single-threaded here.
@@ -36,12 +41,21 @@ fn every_index_is_delivered_exactly_once_under_contention() {
         (0..n).into_par_iter().for_each(|i| {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
-        for (i, h) in hits.iter().enumerate() {
-            // The AcqRel completion latch orders these loads after every
-            // worker's writes, so Relaxed reads see the final counts.
-            let c = h.load(Ordering::Relaxed);
-            assert_eq!(c, 1, "round {round}: index {i} delivered {c} times");
-        }
+        // Each observed delivery becomes a width-1 claim; the shared
+        // invariant then demands a disjoint exact cover of 0..n — a
+        // double delivery overlaps, a lost index leaves a gap.
+        let claims: Vec<(usize, usize)> = hits
+            .iter()
+            .enumerate()
+            .flat_map(|(i, h)| {
+                // The AcqRel completion latch orders these loads after
+                // every worker's writes, so Relaxed reads see final
+                // counts.
+                let c = h.load(Ordering::Relaxed);
+                std::iter::repeat_n((i, i + 1), c)
+            })
+            .collect();
+        assert_exactly_once(n, &claims);
     }
 }
 
@@ -55,10 +69,7 @@ fn completed_regions_publish_all_writes_to_the_caller() {
         let n = 1000 + 7 * round;
         let mut v = vec![0usize; n];
         v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 2 + 1);
-        assert!(
-            v.iter().enumerate().all(|(i, &x)| x == i * 2 + 1),
-            "round {round}: a chunk's writes were lost or stale"
-        );
+        assert_published(&v, |i| i * 2 + 1);
     }
 }
 

@@ -8,7 +8,7 @@
 //! shared reference; relaxed ordering is enough because the counts are
 //! only read after the parallel section joins.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use taor_model::sync::{AtomicU64, Ordering};
 
 /// Thread-safe counters describing how much a run had to degrade.
 ///

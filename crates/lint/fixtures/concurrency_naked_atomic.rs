@@ -1,0 +1,20 @@
+// Fixture: reaching std atomics directly instead of through the
+// taor_model::sync shim. Both the `use` and the inline path fire (one
+// diagnostic per line); the test-gated use is exempt.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn f() -> usize {
+    let n = std::sync::atomic::AtomicUsize::new(0);
+    // Ordering::Relaxed — fixture comment so atomics::undocumented
+    // stays quiet and the naked-atomic finding is isolated.
+    n.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        use std::sync::atomic::AtomicBool;
+        let _b = AtomicBool::new(false);
+    }
+}

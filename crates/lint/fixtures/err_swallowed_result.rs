@@ -1,0 +1,18 @@
+// Fixture: discarding Results. The first two `let _ =` statements
+// swallow errors (builtin `send`, builtin `join`); the third propagates
+// with `?`; the fourth discards a non-call; the fifth calls a local
+// Result-returning fn (caught via the workspace table — lint_source
+// collects it from this same file).
+fn local_fallible() -> Result<u32, String> {
+    Ok(1)
+}
+
+fn run(tx: std::sync::mpsc::Sender<u32>, h: std::thread::JoinHandle<()>) -> Result<(), String> {
+    let _ = tx.send(1);
+    let _ = h.join();
+    let _ = local_fallible()?;
+    let value = 7;
+    let _ = value;
+    let _ = local_fallible();
+    Ok(())
+}

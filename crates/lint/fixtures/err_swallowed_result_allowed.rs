@@ -1,0 +1,6 @@
+// Fixture: a justified allow waives a deliberate best-effort discard.
+fn run(tx: std::sync::mpsc::Sender<u32>) {
+    // taor-lint: allow(err::swallowed-result) — receiver gone means the
+    // client hung up; there is nobody left to tell.
+    let _ = tx.send(1);
+}

@@ -22,8 +22,81 @@ impl Diagnostic {
     }
 }
 
+impl Diagnostic {
+    /// One-line JSON object (`--json` output). Hand-rolled because the
+    /// lint sits below every dependency in the workspace, serde
+    /// included.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"file":{},"line":{},"rule":{},"message":{}}}"#,
+            json_str(&self.file),
+            self.line,
+            json_str(&self.rule),
+            json_str(&self.message)
+        )
+    }
+
+    /// GitHub Actions workflow-command annotation: renders as an inline
+    /// error on the diff in the PR view.
+    pub fn to_github_annotation(&self) -> String {
+        format!(
+            "::error file={},line={},title={}::{}",
+            self.file,
+            self.line,
+            self.rule,
+            // Workflow commands are line-oriented: the message must be
+            // escaped to survive as a single property value.
+            self.message.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+        )
+    }
+}
+
+/// Minimal JSON string escape: quotes, backslashes, control chars.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let d = Diagnostic::new("a.rs", 3, "panic::index", "bad \"thing\"\nhere");
+        assert_eq!(
+            d.to_json(),
+            r#"{"file":"a.rs","line":3,"rule":"panic::index","message":"bad \"thing\"\nhere"}"#
+        );
+    }
+
+    #[test]
+    fn github_annotation_escapes_message_newlines() {
+        let d = Diagnostic::new("a.rs", 3, "err::swallowed-result", "l1\nl2 100%");
+        assert_eq!(
+            d.to_github_annotation(),
+            "::error file=a.rs,line=3,title=err::swallowed-result::l1%0Al2 100%25"
+        );
     }
 }

@@ -10,7 +10,8 @@ use crate::diag::Diagnostic;
 use crate::lexer::{self, TokenKind};
 use crate::regions;
 use crate::rules::{self, RuleCtx};
-use std::collections::BTreeMap;
+use crate::stmt;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` is result-producing inference code: the strict
@@ -33,9 +34,35 @@ const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
 
 /// Lint one source string the way the engine would lint that file on
 /// disk (minus crate-level checks). Public so the fixture tests drive
-/// exactly the production path.
+/// exactly the production path. Like the engine, the file's own
+/// `Result`-returning functions feed `err::swallowed-result`; a full
+/// workspace run unions the tables of every file first
+/// ([`lint_source_with`]).
 pub fn lint_source(file: &str, src: &str, strict: bool, all_test: bool) -> Vec<Diagnostic> {
     let out = lexer::lex(src);
+    let result_fns: BTreeSet<String> = stmt::result_fns(&out.tokens).into_iter().collect();
+    lint_lexed(file, &out, strict, all_test, &result_fns)
+}
+
+/// [`lint_source`] with an externally-collected `Result`-returning
+/// function table (engine pass 1 over the whole workspace).
+pub fn lint_source_with(
+    file: &str,
+    src: &str,
+    strict: bool,
+    all_test: bool,
+    result_fns: &BTreeSet<String>,
+) -> Vec<Diagnostic> {
+    lint_lexed(file, &lexer::lex(src), strict, all_test, result_fns)
+}
+
+fn lint_lexed(
+    file: &str,
+    out: &lexer::LexOut,
+    strict: bool,
+    all_test: bool,
+    result_fns: &BTreeSet<String>,
+) -> Vec<Diagnostic> {
     let mask = regions::test_mask(&out.tokens);
     let ctx = RuleCtx {
         file,
@@ -44,6 +71,7 @@ pub fn lint_source(file: &str, src: &str, strict: bool, all_test: bool) -> Vec<D
         comments: &out.comments,
         strict,
         all_test,
+        result_fns,
     };
     let mut diags = Vec::new();
     rules::run_file(&ctx, &mut diags);
@@ -94,6 +122,12 @@ struct CrateInfo {
 
 /// Lint the whole workspace rooted at `root`. Returns diagnostics
 /// sorted by (file, line, rule).
+///
+/// Two passes: pass 1 reads and lexes every file, collecting the
+/// workspace-wide table of `Result`-returning function names and the
+/// per-crate facts; pass 2 runs the rules with that table in scope, so
+/// `err::swallowed-result` knows the project's own fallible functions
+/// regardless of declaration order.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     let mut files = Vec::new();
     for top in WALK_ROOTS {
@@ -104,7 +138,10 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     }
     files.sort();
 
-    let mut diags = Vec::new();
+    // Pass 1: lex everything once; accumulate the fallible-fn table and
+    // crate-level bookkeeping.
+    let mut lexed: Vec<(String, lexer::LexOut, bool, bool)> = Vec::new();
+    let mut result_fns: BTreeSet<String> = BTreeSet::new();
     let mut crates: BTreeMap<String, CrateInfo> = BTreeMap::new();
     for path in &files {
         let rel = path.strip_prefix(root).unwrap_or(path);
@@ -115,12 +152,11 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
             || rel_str.contains("/benches/")
             || rel_str.starts_with("tests/")
             || rel_str.starts_with("examples/");
-        diags.extend(lint_source(&rel_str, &src, strict, all_test));
+        let out = lexer::lex(&src);
+        result_fns.extend(stmt::result_fns(&out.tokens));
 
-        // Crate-level bookkeeping.
         let crate_key = crate_of(&rel_str);
         let info = crates.entry(crate_key.clone()).or_default();
-        let out = lexer::lex(&src);
         info.has_unsafe |=
             out.tokens.iter().any(|t| t.kind == TokenKind::Ident && t.text == "unsafe");
         let root_rel = format!("{}src/lib.rs", prefix_of(&crate_key));
@@ -136,6 +172,13 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
             info.root_allows =
                 allow::collect(&out.comments, &out.tokens, first, &rel_str, &mut scratch);
         }
+        lexed.push((rel_str, out, strict, all_test));
+    }
+
+    // Pass 2: run the rules with the full table in scope.
+    let mut diags = Vec::new();
+    for (rel_str, out, strict, all_test) in &lexed {
+        diags.extend(lint_lexed(rel_str, out, *strict, *all_test, &result_fns));
     }
 
     for (name, info) in &crates {

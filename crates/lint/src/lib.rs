@@ -10,10 +10,11 @@
 //! checks them mechanically so no later change regresses them
 //! silently. It is deliberately dependency-free and built in the
 //! repo's reimplement-from-scratch style: a hand-written lexer
-//! ([`lexer`]) feeds test-region tracking ([`regions`]), a rule engine
-//! ([`rules`]) and a justification-carrying allow-list ([`allow`]);
-//! [`engine`] walks the workspace and adds the crate-level unsafe
-//! gates.
+//! ([`lexer`]) feeds test-region tracking ([`regions`]), a
+//! statement-level parse ([`stmt`]), a rule engine ([`rules`]) and a
+//! justification-carrying allow-list ([`allow`]); [`engine`] walks the
+//! workspace (two passes, so `err::swallowed-result` sees every crate's
+//! `Result`-returning functions) and adds the crate-level unsafe gates.
 //!
 //! See DESIGN.md §9 for the architecture and how to add a rule.
 
@@ -25,6 +26,7 @@ pub mod engine;
 pub mod lexer;
 pub mod regions;
 pub mod rules;
+pub mod stmt;
 
 pub use diag::Diagnostic;
-pub use engine::{find_workspace_root, lint_source, lint_workspace};
+pub use engine::{find_workspace_root, lint_source, lint_source_with, lint_workspace};

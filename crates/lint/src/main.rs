@@ -9,12 +9,16 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workspace = false;
+    let mut json = false;
+    let mut github = false;
     let mut root: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--github" => github = true,
             "--root" => root = it.next().map(PathBuf::from),
             "--help" | "-h" => {
                 print_help();
@@ -56,7 +60,13 @@ fn main() -> ExitCode {
     }
 
     for d in &diags {
-        println!("{d}");
+        if json {
+            println!("{}", d.to_json());
+        } else if github {
+            println!("{}", d.to_github_annotation());
+        } else {
+            println!("{d}");
+        }
     }
     if diags.is_empty() {
         eprintln!("taor-lint: clean");
@@ -76,8 +86,13 @@ USAGE:
     cargo run -p taor-lint -- [--root DIR]         override workspace root discovery
     cargo run -p taor-lint -- FILE.rs …            lint files as strict library code
 
+OUTPUT:
+    --json      one JSON object per diagnostic (machine consumption)
+    --github    GitHub Actions ::error annotations (inline PR comments)
+
 Suppress a finding with a justified allow comment:
     // taor-lint: allow(rule::name) — why this site is sound
-Rule families: panic, float, det, unsafe, atomics (see DESIGN.md §9)."
+Rule families: panic, float, det, unsafe, atomics, concurrency, err
+(see DESIGN.md §9)."
     );
 }

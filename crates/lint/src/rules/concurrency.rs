@@ -1,0 +1,46 @@
+//! `concurrency::*` — keep every synchronisation primitive behind the
+//! model-checker shim.
+//!
+//! `taor-model` can only verify interleavings of code it can see:
+//! production code must reach atomics, mutexes and condvars through
+//! `taor_model::sync`, which compiles to the std types normally and to
+//! the instrumented checker types under `--cfg taor_model`. A direct
+//! `std::sync::atomic` path bypasses the shim — that code still runs,
+//! but the exhaustive pool/serve models silently stop covering it.
+//!
+//! * `concurrency::naked-atomic` — any `std::sync::atomic` path in
+//!   non-test code outside `crates/model` (the shim's own home, which
+//!   necessarily names the std types to re-export them).
+
+use super::RuleCtx;
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+
+pub fn run(ctx: &RuleCtx<'_>, diags: &mut Vec<Diagnostic>) {
+    // The shim itself must spell out the std paths it re-exports.
+    if ctx.file.starts_with("crates/model/") {
+        return;
+    }
+    let toks = ctx.tokens;
+    let mut last_line = 0u32;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test(i) || t.kind != TokenKind::Ident || t.text != "std" {
+            continue;
+        }
+        let path_is = |off: usize, text: &str| toks.get(i + off).is_some_and(|t| t.text == text);
+        if !(path_is(1, "::") && path_is(2, "sync") && path_is(3, "::") && path_is(4, "atomic")) {
+            continue;
+        }
+        if t.line == last_line {
+            continue; // one diagnostic per line, however long the use list
+        }
+        last_line = t.line;
+        diags.push(Diagnostic::new(
+            ctx.file,
+            t.line,
+            "concurrency::naked-atomic",
+            "std::sync::atomic bypasses the model-checker shim; \
+             import from taor_model::sync instead",
+        ));
+    }
+}

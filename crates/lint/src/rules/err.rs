@@ -1,0 +1,59 @@
+//! `err::*` — errors are handled, propagated, or visibly waived; never
+//! silently dropped.
+//!
+//! * `err::swallowed-result` — a `let _ = …;` statement whose discarded
+//!   expression ends in a call to a function known to return `Result`.
+//!   "Known" is the union of a std built-in list ([`BUILTIN_RESULT_FNS`])
+//!   and the workspace's own `Result`-returning functions, which the
+//!   engine collects in a first pass over every file
+//!   ([`crate::stmt::result_fns`]) and threads through
+//!   [`RuleCtx::result_fns`]. Statements ending in `?` only discard the
+//!   success value and are fine; genuine best-effort discards take a
+//!   justified allow naming the reason the error does not matter.
+
+use super::RuleCtx;
+use crate::diag::Diagnostic;
+use crate::stmt;
+
+/// std/library functions returning `Result` that the workspace calls
+/// through `let _ =`. Name-based, like the workspace table: a same-named
+/// infallible method would false-positive, which a justified allow
+/// resolves. Deliberately absent: `write!`/`writeln!` targets — the
+/// workspace's fmt-to-`String` writes are infallible, and macro
+/// invocations are not calls to [`stmt::let_underscores`] anyway.
+pub const BUILTIN_RESULT_FNS: &[&str] = &[
+    "flush",
+    "join",
+    "kill",
+    "read_exact",
+    "recv",
+    "send",
+    "set_nonblocking",
+    "set_read_timeout",
+    "set_write_timeout",
+    "shutdown",
+    "try_with",
+    "wait",
+    "write_all",
+];
+
+pub fn run(ctx: &RuleCtx<'_>, diags: &mut Vec<Diagnostic>) {
+    for lu in stmt::let_underscores(ctx.tokens) {
+        if ctx.is_test(lu.index) || lu.propagates {
+            continue;
+        }
+        let Some(call) = &lu.call else { continue };
+        let fallible = BUILTIN_RESULT_FNS.contains(&call.as_str()) || ctx.result_fns.contains(call);
+        if fallible {
+            diags.push(Diagnostic::new(
+                ctx.file,
+                lu.line,
+                "err::swallowed-result",
+                format!(
+                    "`let _ =` discards the Result of `{call}`; \
+                     handle it, propagate with `?`, or add a justified allow"
+                ),
+            ));
+        }
+    }
+}

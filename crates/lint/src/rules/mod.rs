@@ -8,6 +8,8 @@
 //! | `det` | `hash-iter`, `wall-clock` | strict library code |
 //! | `unsafe` | `undocumented`, `missing-forbid`, `missing-deny` | whole workspace |
 //! | `atomics` | `undocumented`, `relaxed-handoff` | whole workspace, non-test |
+//! | `concurrency` | `naked-atomic` | whole workspace, non-test |
+//! | `err` | `swallowed-result` | whole workspace, non-test |
 //!
 //! "Strict library code" is the non-test portion of
 //! `crates/{core,imgproc,features,nn,data}/src`: the result-producing
@@ -15,13 +17,16 @@
 //! hash-order dependency is a correctness bug, not a style issue.
 
 pub mod atomics;
+pub mod concurrency;
 pub mod determinism;
+pub mod err;
 pub mod float;
 pub mod panic;
 pub mod unsafety;
 
 use crate::diag::Diagnostic;
 use crate::lexer::{Comment, Token, TokenKind};
+use std::collections::BTreeSet;
 
 /// Everything a rule needs to inspect one file.
 pub struct RuleCtx<'a> {
@@ -36,6 +41,10 @@ pub struct RuleCtx<'a> {
     /// The whole file is test code (under `tests/`, `benches/` or
     /// `examples/`).
     pub all_test: bool,
+    /// Names of `Result`-returning functions declared anywhere in the
+    /// workspace (engine pass 1); `err::swallowed-result` unions this
+    /// with its std built-ins.
+    pub result_fns: &'a BTreeSet<String>,
 }
 
 impl RuleCtx<'_> {
@@ -84,6 +93,8 @@ pub fn run_file(ctx: &RuleCtx<'_>, diags: &mut Vec<Diagnostic>) {
     }
     unsafety::run(ctx, diags);
     atomics::run(ctx, diags);
+    concurrency::run(ctx, diags);
+    err::run(ctx, diags);
 }
 
 /// Significant-token helper: the token before `i`, if any.

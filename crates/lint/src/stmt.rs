@@ -1,0 +1,260 @@
+//! Lightweight statement-level parse on top of the lexer.
+//!
+//! Two dataflow-ish facts the token-window rules cannot see:
+//!
+//! * [`let_underscores`] — every `let _ = …;` statement, with the name
+//!   of the *outermost trailing call* in the discarded expression and
+//!   whether the statement ends in `?` (error propagated, not
+//!   swallowed). Feeds `err::swallowed-result`.
+//! * [`result_fns`] — every `fn` declaration whose return type mentions
+//!   `Result`, collected workspace-wide by the engine so the rule knows
+//!   the project's own fallible functions, not just the std built-ins.
+//!
+//! This is a parse of statements, not of Rust: it tracks bracket depth
+//! (`()`/`[]`/`{}`) and angle depth in signatures, and nothing else.
+//! That is exactly enough for the two facts above and keeps the lexer's
+//! no-panic guarantee trivially intact.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One `let _ = …;` statement.
+#[derive(Debug, Clone)]
+pub struct LetUnderscore {
+    /// Line of the `let` keyword.
+    pub line: u32,
+    /// Token index of the `let` keyword (for test-mask lookup).
+    pub index: usize,
+    /// Name of the outermost trailing call in the discarded expression
+    /// (`send` in `let _ = job.resp.send(x);`), when it ends in a call.
+    /// Macro invocations (`write!(…)`) are deliberately not calls: the
+    /// workspace's fmt-to-String writes are infallible.
+    pub call: Option<String>,
+    /// The statement ends in `?` — the error is propagated, only the
+    /// success value is discarded.
+    pub propagates: bool,
+}
+
+/// Find every `let _ = …;` statement in a token stream.
+pub fn let_underscores(tokens: &[Token]) -> Vec<LetUnderscore> {
+    let mut found = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Ident && tokens[i].text == "let") {
+            i += 1;
+            continue;
+        }
+        let Some(underscore) = tokens.get(i + 1) else { break };
+        if !(underscore.kind == TokenKind::Ident && underscore.text == "_") {
+            i += 1;
+            continue;
+        }
+        // Skip an optional `: Type` ascription to the `=` (angle-aware
+        // so `let _: Result<(), E> = …` parses).
+        let mut j = i + 2;
+        if tokens.get(j).is_some_and(|t| t.text == ":") {
+            let mut angle = 0i32;
+            j += 1;
+            while let Some(t) = tokens.get(j) {
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "<<" => angle += 2,
+                    ">>" => angle -= 2,
+                    "=" if angle <= 0 => break,
+                    ";" => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if tokens.get(j).is_none_or(|t| t.text != "=") {
+            i += 1;
+            continue;
+        }
+        // Scan the discarded expression to its terminating `;` at
+        // bracket depth 0, tracking the outermost trailing call.
+        let mut depth = 0i32;
+        let mut call: Option<String> = None;
+        let mut last_significant: Option<&str> = None;
+        j += 1;
+        while let Some(t) = tokens.get(j) {
+            match t.text.as_str() {
+                "(" | "[" | "{" => {
+                    if depth == 0 && t.text == "(" {
+                        // `ident (` is a call; `ident ! (` is a macro.
+                        let callee = tokens.get(j.wrapping_sub(1));
+                        let bang = tokens.get(j.wrapping_sub(2));
+                        if let Some(c) = callee {
+                            if c.kind == TokenKind::Ident && bang.is_none_or(|b| b.text != "!") {
+                                call = Some(c.text.clone());
+                            }
+                        }
+                    }
+                    depth += 1;
+                }
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => break,
+                _ => {}
+            }
+            if t.text != ";" || depth > 0 {
+                last_significant = Some(t.text.as_str());
+            }
+            j += 1;
+        }
+        found.push(LetUnderscore {
+            line: tokens[i].line,
+            index: i,
+            call,
+            propagates: last_significant == Some("?"),
+        });
+        i = j + 1;
+    }
+    found
+}
+
+/// Names of `fn`s declared in this token stream whose return type
+/// mentions `Result`. Name-based, so two same-named functions with
+/// different return types alias — acceptable for a lint that is
+/// suppressible with a justified allow.
+pub fn result_fns(tokens: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Ident && tokens[i].text == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1) else { break };
+        if name.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 2;
+        // Generic parameter list.
+        if tokens.get(j).is_some_and(|t| t.text == "<") {
+            let mut angle = 0i32;
+            while let Some(t) = tokens.get(j) {
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "<<" => angle += 2,
+                    ">>" => angle -= 2,
+                    _ => {}
+                }
+                j += 1;
+                if angle <= 0 {
+                    break;
+                }
+            }
+        }
+        // Parameter list.
+        if tokens.get(j).is_none_or(|t| t.text != "(") {
+            i += 1;
+            continue;
+        }
+        let mut paren = 0i32;
+        while let Some(t) = tokens.get(j) {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                _ => {}
+            }
+            j += 1;
+            if paren <= 0 {
+                break;
+            }
+        }
+        // Return type: scan `-> …` up to the body/`;`/`where`.
+        let mut returns_result = false;
+        if tokens.get(j).is_some_and(|t| t.text == "->") {
+            j += 1;
+            let mut depth = 0i32;
+            while let Some(t) = tokens.get(j) {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" | ";" if depth <= 0 => break,
+                    "where" if depth <= 0 && t.kind == TokenKind::Ident => break,
+                    _ => {}
+                }
+                if t.kind == TokenKind::Ident && t.text == "Result" {
+                    returns_result = true;
+                }
+                j += 1;
+            }
+        }
+        if returns_result {
+            out.push(name.text.clone());
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn lus(src: &str) -> Vec<LetUnderscore> {
+        let_underscores(&lex(src).tokens)
+    }
+
+    #[test]
+    fn finds_the_outermost_trailing_call() {
+        let l = lus("fn f() { let _ = job.resp.send(WorkOutcome::TimedOut); }");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].call.as_deref(), Some("send"));
+        assert!(!l[0].propagates);
+    }
+
+    #[test]
+    fn nested_calls_do_not_shadow_the_outermost() {
+        let l = lus("fn f() { let _ = outer(inner(x), other(y)); }");
+        assert_eq!(l[0].call.as_deref(), Some("outer"));
+        let l = lus("fn f() { let _ = a.first().map(|v| v.send(x)); }");
+        assert_eq!(l[0].call.as_deref(), Some("map"));
+    }
+
+    #[test]
+    fn question_mark_counts_as_propagation() {
+        let l = lus("fn f() -> Result<(), E> { let _ = fallible()?; Ok(()) }");
+        assert_eq!(l[0].call.as_deref(), Some("fallible"));
+        assert!(l[0].propagates);
+    }
+
+    #[test]
+    fn plain_bindings_and_macros_are_not_calls() {
+        let l = lus("fn f() { let _ = m; let _ = writeln!(out, \"x\"); }");
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].call, None);
+        assert_eq!(l[1].call, None, "macro invocations are not calls");
+    }
+
+    #[test]
+    fn multiline_statements_and_closures_parse() {
+        let l = lus("fn f() { let _ = POOL.try_with(|p| {\n  p.borrow_mut().reset();\n}); }");
+        assert_eq!(l[0].call.as_deref(), Some("try_with"));
+    }
+
+    #[test]
+    fn typed_discard_is_still_found() {
+        let l = lus("fn f() { let _: Result<(), Box<dyn E>> = s.send(1); }");
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].call.as_deref(), Some("send"));
+    }
+
+    #[test]
+    fn collects_result_returning_fns_only() {
+        let fns = result_fns(
+            &lex(concat!(
+                "pub fn truncated_body(addr: A) -> io::Result<String> { x }\n",
+                "fn depth(&self) -> usize { 0 }\n",
+                "fn generic<T: Into<Vec<u8>>>(t: T) -> Result<T, Error> where T: Clone { t }\n",
+                "trait T { fn decl(&self) -> Result<(), E>; }\n",
+            ))
+            .tokens,
+        );
+        assert_eq!(fns, vec!["truncated_body", "generic", "decl"]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based fuzzing of the lexer, the foundation every rule and
+//! the statement-level parse stand on.
+//!
+//! Three contracts:
+//!
+//! * total: `lex` returns on *any* input — arbitrary bytes run through
+//!   lossy UTF-8, and adversarial token soup (unterminated strings and
+//!   block comments included) — without panicking;
+//! * structurally sound: token lines are 1-based and non-decreasing,
+//!   comment spans are ordered, and the test-region mask round-trips as
+//!   exactly one entry per token;
+//! * stable: re-lexing the space-joined token texts reproduces the same
+//!   (kind, text) sequence — lexing a lexer's own output is a fixpoint,
+//!   so no token ever straddles a boundary the lexer itself emitted.
+
+use proptest::prelude::*;
+use taor_lint::lexer::{lex, TokenKind};
+use taor_lint::regions::test_mask;
+use taor_lint::stmt;
+
+/// Fragments biased toward the lexer's edge cases: multi-char
+/// operators, raw/escaped/unterminated literals, lifetimes vs chars,
+/// comment forms, and plain idents/numbers.
+const PALETTE: &[&str] = &[
+    "fn",
+    "let",
+    "_",
+    "ident_7",
+    "r",
+    "b",
+    "Result",
+    "Ordering",
+    "=",
+    "==",
+    "=>",
+    "::",
+    "->",
+    "..",
+    "..=",
+    "...",
+    "<<=",
+    ">>=",
+    "<<",
+    ">>",
+    "&&",
+    "||",
+    "<",
+    ">",
+    "&",
+    "|",
+    "+",
+    "-",
+    "*",
+    "/",
+    "#",
+    "!",
+    "?",
+    ";",
+    ",",
+    ".",
+    ":",
+    "[",
+    "]",
+    "(",
+    ")",
+    "{",
+    "}",
+    "0",
+    "42",
+    "0x1f",
+    "1_000",
+    "1.5",
+    "2e10",
+    "1.0e-3",
+    "\"str\"",
+    "\"esc\\\"aped\"",
+    "\"multi\nline\"",
+    "\"unterminated",
+    "'c'",
+    "'\\n'",
+    "'a",
+    "'static",
+    "// line comment",
+    "//! doc",
+    "/* block */",
+    "/* unterminated",
+    "/* nested /* maybe */",
+    "\n",
+    "\t",
+    "タグ",
+    "émoji_🦀",
+];
+
+fn soup(indices: &[usize]) -> String {
+    let mut s = String::new();
+    for &i in indices {
+        s.push_str(PALETTE[i % PALETTE.len()]);
+        s.push(' ');
+    }
+    s
+}
+
+fn check_invariants(src: &str) {
+    let out = lex(src);
+    let lines = src.lines().count().max(1) as u32;
+    let mut prev = 1u32;
+    for t in &out.tokens {
+        assert!(t.line >= 1 && t.line <= lines, "token line {} out of [1, {lines}]", t.line);
+        assert!(t.line >= prev, "token lines must be non-decreasing");
+        // Str/Char literals keep no text (rules only need their kind);
+        // everything else must carry its spelling.
+        if !matches!(t.kind, TokenKind::Str | TokenKind::Char) {
+            assert!(!t.text.is_empty(), "empty {:?} token text", t.kind);
+        }
+        prev = t.line;
+    }
+    for c in &out.comments {
+        assert!(c.line >= 1 && c.line <= c.end_line, "comment span {}..{}", c.line, c.end_line);
+    }
+    // Region-mask round trip: one mask entry per token, always.
+    assert_eq!(test_mask(&out.tokens).len(), out.tokens.len());
+    // The statement parse is total over whatever the lexer produced.
+    let _ = stmt::let_underscores(&out.tokens);
+    let _ = stmt::result_fns(&out.tokens);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes);
+        check_invariants(&src);
+    }
+
+    #[test]
+    fn token_soup_never_panics(indices in proptest::collection::vec(0usize..64, 0..96)) {
+        check_invariants(&soup(&indices));
+    }
+
+    #[test]
+    fn relexing_own_output_is_a_fixpoint(indices in proptest::collection::vec(0usize..64, 0..96)) {
+        let first = lex(&soup(&indices));
+        // Str/Char tokens carry no text; stand in a canonical literal
+        // so the joined source re-lexes to the same (kind, "") pair.
+        let joined: String = first
+            .tokens
+            .iter()
+            .map(|t| match t.kind {
+                TokenKind::Str => "\"s\" ".to_string(),
+                TokenKind::Char => "'c' ".to_string(),
+                _ => format!("{} ", t.text),
+            })
+            .collect();
+        let second = lex(&joined);
+        prop_assert_eq!(first.tokens.len(), second.tokens.len(), "token count changed");
+        for (a, b) in first.tokens.iter().zip(&second.tokens) {
+            prop_assert_eq!(a.kind, b.kind, "kind changed for {:?}", &a.text);
+            prop_assert_eq!(&a.text, &b.text);
+        }
+    }
+
+    #[test]
+    fn lexing_is_deterministic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a.tokens.len(), b.tokens.len());
+        for (x, y) in a.tokens.iter().zip(&b.tokens) {
+            prop_assert_eq!(x.kind, y.kind);
+            prop_assert_eq!(&x.text, &y.text);
+            prop_assert_eq!(x.line, y.line);
+        }
+    }
+}
+
+/// Deliberate regression pins outside the random walk: the inputs most
+/// likely to break a hand-written lexer, as plain unit cases so a
+/// failure names the culprit directly.
+#[test]
+fn adversarial_pins() {
+    for src in [
+        "",
+        " ",
+        "\n\n\n",
+        "\"",
+        "'",
+        "r\"",
+        "/*",
+        "/**/",
+        "//",
+        "0.",
+        "'a'b",
+        "x<<<y",
+        "a..=..b",
+        "let _ = ;",
+        "fn (",
+        "\u{0}\u{1}\u{2}",
+        "🦀🦀🦀",
+    ] {
+        check_invariants(src);
+    }
+    // One concrete fixpoint check with every operator glued together.
+    let ops = "<<= >>= ..= ... == != <= >= && || :: -> => .. += -= *= /= %= ^= &= |= << >>";
+    let out = lex(ops);
+    assert!(out.tokens.iter().all(|t| t.kind == TokenKind::Op));
+    assert_eq!(out.tokens.len(), ops.split_whitespace().count());
+}

@@ -113,6 +113,47 @@ fn atomics_relaxed_handoff_fires_even_when_commented() {
     assert!(!diags.iter().any(|d| d.rule == "atomics::undocumented"));
 }
 
+// ---- concurrency family ----------------------------------------------
+
+#[test]
+fn concurrency_naked_atomic_fires_outside_tests_only() {
+    // The `use` line and the inline path fire; the `#[cfg(test)]` use is
+    // exempt.
+    assert_fires("concurrency_naked_atomic.rs", "concurrency::naked-atomic", 2);
+}
+
+// ---- err family ------------------------------------------------------
+
+#[test]
+fn err_swallowed_result_fires_on_builtin_and_workspace_fns() {
+    // `send` and `join` from the builtin table, `local_fallible` from
+    // the collected workspace table; the `?`-propagating and no-call
+    // discards stay quiet.
+    assert_fires("err_swallowed_result.rs", "err::swallowed-result", 3);
+}
+
+#[test]
+fn err_swallowed_result_respects_justified_allow() {
+    let diags = fixture("err_swallowed_result_allowed.rs");
+    assert!(diags.is_empty(), "justified allow must suppress, got {:?}", rules_of(&diags));
+}
+
+#[test]
+fn err_swallowed_result_uses_cross_file_table() {
+    // A fn declared in "another file" feeds the table that flags a
+    // discard here — the two-pass engine contract, driven through
+    // lint_source_with.
+    let table: std::collections::BTreeSet<String> =
+        ["truncated_body".to_string()].into_iter().collect();
+    let src = "fn f(s: &S) { let _ = truncated_body(s); }";
+    let diags = taor_lint::lint_source_with("x.rs", src, true, false, &table);
+    assert!(
+        diags.iter().any(|d| d.rule == "err::swallowed-result"),
+        "cross-file Result fn must be flagged, got {:?}",
+        rules_of(&diags)
+    );
+}
+
 // ---- allow grammar ---------------------------------------------------
 
 #[test]

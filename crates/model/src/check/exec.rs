@@ -1,0 +1,375 @@
+//! One execution of the model under one schedule, and the cooperative
+//! machinery that makes real OS threads take instrumented steps one at
+//! a time.
+//!
+//! Model threads are ordinary `std` threads, but every instrumented
+//! operation (atomic access, mutex acquire/release, condvar wait,
+//! spawn, join, yield) funnels through [`Execution::op`]: the thread
+//! parks until the scheduler's `current` token points at it, performs
+//! the operation's effects on the shared [`ExecState`] while holding
+//! the state lock, then picks the next thread to run from the
+//! deterministic schedulable set — either replaying the recorded trail
+//! or extending it with a first-unexplored choice. Code *between*
+//! instrumented operations runs freely; it is thread-local by
+//! construction (all shared state goes through the shims), so it cannot
+//! introduce nondeterminism.
+//!
+//! Blocking is modelled explicitly: a thread that would block registers
+//! a [`Blocked`] reason and re-runs its operation closure when the
+//! scheduler hands it the token again. Timeouts carry no clock — a
+//! thread in `wait_timeout` is simply *schedulable as a timeout wake*
+//! while it has budget left, which explores "the timer fired" at every
+//! point the real timer could fire.
+
+use super::memory::Memory;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Sentinel for "no thread holds the token" (execution finished).
+const NO_THREAD: usize = usize::MAX;
+
+/// One recorded decision: which of `options` alternatives was taken.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Choice {
+    pub selected: usize,
+    pub options: usize,
+}
+
+/// Why a thread cannot run right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Blocked {
+    /// Runnable.
+    None,
+    /// Waiting to acquire model mutex `id`.
+    Mutex(usize),
+    /// Waiting on model condvar `cv`.
+    Condvar { cv: usize, timeout_ok: bool, notified: bool },
+    /// Waiting for thread `tid` to finish.
+    Join(usize),
+    /// Finished.
+    Finished,
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadInfo {
+    pub view: super::memory::View,
+    pub blocked: Blocked,
+    /// Remaining "the timer fired" wakes for `wait_timeout` calls.
+    pub timeout_budget: usize,
+    /// Set when the last condvar wake was a timeout, cleared on read.
+    pub woke_by_timeout: bool,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct MutexState {
+    pub held_by: Option<usize>,
+    /// View released by the last unlock; joined by the next holder —
+    /// the lock's happens-before edge.
+    pub view: super::memory::View,
+}
+
+/// Shared state of one execution, guarded by [`Execution::state`].
+pub(crate) struct ExecState {
+    pub memory: Memory,
+    pub threads: Vec<ThreadInfo>,
+    pub mutexes: Vec<MutexState>,
+    pub condvars: usize,
+    /// The thread allowed to pass its next operation.
+    pub current: usize,
+    /// Threads not yet finished.
+    pub live: usize,
+    /// DFS trail: replayed up to `depth`, extended beyond it.
+    pub trail: Vec<Choice>,
+    pub depth: usize,
+    pub preemptions: usize,
+    pub max_preemptions: usize,
+    pub default_timeout_budget: usize,
+    pub ops: usize,
+    pub max_ops: usize,
+    pub abort: bool,
+    pub failure: Option<String>,
+    /// OS handles of spawned model threads, drained by the explorer.
+    pub os_handles: Vec<std::thread::JoinHandle<()>>,
+    /// Spawn operations whose OS handle has not been registered yet.
+    pub spawn_pending: usize,
+}
+
+impl ExecState {
+    /// Take (replay or extend) one decision with `options` alternatives.
+    pub fn choose(&mut self, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        let d = self.depth;
+        self.depth += 1;
+        if d < self.trail.len() {
+            if self.trail[d].options != options {
+                // Replay divergence means the engine itself leaked
+                // nondeterminism; surface it loudly instead of
+                // exploring garbage.
+                self.fail(format!(
+                    "internal: nondeterministic replay at depth {d} \
+                     ({} options recorded, {options} offered)",
+                    self.trail[d].options
+                ));
+                return 0;
+            }
+            self.trail[d].selected
+        } else {
+            self.trail.push(Choice { selected: 0, options });
+            0
+        }
+    }
+
+    pub fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.abort = true;
+        self.current = NO_THREAD;
+    }
+
+    /// May `t` be handed the token right now?
+    fn schedulable(&self, t: usize) -> bool {
+        match self.threads[t].blocked {
+            Blocked::None => true,
+            Blocked::Mutex(m) => self.mutexes[m].held_by.is_none(),
+            Blocked::Condvar { notified, timeout_ok, .. } => {
+                notified || (timeout_ok && self.threads[t].timeout_budget > 0)
+            }
+            Blocked::Join(target) => self.threads[target].blocked == Blocked::Finished,
+            Blocked::Finished => false,
+        }
+    }
+
+    /// Pick and install the next token holder. `tid` is the yielding
+    /// thread; `yielder_runnable` says whether it could itself continue
+    /// (false when it just blocked or finished).
+    fn schedule_next(&mut self, tid: usize, yielder_runnable: bool) {
+        if self.abort {
+            return;
+        }
+        let mut options: Vec<usize> =
+            (0..self.threads.len()).filter(|&t| self.schedulable(t)).collect();
+        if options.is_empty() {
+            if self.live == 0 {
+                self.current = NO_THREAD;
+            } else {
+                let stuck: Vec<usize> = (0..self.threads.len())
+                    .filter(|&t| self.threads[t].blocked != Blocked::Finished)
+                    .collect();
+                self.fail(format!("deadlock: threads {stuck:?} blocked with no waker"));
+            }
+            return;
+        }
+        // Bounded preemption: once the budget is spent, a thread that
+        // can continue must continue; only blocking yields switch.
+        if yielder_runnable && self.preemptions >= self.max_preemptions {
+            options = vec![tid];
+        }
+        let pick = options[self.choose(options.len())];
+        if self.abort {
+            return;
+        }
+        if yielder_runnable && pick != tid {
+            self.preemptions += 1;
+        }
+        // Convert the wake reason for the picked thread.
+        match self.threads[pick].blocked {
+            Blocked::None => {}
+            Blocked::Mutex(_) | Blocked::Join(_) => {
+                self.threads[pick].blocked = Blocked::None;
+            }
+            Blocked::Condvar { notified, .. } => {
+                if notified {
+                    self.threads[pick].woke_by_timeout = false;
+                } else {
+                    self.threads[pick].timeout_budget -= 1;
+                    self.threads[pick].woke_by_timeout = true;
+                }
+                self.threads[pick].blocked = Blocked::None;
+            }
+            Blocked::Finished => unreachable!("finished threads are never schedulable"),
+        }
+        self.current = pick;
+    }
+
+    /// Lock-protocol effects, shared by `Mutex::lock` and the condvar
+    /// reacquire phase.
+    pub fn acquire_mutex(&mut self, m: usize, tid: usize) {
+        self.mutexes[m].held_by = Some(tid);
+        let view = self.mutexes[m].view.clone();
+        self.threads[tid].view.join(&view);
+    }
+
+    pub fn release_mutex(&mut self, m: usize, tid: usize) {
+        self.mutexes[m].held_by = None;
+        let view = self.threads[tid].view.clone();
+        self.mutexes[m].view.join(&view);
+    }
+}
+
+/// What an operation closure tells the engine to do.
+pub(crate) enum Step<R> {
+    /// Operation done; hand the token on and return `R`.
+    Done(R),
+    /// Cannot proceed: park with this reason and retry when scheduled.
+    Block(Blocked),
+}
+
+/// Panic payload used to tear threads out of an aborted execution; the
+/// thread wrapper swallows it.
+pub(crate) struct AbortExecution;
+
+/// One execution: shared scheduler state + the park/wake condvar.
+pub(crate) struct Execution {
+    pub state: Mutex<ExecState>,
+    pub cv: Condvar,
+}
+
+pub(crate) fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Run `f` with the current thread's execution context; panics with a
+/// clear message when a shim primitive is used outside `explore`.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> R {
+    CTX.with(|c| {
+        let borrow = c.borrow();
+        match borrow.as_ref() {
+            Some((exec, tid)) => f(exec, *tid),
+            None => panic!(
+                "taor-model instrumented primitive used outside check::explore \
+                 (model types only work inside a model body)"
+            ),
+        }
+    })
+}
+
+impl Execution {
+    pub fn new(opts: &super::Options, trail: Vec<Choice>) -> Arc<Execution> {
+        Arc::new(Execution {
+            state: Mutex::new(ExecState {
+                memory: Memory::default(),
+                threads: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: 0,
+                current: 0,
+                live: 0,
+                trail,
+                depth: 0,
+                preemptions: 0,
+                max_preemptions: opts.max_preemptions,
+                default_timeout_budget: opts.timeout_polls,
+                ops: 0,
+                max_ops: opts.max_ops_per_execution,
+                abort: false,
+                failure: None,
+                os_handles: Vec::new(),
+                spawn_pending: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// The operation funnel: park for the token, run `f` (repeatedly if
+    /// it blocks), schedule the next thread, return. See module docs.
+    pub fn op<R>(self: &Arc<Self>, mut f: impl FnMut(&mut ExecState, usize) -> Step<R>) -> R {
+        let tid = with_ctx(|_, tid| tid);
+        let mut st = relock(&self.state);
+        loop {
+            while st.current != tid && !st.abort {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(AbortExecution);
+            }
+            st.ops += 1;
+            if st.ops > st.max_ops {
+                let max_ops = st.max_ops;
+                st.fail(format!(
+                    "execution exceeded {max_ops} operations — livelock or unbounded loop in the model"
+                ));
+                self.cv.notify_all();
+                drop(st);
+                std::panic::panic_any(AbortExecution);
+            }
+            match f(&mut st, tid) {
+                Step::Done(r) => {
+                    let runnable = st.threads[tid].blocked == Blocked::None;
+                    st.schedule_next(tid, runnable);
+                    self.cv.notify_all();
+                    return r;
+                }
+                Step::Block(reason) => {
+                    st.threads[tid].blocked = reason;
+                    st.schedule_next(tid, false);
+                    self.cv.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Record a violation coming from a model-thread panic.
+    pub fn fail_from_panic(self: &Arc<Self>, payload: Box<dyn std::any::Any + Send>) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut st = relock(&self.state);
+        st.fail(msg);
+        self.cv.notify_all();
+    }
+}
+
+/// Register thread `tid`'s context and run `body` under the model's
+/// panic discipline. The caller has already added the `ThreadInfo`.
+pub(crate) fn run_model_thread(exec: Arc<Execution>, tid: usize, body: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    let result = catch_unwind(AssertUnwindSafe(body));
+    match result {
+        Ok(()) => {
+            // Orderly finish: an op that marks this thread done; joiners
+            // become schedulable, the last finish completes the run.
+            // The finish op itself can abort (panic) when another thread
+            // already failed the execution — swallow that like any abort.
+            let finish = catch_unwind(AssertUnwindSafe(|| {
+                exec.op(|st, tid| {
+                    st.threads[tid].blocked = Blocked::Finished;
+                    st.live -= 1;
+                    Step::Done(())
+                });
+            }));
+            if finish.is_err() {
+                let mut st = relock(&exec.state);
+                if st.threads[tid].blocked != Blocked::Finished {
+                    st.threads[tid].blocked = Blocked::Finished;
+                    st.live = st.live.saturating_sub(1);
+                }
+                exec.cv.notify_all();
+            }
+        }
+        Err(payload) if payload.is::<AbortExecution>() => {
+            let mut st = relock(&exec.state);
+            st.threads[tid].blocked = Blocked::Finished;
+            st.live = st.live.saturating_sub(1);
+            exec.cv.notify_all();
+        }
+        Err(payload) => {
+            {
+                let mut st = relock(&exec.state);
+                st.threads[tid].blocked = Blocked::Finished;
+                st.live = st.live.saturating_sub(1);
+            }
+            exec.fail_from_panic(payload);
+        }
+    }
+    CTX.with(|c| *c.borrow_mut() = None);
+}

@@ -1,0 +1,252 @@
+// taor-lint: allow(atomics) — this file *implements* the checker's memory
+// semantics; every `Ordering` token here is interpreted input, not a
+// synchronization choice in need of a justification comment.
+//! The weak-memory approximation: per-location store buffers + views.
+//!
+//! Each atomic location keeps every store ever made to it, in
+//! modification order. Each model thread carries a [`View`]: for every
+//! location, the index of the oldest store it is still allowed to read
+//! (its coherence "front"). The rules, a deliberately small operational
+//! fragment of C11:
+//!
+//! * A **load** may read *any* store at or after the thread's front for
+//!   that location — under `Relaxed` that is the whole eligible suffix,
+//!   which is exactly how stale values reach readers. Which store is
+//!   read is a scheduler choice point, so the DFS enumerates every
+//!   staleness the declared orderings permit. Reading store `i` moves
+//!   the front to `i` (coherence: a thread never reads backwards).
+//! * A **store** appends to the buffer and moves the writer's front past
+//!   everything older. A `Release` store attaches the writer's current
+//!   view to the new entry.
+//! * An **`Acquire` load** that reads a store carrying an attached view
+//!   joins that view into its own — the synchronizes-with edge.
+//! * An **RMW** always reads the *newest* store (its read-modify-write
+//!   atomicity is what makes `fetch_add` a correct chunk allocator even
+//!   at `Relaxed`), and continues the release sequence: the entry it
+//!   appends inherits the attached view of the entry it replaced,
+//!   merged with the writer's own view when the RMW is itself `Release`.
+//! * **`SeqCst`** is approximated as `AcqRel` plus "reads the newest
+//!   store". There is no global SC order beyond that; programs relying
+//!   on SC fences or IRIW-style total ordering are outside this model
+//!   (documented in DESIGN.md §13).
+//!
+//! Plain (non-atomic) data is modelled by the tests as atomics accessed
+//! with `Relaxed`, so "the reader saw a stale value" stands in for the
+//! data race the real program would have. The checker therefore proves
+//! *publication* (values must be visible across the claimed
+//! happens-before edges), not race-freedom per se.
+
+use std::sync::atomic::Ordering;
+
+/// Per-thread (and per-lock, per-release-entry) visibility: for each
+/// location id, the index of the oldest store still readable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct View {
+    fronts: Vec<usize>,
+}
+
+impl View {
+    pub fn front(&self, loc: usize) -> usize {
+        self.fronts.get(loc).copied().unwrap_or(0)
+    }
+
+    pub fn advance(&mut self, loc: usize, idx: usize) {
+        if self.fronts.len() <= loc {
+            self.fronts.resize(loc + 1, 0);
+        }
+        if self.fronts[loc] < idx {
+            self.fronts[loc] = idx;
+        }
+    }
+
+    /// Pointwise maximum: afterwards this view sees at least everything
+    /// `other` saw.
+    pub fn join(&mut self, other: &View) {
+        for (loc, &f) in other.fronts.iter().enumerate() {
+            self.advance(loc, f);
+        }
+    }
+}
+
+/// One entry in a location's modification order.
+#[derive(Debug, Clone)]
+struct Store {
+    val: u64,
+    /// The view released with this store (present when the store — or
+    /// the release-sequence head it continues — was `Release`).
+    rel_view: Option<View>,
+}
+
+#[derive(Debug, Default)]
+struct Location {
+    stores: Vec<Store>,
+}
+
+/// All atomic locations of one execution.
+#[derive(Debug, Default)]
+pub struct Memory {
+    locs: Vec<Location>,
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Memory {
+    /// Register a new location holding `init`, visible to every thread.
+    pub fn alloc(&mut self, init: u64) -> usize {
+        self.locs.push(Location { stores: vec![Store { val: init, rel_view: None }] });
+        self.locs.len() - 1
+    }
+
+    /// How many stores a load at `loc` may choose between, given the
+    /// reader's view. `SeqCst` loads collapse the choice to the newest
+    /// store (the SC approximation).
+    pub fn eligible(&self, loc: usize, view: &View, ord: Ordering) -> usize {
+        let n = self.locs[loc].stores.len();
+        if ord == Ordering::SeqCst {
+            1
+        } else {
+            n - view.front(loc).min(n - 1)
+        }
+    }
+
+    /// Perform the load that reads the `choice`-th eligible store
+    /// (0 = oldest eligible). Returns the value and applies the
+    /// coherence/synchronization effects to `view`.
+    pub fn load(&self, loc: usize, view: &mut View, ord: Ordering, choice: usize) -> u64 {
+        let stores = &self.locs[loc].stores;
+        let idx = if ord == Ordering::SeqCst {
+            stores.len() - 1
+        } else {
+            view.front(loc).min(stores.len() - 1) + choice
+        };
+        let store = &stores[idx];
+        view.advance(loc, idx);
+        if is_acquire(ord) {
+            if let Some(rv) = &store.rel_view {
+                view.join(rv);
+            }
+        }
+        store.val
+    }
+
+    /// Append a store; a plain store ends any release sequence at this
+    /// location.
+    pub fn store(&mut self, loc: usize, view: &mut View, ord: Ordering, val: u64) {
+        let idx = self.locs[loc].stores.len();
+        view.advance(loc, idx);
+        let rel_view = is_release(ord).then(|| view.clone());
+        self.locs[loc].stores.push(Store { val, rel_view });
+    }
+
+    /// Read-modify-write: reads the newest store, appends `f(old)`.
+    /// Returns the old value.
+    pub fn rmw(
+        &mut self,
+        loc: usize,
+        view: &mut View,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let stores = &self.locs[loc].stores;
+        let last = stores.len() - 1;
+        let old = stores[last].val;
+        let mut inherited = stores[last].rel_view.clone();
+        view.advance(loc, last);
+        if is_acquire(ord) {
+            if let Some(rv) = &inherited {
+                view.join(rv);
+            }
+        }
+        let idx = last + 1;
+        view.advance(loc, idx);
+        // Release-sequence continuation: the new entry keeps publishing
+        // what the replaced entry published, plus this writer's view
+        // when the RMW itself releases.
+        if is_release(ord) {
+            match &mut inherited {
+                Some(rv) => rv.join(view),
+                None => inherited = Some(view.clone()),
+            }
+        }
+        let new = f(old);
+        self.locs[loc].stores.push(Store { val: new, rel_view: inherited });
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_load_may_read_the_whole_eligible_suffix() {
+        let mut mem = Memory::default();
+        let mut writer = View::default();
+        let loc = mem.alloc(0);
+        mem.store(loc, &mut writer, Ordering::Relaxed, 1);
+        mem.store(loc, &mut writer, Ordering::Relaxed, 2);
+        let reader = View::default();
+        assert_eq!(mem.eligible(loc, &reader, Ordering::Relaxed), 3);
+        let mut r0 = reader.clone();
+        assert_eq!(mem.load(loc, &mut r0, Ordering::Relaxed, 0), 0);
+        let mut r2 = reader.clone();
+        assert_eq!(mem.load(loc, &mut r2, Ordering::Relaxed, 2), 2);
+        // Coherence: after reading store 2, older stores are gone.
+        assert_eq!(mem.eligible(loc, &r2, Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn acquire_of_a_release_store_publishes_the_writers_view() {
+        let mut mem = Memory::default();
+        let data = mem.alloc(0);
+        let flag = mem.alloc(0);
+        let mut writer = View::default();
+        mem.store(data, &mut writer, Ordering::Relaxed, 42);
+        mem.store(flag, &mut writer, Ordering::Release, 1);
+        let mut reader = View::default();
+        // Reader picks the new flag value with Acquire...
+        let v = mem.load(flag, &mut reader, Ordering::Acquire, 1);
+        assert_eq!(v, 1);
+        // ...and must now see the data write: only one store eligible.
+        assert_eq!(mem.eligible(data, &reader, Ordering::Relaxed), 1);
+        assert_eq!(mem.load(data, &mut reader, Ordering::Relaxed, 0), 42);
+    }
+
+    #[test]
+    fn relaxed_rmw_reads_newest_but_publishes_nothing() {
+        let mut mem = Memory::default();
+        let data = mem.alloc(0);
+        let ctr = mem.alloc(0);
+        let mut a = View::default();
+        mem.store(data, &mut a, Ordering::Relaxed, 7);
+        mem.rmw(ctr, &mut a, Ordering::Relaxed, |v| v + 1);
+        let mut b = View::default();
+        let old = mem.rmw(ctr, &mut b, Ordering::Relaxed, |v| v + 1);
+        assert_eq!(old, 1, "RMW atomicity: must read the newest store");
+        // No release/acquire anywhere: b may still read stale data.
+        assert_eq!(mem.eligible(data, &b, Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn acqrel_rmw_chain_is_transitive() {
+        let mut mem = Memory::default();
+        let data = mem.alloc(0);
+        let ctr = mem.alloc(0);
+        let mut a = View::default();
+        mem.store(data, &mut a, Ordering::Relaxed, 7);
+        mem.rmw(ctr, &mut a, Ordering::AcqRel, |v| v + 1);
+        let mut b = View::default();
+        mem.rmw(ctr, &mut b, Ordering::AcqRel, |v| v + 1);
+        // b acquired a's release: the stale data store is unreadable.
+        assert_eq!(mem.eligible(data, &b, Ordering::Relaxed), 1);
+        let mut c = View::default();
+        mem.rmw(ctr, &mut c, Ordering::AcqRel, |v| v + 1);
+        assert_eq!(mem.eligible(data, &c, Ordering::Relaxed), 1, "transitive through the chain");
+    }
+}

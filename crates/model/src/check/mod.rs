@@ -1,0 +1,154 @@
+//! The checker: exhaustive, replayable exploration of a model body.
+//!
+//! [`explore`] runs a closure — the *model body* — once per schedule.
+//! Thread 0 executes the body; threads it creates through
+//! [`sync::spawn`] join the same execution. Every instrumented
+//! operation is a decision point: which thread steps next, which store
+//! a relaxed load observes, which waiter a notify wakes. Decisions are
+//! recorded on a trail; after each execution the deepest
+//! not-yet-exhausted decision is advanced and the prefix replayed,
+//! which is a depth-first walk of the whole schedule tree.
+//!
+//! Exploration is *exhaustive up to the preemption bound*: schedules
+//! that preempt a runnable thread more than `max_preemptions` times are
+//! pruned. Empirically (and per the CHESS result) almost all
+//! concurrency bugs manifest within two preemptions; the bound is what
+//! keeps the state space finite without random sampling. A violation is
+//! any panic in the model body (assertion failure), a deadlock, or an
+//! execution exceeding the op budget (livelock).
+
+pub(crate) mod exec;
+pub(crate) mod memory;
+pub mod sync;
+
+use exec::{relock, run_model_thread, Blocked, Execution, ThreadInfo};
+use std::sync::Arc;
+
+/// Exploration limits. `Default` is tuned for protocol-sized models:
+/// a handful of threads, tens of instrumented ops each.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Preemption bound: max times a *runnable* thread is switched away
+    /// from. Blocking switches are free.
+    pub max_preemptions: usize,
+    /// Hard cap on explored executions; hitting it yields
+    /// `complete: false` with no violation.
+    pub max_executions: usize,
+    /// Per-execution op budget; exceeding it is reported as a livelock.
+    pub max_ops_per_execution: usize,
+    /// Per-thread budget of "the timer fired" wakes for `wait_timeout`,
+    /// so timeout loops terminate in the clockless model.
+    pub timeout_polls: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_preemptions: 2,
+            max_executions: 1_000_000,
+            max_ops_per_execution: 50_000,
+            timeout_polls: 2,
+        }
+    }
+}
+
+/// What an exploration found.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions (distinct schedules) actually run.
+    pub executions: usize,
+    /// True when the schedule tree was exhausted within the bounds.
+    pub complete: bool,
+    /// First violation found, if any; exploration stops at the first.
+    pub violation: Option<String>,
+}
+
+/// Explore every schedule of `body` within `opts`' bounds. The body is
+/// re-run once per schedule, so it must be a pure function of the model
+/// state it builds internally (no mutable captures).
+pub fn explore<F>(opts: Options, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let mut trail = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let exec = Execution::new(&opts, std::mem::take(&mut trail));
+        {
+            let mut st = relock(&exec.state);
+            st.threads.push(ThreadInfo {
+                view: memory::View::default(),
+                blocked: Blocked::None,
+                timeout_budget: opts.timeout_polls,
+                woke_by_timeout: false,
+            });
+            st.live = 1;
+            st.current = 0;
+            st.spawn_pending = 1;
+        }
+        let body_run = Arc::clone(&body);
+        let exec_run = Arc::clone(&exec);
+        let handle = std::thread::spawn(move || run_model_thread(exec_run, 0, move || body_run()));
+        {
+            let mut st = relock(&exec.state);
+            st.os_handles.push(handle);
+            st.spawn_pending -= 1;
+        }
+        // Wait for the execution to finish or abort.
+        {
+            let mut st = relock(&exec.state);
+            while st.live > 0 && !st.abort {
+                st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // Join every OS thread; `spawn_pending` covers the window where
+        // a spawner has registered a thread but not yet its OS handle.
+        loop {
+            let next = {
+                let mut st = relock(&exec.state);
+                match st.os_handles.pop() {
+                    Some(h) => Some(Some(h)),
+                    None if st.spawn_pending > 0 => Some(None),
+                    None => None,
+                }
+            };
+            match next {
+                Some(Some(h)) => {
+                    // taor-lint: allow(err::swallowed-result) — a panicked
+                    // model thread already recorded its violation via
+                    // fail_from_panic; the join error is that same panic.
+                    let _ = h.join();
+                }
+                Some(None) => std::thread::yield_now(),
+                None => break,
+            }
+        }
+        let failure = {
+            let mut st = relock(&exec.state);
+            trail = std::mem::take(&mut st.trail);
+            st.failure.take()
+        };
+        if let Some(message) = failure {
+            return Report { executions, complete: false, violation: Some(message) };
+        }
+        // DFS advance: drop exhausted decisions from the tail, bump the
+        // deepest live one. An empty trail means the tree is exhausted.
+        loop {
+            match trail.last_mut() {
+                None => return Report { executions, complete: true, violation: None },
+                Some(c) if c.selected + 1 < c.options => {
+                    c.selected += 1;
+                    break;
+                }
+                Some(_) => {
+                    trail.pop();
+                }
+            }
+        }
+        if executions >= opts.max_executions {
+            return Report { executions, complete: false, violation: None };
+        }
+    }
+}

@@ -1,0 +1,386 @@
+// taor-lint: allow(atomics) — instrumented stand-ins for the atomic
+// types; `Ordering` values are interpreted by the memory model, not
+// used for real synchronization.
+//! Instrumented drop-in replacements for the `std::sync` subset the
+//! shim exposes. Same signatures, same semantics — except every
+//! operation is a scheduling point driven by the explorer, and every
+//! atomic access goes through the store-buffer memory model.
+//!
+//! Construction is also a scheduling point: location and lock ids must
+//! be assigned in a deterministic order for trail replay to work, and
+//! constructors can run in thread-local code where real time would
+//! otherwise race id allocation.
+
+use super::exec::{relock, with_ctx, Blocked, Execution, MutexState, Step, ThreadInfo};
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use std::sync::atomic::Ordering;
+
+fn ctx() -> (Arc<Execution>, usize) {
+    with_ctx(|exec, tid| (Arc::clone(exec), tid))
+}
+
+fn alloc_loc(init: u64) -> usize {
+    let (exec, _) = ctx();
+    exec.op(|st, _| Step::Done(st.memory.alloc(init)))
+}
+
+fn atomic_load(loc: usize, ord: StdOrdering) -> u64 {
+    let (exec, _) = ctx();
+    exec.op(|st, tid| {
+        let n = st.memory.eligible(loc, &st.threads[tid].view, ord);
+        let choice = st.choose(n);
+        let super::exec::ExecState { memory, threads, .. } = &mut *st;
+        Step::Done(memory.load(loc, &mut threads[tid].view, ord, choice))
+    })
+}
+
+fn atomic_store(loc: usize, val: u64, ord: StdOrdering) {
+    let (exec, _) = ctx();
+    exec.op(|st, tid| {
+        let super::exec::ExecState { memory, threads, .. } = &mut *st;
+        memory.store(loc, &mut threads[tid].view, ord, val);
+        Step::Done(())
+    });
+}
+
+fn atomic_rmw(loc: usize, ord: StdOrdering, f: impl Fn(u64) -> u64) -> u64 {
+    let (exec, _) = ctx();
+    exec.op(|st, tid| {
+        let super::exec::ExecState { memory, threads, .. } = &mut *st;
+        Step::Done(memory.rmw(loc, &mut threads[tid].view, ord, &f))
+    })
+}
+
+/// Instrumented `AtomicUsize`: a handle onto one model memory location.
+#[derive(Debug)]
+pub struct AtomicUsize {
+    loc: usize,
+}
+
+impl AtomicUsize {
+    pub fn new(v: usize) -> Self {
+        AtomicUsize { loc: alloc_loc(v as u64) }
+    }
+
+    pub fn load(&self, ord: Ordering) -> usize {
+        atomic_load(self.loc, ord) as usize
+    }
+
+    pub fn store(&self, v: usize, ord: Ordering) {
+        atomic_store(self.loc, v as u64, ord);
+    }
+
+    pub fn swap(&self, v: usize, ord: Ordering) -> usize {
+        atomic_rmw(self.loc, ord, |_| v as u64) as usize
+    }
+
+    pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+        atomic_rmw(self.loc, ord, |old| old.wrapping_add(v as u64)) as usize
+    }
+
+    pub fn fetch_sub(&self, v: usize, ord: Ordering) -> usize {
+        atomic_rmw(self.loc, ord, |old| old.wrapping_sub(v as u64)) as usize
+    }
+}
+
+/// Instrumented `AtomicBool` (0 = false, nonzero = true).
+#[derive(Debug)]
+pub struct AtomicBool {
+    loc: usize,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        AtomicBool { loc: alloc_loc(u64::from(v)) }
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        atomic_load(self.loc, ord) != 0
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        atomic_store(self.loc, u64::from(v), ord);
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        atomic_rmw(self.loc, ord, |_| u64::from(v)) != 0
+    }
+}
+
+/// Instrumented mutex. The lock *protocol* (who may hold it, the
+/// happens-before edge between holders) lives in the model; the guarded
+/// data sits in a real `std` mutex that is only ever taken by the
+/// model-designated holder, so access is race-free by construction.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        let (exec, _) = ctx();
+        let id = exec.op(|st, _| {
+            st.mutexes.push(MutexState::default());
+            Step::Done(st.mutexes.len() - 1)
+        });
+        Mutex { id, data: std::sync::Mutex::new(value) }
+    }
+
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        let id = self.id;
+        let (exec, _) = ctx();
+        exec.op(|st, tid| {
+            if st.mutexes[id].held_by.is_some() {
+                Step::Block(Blocked::Mutex(id))
+            } else {
+                st.acquire_mutex(id, tid);
+                Step::Done(())
+            }
+        });
+        let inner = relock(&self.data);
+        Ok(MutexGuard { mutex: self, inner: Some(inner) })
+    }
+}
+
+/// Guard for the instrumented [`Mutex`]; releasing it is a scheduling
+/// point (the model unlock).
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard data taken only on drop/wait"),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard data taken only on drop/wait"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            // Condvar::wait took the data guard and released the model
+            // lock itself.
+            return;
+        };
+        drop(inner);
+        // During an abort unwind the execution is over; running the
+        // unlock op would panic again (double panic aborts the process).
+        if std::thread::panicking() {
+            return;
+        }
+        let id = self.mutex.id;
+        let (exec, _) = ctx();
+        exec.op(|st, tid| {
+            st.release_mutex(id, tid);
+            Step::Done(())
+        });
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`]; mirrors the `std` API (which
+/// has no public constructor, hence our own type).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Instrumented condvar. `wait_timeout` carries no clock: while the
+/// waiter has timeout budget left, "the timer fired" is simply one of
+/// the scheduler's choices, which explores a spurious/timed-out wake at
+/// every point the real timer could fire.
+#[derive(Debug)]
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let (exec, _) = ctx();
+        let id = exec.op(|st, _| {
+            let id = st.condvars;
+            st.condvars += 1;
+            Step::Done(id)
+        });
+        Condvar { id }
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout_ok: bool,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let mutex = guard.mutex;
+        let mid = mutex.id;
+        let cv = self.id;
+        // Drop the real data guard now; the model-side release happens
+        // atomically with waiter registration in phase 0 below.
+        drop(guard.inner.take());
+        drop(guard);
+        let mut registered = false;
+        let (exec, _) = ctx();
+        let timed_out = exec.op(|st, tid| {
+            if !registered {
+                registered = true;
+                st.release_mutex(mid, tid);
+                Step::Block(Blocked::Condvar { cv, timeout_ok, notified: false })
+            } else if st.mutexes[mid].held_by.is_some() {
+                Step::Block(Blocked::Mutex(mid))
+            } else {
+                st.acquire_mutex(mid, tid);
+                let timed_out = st.threads[tid].woke_by_timeout;
+                st.threads[tid].woke_by_timeout = false;
+                Step::Done(timed_out)
+            }
+        });
+        let inner = relock(&mutex.data);
+        (MutexGuard { mutex, inner: Some(inner) }, timed_out)
+    }
+
+    pub fn wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+    ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+        Ok(self.wait_inner(guard, false).0)
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> std::sync::LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (guard, timed_out) = self.wait_inner(guard, true);
+        Ok((guard, WaitTimeoutResult { timed_out }))
+    }
+
+    pub fn notify_one(&self) {
+        let cv = self.id;
+        let (exec, _) = ctx();
+        exec.op(|st, _| {
+            let waiters: Vec<usize> = (0..st.threads.len())
+                .filter(|&t| {
+                    matches!(st.threads[t].blocked,
+                        Blocked::Condvar { cv: c, notified: false, .. } if c == cv)
+                })
+                .collect();
+            if !waiters.is_empty() {
+                // Which waiter wakes is the scheduler's choice.
+                let pick = waiters[st.choose(waiters.len())];
+                if let Blocked::Condvar { notified, .. } = &mut st.threads[pick].blocked {
+                    *notified = true;
+                }
+            }
+            Step::Done(())
+        });
+    }
+
+    pub fn notify_all(&self) {
+        let cv = self.id;
+        let (exec, _) = ctx();
+        exec.op(|st, _| {
+            for t in 0..st.threads.len() {
+                if let Blocked::Condvar { cv: c, notified, .. } = &mut st.threads[t].blocked {
+                    if *c == cv {
+                        *notified = true;
+                    }
+                }
+            }
+            Step::Done(())
+        });
+    }
+}
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    exec: Arc<Execution>,
+    tid: usize,
+    slot: Arc<std::sync::Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        let target = self.tid;
+        self.exec.op(|st, tid| {
+            if st.threads[target].blocked == Blocked::Finished {
+                let view = st.threads[target].view.clone();
+                st.threads[tid].view.join(&view);
+                Step::Done(())
+            } else {
+                Step::Block(Blocked::Join(target))
+            }
+        });
+        match relock(&self.slot).take() {
+            Some(v) => Ok(v),
+            None => Err(Box::new("model thread finished without a result")),
+        }
+    }
+}
+
+/// Spawn a model thread. The child inherits the parent's view (spawn is
+/// a happens-before edge), and starts life schedulable; whether it runs
+/// before or after the parent's next step is the scheduler's choice.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, _) = ctx();
+    let child = exec.op(|st, tid| {
+        let view = st.threads[tid].view.clone();
+        let budget = st.default_timeout_budget;
+        st.threads.push(ThreadInfo {
+            view,
+            blocked: Blocked::None,
+            timeout_budget: budget,
+            woke_by_timeout: false,
+        });
+        st.live += 1;
+        st.spawn_pending += 1;
+        Step::Done(st.threads.len() - 1)
+    });
+    let slot: Arc<std::sync::Mutex<Option<T>>> = Arc::new(std::sync::Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let exec2 = Arc::clone(&exec);
+    let handle = std::thread::spawn(move || {
+        super::exec::run_model_thread(exec2, child, move || {
+            let out = f();
+            *relock(&slot2) = Some(out);
+        });
+    });
+    {
+        let mut st = relock(&exec.state);
+        st.os_handles.push(handle);
+        st.spawn_pending -= 1;
+    }
+    JoinHandle { exec, tid: child, slot }
+}
+
+/// A pure scheduling point: lets any other schedulable thread run.
+pub fn yield_now() {
+    let (exec, _) = ctx();
+    exec.op(|_, _| Step::Done(()));
+}

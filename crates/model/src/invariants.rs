@@ -1,0 +1,95 @@
+//! The protocol invariants, stated exactly once.
+//!
+//! Both verification layers assert these same predicates: the model
+//! tests in `tests/` (every interleaving, tiny sizes) and the width-8
+//! stress suite in `crates/bench/tests/pool_stress.rs` (sampled
+//! interleavings, realistic sizes). Each function panics with a
+//! descriptive message on violation — inside [`crate::check::explore`]
+//! that panic is the recorded violation; inside a `#[test]` it is the
+//! test failure.
+
+/// Chunk delivery is exactly-once: the claimed ranges partition
+/// `0..len` — every index covered, none twice, none out of bounds.
+pub fn assert_exactly_once(len: usize, claims: &[(usize, usize)]) {
+    let mut counts = vec![0usize; len];
+    for &(start, end) in claims {
+        assert!(
+            start < end && end <= len,
+            "claim {start}..{end} is malformed or out of bounds for len {len}"
+        );
+        for c in &mut counts[start..end] {
+            *c += 1;
+        }
+    }
+    for (idx, &n) in counts.iter().enumerate() {
+        assert!(n == 1, "index {idx} delivered {n} times (exactly-once violated)");
+    }
+}
+
+/// Writes made inside the region are published to whoever observed
+/// completion: every slot holds `expected(index)`, with 0 standing in
+/// for "the write was lost / read stale".
+pub fn assert_published(slots: &[usize], expected: impl Fn(usize) -> usize) {
+    for (idx, &got) in slots.iter().enumerate() {
+        let want = expected(idx);
+        assert!(
+            got == want,
+            "slot {idx} holds {got}, expected {want} — a write was not published \
+             across the completion edge"
+        );
+    }
+}
+
+/// Every shed reports `depth == capacity`: the snapshot is taken under
+/// the queue lock, so racing pops can never make it under- or overshoot.
+pub fn assert_sheds_at_capacity(capacity: usize, shed_depths: &[usize]) {
+    for &depth in shed_depths {
+        assert!(
+            depth == capacity,
+            "shed reported depth {depth}, capacity is {capacity} — the snapshot \
+             must be the locked queue depth"
+        );
+    }
+}
+
+/// Queue conservation: once the queue is closed and drained, the items
+/// consumers received are exactly the items producers successfully
+/// pushed — nothing lost, nothing duplicated, nothing invented.
+pub fn assert_conserved(mut pushed: Vec<usize>, mut popped: Vec<usize>) {
+    pushed.sort_unstable();
+    popped.sort_unstable();
+    assert!(
+        pushed == popped,
+        "queue conservation violated: accepted pushes {pushed:?} != drained pops {popped:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_once_accepts_a_partition_and_rejects_overlap() {
+        assert_exactly_once(5, &[(0, 2), (2, 4), (4, 5)]);
+        let overlap = std::panic::catch_unwind(|| assert_exactly_once(4, &[(0, 2), (1, 4)]));
+        assert!(overlap.is_err());
+        let gap = std::panic::catch_unwind(|| assert_exactly_once(4, &[(0, 2), (3, 4)]));
+        assert!(gap.is_err());
+    }
+
+    #[test]
+    fn published_catches_a_stale_slot() {
+        assert_published(&[10, 11, 12], |i| 10 + i);
+        let stale = std::panic::catch_unwind(|| assert_published(&[10, 0, 12], |i| 10 + i));
+        assert!(stale.is_err());
+    }
+
+    #[test]
+    fn conservation_catches_loss_and_duplication() {
+        assert_conserved(vec![3, 1, 2], vec![1, 2, 3]);
+        let lost = std::panic::catch_unwind(|| assert_conserved(vec![1, 2], vec![1]));
+        assert!(lost.is_err());
+        let duped = std::panic::catch_unwind(|| assert_conserved(vec![1, 2], vec![1, 2, 2]));
+        assert!(duped.is_err());
+    }
+}

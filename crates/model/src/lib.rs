@@ -1,0 +1,39 @@
+//! # taor-model
+//!
+//! A loom-style deterministic model checker for the workspace's
+//! hand-rolled concurrency, plus the shim layer that keeps production
+//! code model-checkable by construction.
+//!
+//! The repro's correctness story rests on two small protocols: the
+//! thread pool's atomic chunk hand-off (`vendor/rayon/src/pool.rs`) and
+//! the serve stack's bounded [`proto::on_shim::AdmissionQueue`]. Stress
+//! tests sample their interleavings; this crate *enumerates* them:
+//!
+//! * [`sync`] — the shim. In normal builds every name is a zero-cost
+//!   re-export of the `std` primitive; under `--cfg taor_model` the
+//!   same names resolve to the instrumented types in [`check::sync`],
+//!   so code written against the shim can be driven by the checker
+//!   without edits. The `concurrency::naked-atomic` lint rule keeps
+//!   new code on this module.
+//! * [`check`] — the checker: [`check::explore`] runs a closure over
+//!   every schedule (DFS with a bounded-preemption cutoff) against a
+//!   store-buffer weak-memory model where `Relaxed` loads may return
+//!   any coherence-eligible value, not just the newest one.
+//! * [`proto`] — the protocol cores, written once against the shim API
+//!   and instantiated twice: `on_shim` (what `vendor/rayon` and
+//!   `crates/serve` run in production) and `on_model` (what the model
+//!   tests in `tests/` exhaustively verify).
+//! * [`invariants`] — the invariant predicates shared between the model
+//!   tests here and the width-8 stress suite in
+//!   `crates/bench/tests/pool_stress.rs`, so each invariant is stated
+//!   exactly once.
+//!
+//! See DESIGN.md §13 for the architecture, the weak-memory
+//! approximation and its documented limits.
+
+#![forbid(unsafe_code)]
+
+pub mod check;
+pub mod invariants;
+pub mod proto;
+pub mod sync;

@@ -1,0 +1,32 @@
+//! The shim layer: `taor_model::sync::{AtomicUsize, Mutex, spawn, …}`.
+//!
+//! Production code imports its synchronization primitives from here
+//! instead of `std::sync` (enforced by taor-lint's
+//! `concurrency::naked-atomic` rule). In a normal build every item is a
+//! plain re-export of the `std` type — zero overhead, byte-identical
+//! behaviour, `const`-compatible statics. Under `--cfg taor_model` the
+//! same paths resolve to the instrumented types in [`crate::check::sync`],
+//! which route every operation through the exhaustive scheduler.
+//!
+//! Known limit of the `--cfg taor_model` configuration: the
+//! instrumented constructors are not `const`, so crates with atomic
+//! `static`s (e.g. the serve signal flag) do not build under it yet.
+//! The model tests therefore verify the extracted protocol cores in
+//! [`crate::proto::on_model`] rather than whole production crates; the
+//! shim keeps the door open for full-crate checking later.
+
+#[cfg(not(taor_model))]
+pub use std::sync::atomic::{
+    AtomicBool, AtomicI32, AtomicI64, AtomicIsize, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+    Ordering,
+};
+#[cfg(not(taor_model))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+#[cfg(not(taor_model))]
+pub use std::thread::{spawn, yield_now, JoinHandle};
+
+#[cfg(taor_model)]
+pub use crate::check::sync::{
+    spawn, yield_now, AtomicBool, AtomicUsize, Condvar, JoinHandle, Mutex, MutexGuard, Ordering,
+    WaitTimeoutResult,
+};

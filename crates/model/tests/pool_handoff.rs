@@ -1,0 +1,200 @@
+//! Exhaustive model check of the pool's chunk hand-off protocol
+//! (`proto::on_model::ChunkLatch`, the atomic core of
+//! `vendor/rayon`'s `Task`).
+//!
+//! The model mirrors `run_chunked`: worker threads and the calling
+//! thread race `claim()` over a tiny index space, write a recognisable
+//! value into each claimed cell with a `Relaxed` store (standing in for
+//! the region's plain data writes), report `complete()`, and the final
+//! completer latches a done flag under a mutex. The caller then asserts
+//! the invariants from `taor_model::invariants` — the same predicates
+//! the width-8 stress suite samples at realistic sizes.
+
+use std::sync::Arc;
+use taor_model::check::sync::{spawn, AtomicUsize, Condvar, Mutex, Ordering};
+use taor_model::check::{explore, Options};
+use taor_model::invariants::{assert_exactly_once, assert_published};
+use taor_model::proto::on_model::ChunkLatch;
+
+const LEN: usize = 3;
+
+/// Everything one drain participant shares with the others.
+struct Region {
+    latch: ChunkLatch,
+    cells: Vec<AtomicUsize>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// Bookkeeping only (which ranges were claimed); a plain std mutex,
+    /// invisible to the scheduler.
+    claims: std::sync::Mutex<Vec<(usize, usize)>>,
+}
+
+impl Region {
+    fn new(len: usize) -> Self {
+        Region {
+            latch: ChunkLatch::new(len, 1),
+            cells: (0..len).map(|_| AtomicUsize::new(0)).collect(),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            claims: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The worker body: exactly `Task::drain` minus the panic plumbing.
+    fn drain(&self) {
+        while let Some((start, end)) = self.latch.claim() {
+            for i in start..end {
+                self.cells[i].store(i + 10, Ordering::Relaxed);
+            }
+            self.claims.lock().unwrap().push((start, end));
+            if self.latch.complete(end - start) {
+                *self.done.lock().unwrap() = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// The caller's latch wait from `run_chunked`.
+    fn wait_done(&self) {
+        let mut g = self.done.lock().unwrap();
+        while !*g {
+            g = self.done_cv.wait(g).unwrap();
+        }
+    }
+}
+
+#[test]
+fn chunk_delivery_is_exactly_once_and_writes_are_published() {
+    let report = explore(Options::default(), || {
+        let region = Arc::new(Region::new(LEN));
+        let worker = {
+            let region = Arc::clone(&region);
+            spawn(move || region.drain())
+        };
+        // The caller participates, then waits on the latch — exactly
+        // the run_chunked structure.
+        region.drain();
+        region.wait_done();
+        let values: Vec<usize> = region.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        assert_published(&values, |i| i + 10);
+        assert_exactly_once(LEN, &region.claims.lock().unwrap());
+        worker.join().unwrap();
+    });
+    println!(
+        "pool hand-off (caller + 1 worker, len {LEN}): {} interleavings explored",
+        report.executions
+    );
+    assert!(report.violation.is_none(), "violation: {:?}", report.violation);
+    assert!(report.complete, "exploration hit a bound before exhausting the tree");
+}
+
+#[test]
+fn handoff_holds_with_two_workers_racing_the_caller() {
+    let report = explore(Options::default(), || {
+        let region = Arc::new(Region::new(2));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let region = Arc::clone(&region);
+                spawn(move || region.drain())
+            })
+            .collect();
+        region.drain();
+        region.wait_done();
+        let values: Vec<usize> = region.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        assert_published(&values, |i| i + 10);
+        assert_exactly_once(2, &region.claims.lock().unwrap());
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+    println!(
+        "pool hand-off (caller + 2 workers, len 2): {} interleavings explored",
+        report.executions
+    );
+    assert!(report.violation.is_none(), "violation: {:?}", report.violation);
+    assert!(report.complete, "exploration hit a bound before exhausting the tree");
+}
+
+/// The mutation test: downgrade the hand-off edge (`finished`'s
+/// `fetch_add`) from `AcqRel` to `Relaxed` — the exact bug the
+/// `atomics::relaxed-handoff` lint rule exists to stop — and prove the
+/// checker catches it. With no release/acquire on the completion
+/// counter, the final completer's view does not include the other
+/// participant's cell write, so the caller can observe `done` yet read
+/// the cell's initial value.
+mod mutated {
+    use super::*;
+
+    struct MutatedLatch {
+        len: usize,
+        next: AtomicUsize,
+        finished: AtomicUsize,
+    }
+
+    impl MutatedLatch {
+        fn new(len: usize) -> Self {
+            MutatedLatch { len, next: AtomicUsize::new(0), finished: AtomicUsize::new(0) }
+        }
+
+        fn claim(&self) -> Option<(usize, usize)> {
+            // Correct, as in the real protocol: atomicity alone makes
+            // the allocator exact.
+            let start = self.next.fetch_add(1, Ordering::Relaxed);
+            if start >= self.len {
+                return None;
+            }
+            Some((start, start + 1))
+        }
+
+        fn complete(&self, n: usize) -> bool {
+            // SEEDED BUG: the real protocol uses AcqRel here. Relaxed
+            // keeps the count exact but publishes nothing.
+            self.finished.fetch_add(n, Ordering::Relaxed) + n >= self.len
+        }
+    }
+
+    #[test]
+    fn relaxed_handoff_downgrade_is_caught() {
+        let report = explore(Options::default(), || {
+            let latch = Arc::new(MutatedLatch::new(2));
+            let cells = Arc::new((0..2).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+            let done = Arc::new(Mutex::new(false));
+            let done_cv = Arc::new(Condvar::new());
+            let drain = {
+                let latch = Arc::clone(&latch);
+                let cells = Arc::clone(&cells);
+                let done = Arc::clone(&done);
+                let done_cv = Arc::clone(&done_cv);
+                move || {
+                    while let Some((start, end)) = latch.claim() {
+                        for i in start..end {
+                            cells[i].store(i + 10, Ordering::Relaxed);
+                        }
+                        if latch.complete(end - start) {
+                            *done.lock().unwrap() = true;
+                            done_cv.notify_all();
+                        }
+                    }
+                }
+            };
+            let worker = spawn(drain.clone());
+            drain();
+            let mut g = done.lock().unwrap();
+            while !*g {
+                g = done_cv.wait(g).unwrap();
+            }
+            drop(g);
+            let values: Vec<usize> = cells.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+            assert_published(&values, |i| i + 10);
+            worker.join().unwrap();
+        });
+        println!("mutated hand-off: violation after {} interleavings", report.executions);
+        let violation = report
+            .violation
+            .expect("the checker must catch the Relaxed downgrade of the hand-off edge");
+        assert!(
+            violation.contains("not published"),
+            "violation should be the publication assert, got: {violation}"
+        );
+    }
+}

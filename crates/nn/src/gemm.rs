@@ -586,6 +586,12 @@ pub fn matmul_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut 
 
 #[cfg(target_arch = "x86_64")]
 fn have_avx2_fma() -> bool {
+    // Miri interprets portable Rust, not vendor intrinsics: force the
+    // scalar path so `cargo miri test` exercises the same kernels it
+    // can actually check.
+    if cfg!(miri) {
+        return false;
+    }
     use std::sync::OnceLock;
     static DETECTED: OnceLock<bool> = OnceLock::new();
     *DETECTED.get_or_init(|| {

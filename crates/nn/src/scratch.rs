@@ -88,6 +88,9 @@ impl Drop for ScratchBuf {
     fn drop(&mut self) {
         let buf = std::mem::take(&mut self.buf);
         // try_with: TLS may already be torn down during thread exit.
+        // taor-lint: allow(err::swallowed-result) — AccessError here
+        // means exactly that; the buffer is simply freed instead of
+        // pooled.
         let _ = POOL.try_with(|p| {
             let mut pool = p.borrow_mut();
             if pool.len() < MAX_POOLED {

@@ -190,9 +190,14 @@ impl PersistentClient {
     /// for the close to land. Call it at quiescence (no response
     /// outstanding): a `false` may also mean unread bytes arrived.
     pub fn server_closed(&mut self) -> bool {
+        // taor-lint: allow(err::swallowed-result) — probing a socket
+        // that may already be closed; a failed timeout tweak just makes
+        // the probe block longer.
         let _ = self.stream.set_read_timeout(Some(Duration::from_secs(2)));
         let mut probe = [0u8; 1];
         let closed = matches!(self.stream.read(&mut probe), Ok(0));
+        // taor-lint: allow(err::swallowed-result) — restoring the long
+        // timeout, same best-effort basis as above.
         let _ = self.stream.set_read_timeout(Some(Duration::from_secs(30)));
         closed
     }

@@ -120,6 +120,8 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("binding the server: {e}"))?;
     println!("taor-serve listening on {}", server.local_addr());
     use std::io::Write as _;
+    // taor-lint: allow(err::swallowed-result) — best-effort flush of
+    // the listening banner; a broken stdout must not kill the server.
     let _ = std::io::stdout().flush();
 
     while !signal::shutdown_requested() {

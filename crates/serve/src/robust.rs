@@ -7,14 +7,20 @@
 //! * [`Deadline`] — a wall-clock budget carried by each request.
 //! * [`AdmissionQueue`] — a bounded MPMC queue whose `try_push` *sheds*
 //!   instead of blocking, and whose `pop_batch` hands workers up to a
-//!   micro-batch of items at once.
+//!   micro-batch of items at once. The implementation lives in
+//!   taor-model's protocol core (`proto::on_shim`), where `cargo test
+//!   -p taor-model` exhaustively model-checks the shed and
+//!   close-and-drain paths; this module re-exports it unchanged and
+//!   keeps the behavioural tests below as the std-flavor regression
+//!   suite.
 //! * [`isolate`] — `catch_unwind` with the panic payload rendered to a
 //!   string, so one poisoned request cannot take the process down.
 
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+pub use taor_model::proto::on_shim::AdmissionQueue;
+pub use taor_model::proto::AdmitError;
 
 /// A wall-clock budget. Requests carry one from admission to response;
 /// work that outlives it is answered with a typed timeout instead of
@@ -40,130 +46,6 @@ impl Deadline {
     pub fn remaining(&self) -> Duration {
         self.at.saturating_duration_since(Instant::now())
     }
-}
-
-/// Why [`AdmissionQueue::try_push`] refused an item.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AdmitError {
-    /// The queue was at capacity: the caller must shed the request
-    /// (HTTP 429), not wait.
-    Shed {
-        /// Depth at the instant of rejection, observed under the queue
-        /// lock — always exactly the capacity, because pushes are
-        /// guarded by the same lock so the depth can never exceed it.
-        /// A racing pop may have drained the queue by the time the
-        /// caller reads this value; it is a snapshot for the 429 body,
-        /// not a promise the queue is still full.
-        depth: usize,
-    },
-    /// The queue was closed for shutdown.
-    Closed,
-}
-
-struct QueueState<T> {
-    items: VecDeque<T>,
-    closed: bool,
-}
-
-/// A bounded multi-producer multi-consumer queue with explicit
-/// load-shedding and batched consumption.
-///
-/// Producers never block: a full queue is an [`AdmitError::Shed`] and
-/// the caller turns it into backpressure the client can see. Consumers
-/// block (bounded by a poll interval) and drain up to a micro-batch per
-/// wakeup.
-pub struct AdmissionQueue<T> {
-    state: Mutex<QueueState<T>>,
-    cv: Condvar,
-    cap: usize,
-}
-
-/// A poisoned robustness-layer lock only means another thread panicked
-/// mid-push/pop; the queue's VecDeque is still structurally sound, so
-/// recover the guard instead of propagating the poison.
-fn relock<'a, T>(
-    r: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
-) -> MutexGuard<'a, T> {
-    r.unwrap_or_else(|e| e.into_inner())
-}
-
-impl<T> AdmissionQueue<T> {
-    /// A queue admitting at most `cap` items (minimum 1).
-    pub fn new(cap: usize) -> Self {
-        AdmissionQueue {
-            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
-            cv: Condvar::new(),
-            cap: cap.max(1),
-        }
-    }
-
-    /// Admit `item`, or refuse immediately: `Shed` at capacity,
-    /// `Closed` during shutdown. Never blocks.
-    pub fn try_push(&self, item: T) -> Result<(), AdmitError> {
-        let mut st = relock(self.state.lock());
-        if st.closed {
-            return Err(AdmitError::Closed);
-        }
-        if st.items.len() >= self.cap {
-            return Err(AdmitError::Shed { depth: st.items.len() });
-        }
-        st.items.push_back(item);
-        drop(st);
-        self.cv.notify_one();
-        Ok(())
-    }
-
-    /// Wait up to `wait` for work, then drain up to `max` items.
-    ///
-    /// `Some(batch)` may be empty (timeout: poll again); `None` means
-    /// the queue is closed *and* drained — the consumer should exit.
-    pub fn pop_batch(&self, max: usize, wait: Duration) -> Option<Vec<T>> {
-        let mut st = relock(self.state.lock());
-        if st.items.is_empty() {
-            if st.closed {
-                return None;
-            }
-            let (g, _timeout) = relock2(self.cv.wait_timeout(st, wait));
-            st = g;
-        }
-        if st.items.is_empty() {
-            return if st.closed { None } else { Some(Vec::new()) };
-        }
-        let take = max.max(1).min(st.items.len());
-        Some(st.items.drain(..take).collect())
-    }
-
-    /// Items currently queued.
-    pub fn depth(&self) -> usize {
-        relock(self.state.lock()).items.len()
-    }
-
-    /// Capacity.
-    pub fn capacity(&self) -> usize {
-        self.cap
-    }
-
-    /// Close for shutdown: producers get `Closed`, consumers drain the
-    /// remainder and then see `None`.
-    pub fn close(&self) {
-        relock(self.state.lock()).closed = true;
-        self.cv.notify_all();
-    }
-
-    /// Has [`AdmissionQueue::close`] been called?
-    pub fn is_closed(&self) -> bool {
-        relock(self.state.lock()).closed
-    }
-}
-
-/// The `(guard, timeout-flag)` pair `Condvar::wait_timeout` returns.
-type TimedWait<'a, T> = (MutexGuard<'a, T>, std::sync::WaitTimeoutResult);
-
-/// [`relock`] for the `(guard, timeout-flag)` pair of `wait_timeout`.
-fn relock2<'a, T>(
-    r: Result<TimedWait<'a, T>, std::sync::PoisonError<TimedWait<'a, T>>>,
-) -> TimedWait<'a, T> {
-    r.unwrap_or_else(|e| e.into_inner())
 }
 
 /// Run `f` behind a panic wall. A panic becomes an `Err` carrying the

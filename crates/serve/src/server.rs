@@ -30,10 +30,10 @@ use crate::robust::{isolate, AdmissionQueue, AdmitError, Deadline};
 use crate::service::RecognizerService;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
+use taor_model::sync::{AtomicBool, Ordering};
 
 use taor_core::wire::DecodeStats;
 use taor_imgproc::image::RgbImage;
@@ -109,6 +109,19 @@ struct Job {
     resp: mpsc::SyncSender<WorkOutcome>,
 }
 
+impl Job {
+    /// Deliver the outcome to the waiting connection thread. A send
+    /// error means the requester stopped waiting (its `recv_timeout`
+    /// safety margin elapsed and it already answered 500); there is
+    /// nobody left to tell, so the outcome is dropped by design.
+    fn respond(self, outcome: WorkOutcome) {
+        // taor-lint: allow(err::swallowed-result) — disconnected
+        // receiver = requester gave up; dropping the outcome is the
+        // contract (see recv_timeout in handle_recognize).
+        let _ = self.resp.send(outcome);
+    }
+}
+
 /// A running server; dropping it shuts it down gracefully.
 pub struct Server {
     addr: SocketAddr,
@@ -166,10 +179,16 @@ impl Server {
         // keeps the flag trivially correct.
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
+            // taor-lint: allow(err::swallowed-result) — a panicked
+            // accept thread leaves nothing to recover; stop() runs in
+            // Drop and must not double-panic.
             let _ = h.join();
         }
         self.queue.close();
         for h in self.workers.drain(..) {
+            // taor-lint: allow(err::swallowed-result) — a panicked
+            // worker already answered its jobs through isolate(); see
+            // above, Drop must not double-panic.
             let _ = h.join();
         }
     }
@@ -211,6 +230,9 @@ fn accept_loop(
     }
     // Open connections are bounded by their read budgets and deadlines.
     for h in conns {
+        // taor-lint: allow(err::swallowed-result) — a connection thread
+        // that panicked has already dropped its socket (the client sees
+        // the close); draining must reach every remaining handle.
         let _ = h.join();
     }
 }
@@ -233,7 +255,12 @@ fn handle_conn(
     cfg: &ServerConfig,
     shutdown: &Arc<AtomicBool>,
 ) {
+    // taor-lint: allow(err::swallowed-result) — best-effort socket
+    // tuning: on failure reads stay blocking and the connection is
+    // still bounded by its read budget and deadline.
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    // taor-lint: allow(err::swallowed-result) — same best-effort
+    // tuning as the read timeout above.
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let mut reader = ConnectionReader::new(stream);
     // Ordering::SeqCst — cold shutdown handoff; strongest ordering
@@ -269,6 +296,8 @@ fn handle_conn(
             break;
         }
     }
+    // taor-lint: allow(err::swallowed-result) — courtesy FIN on a
+    // connection that is closing anyway; the peer may already be gone.
     let _ = reader.into_inner().shutdown(std::net::Shutdown::Both);
 }
 
@@ -396,7 +425,7 @@ fn worker_loop(
         for job in batch {
             if job.deadline.expired() {
                 service.record_timeout();
-                let _ = job.resp.send(WorkOutcome::TimedOut);
+                job.respond(WorkOutcome::TimedOut);
             } else {
                 live.push(job);
             }
@@ -414,9 +443,9 @@ fn worker_loop(
                 for (job, resp) in live.into_iter().zip(responses) {
                     if job.deadline.expired() {
                         service.record_timeout();
-                        let _ = job.resp.send(WorkOutcome::TimedOut);
+                        job.respond(WorkOutcome::TimedOut);
                     } else {
-                        let _ = job.resp.send(WorkOutcome::Answered(Box::new(resp)));
+                        job.respond(WorkOutcome::Answered(Box::new(resp)));
                     }
                 }
             }
@@ -432,15 +461,13 @@ fn worker_loop(
                     )];
                     match isolate(|| service.recognize_batch(&item).into_iter().next()) {
                         Ok(Some(resp)) => {
-                            let _ = job.resp.send(WorkOutcome::Answered(Box::new(resp)));
+                            job.respond(WorkOutcome::Answered(Box::new(resp)));
                         }
                         Ok(None) => {
-                            let _ = job
-                                .resp
-                                .send(WorkOutcome::Panicked("empty batch result".to_string()));
+                            job.respond(WorkOutcome::Panicked("empty batch result".to_string()));
                         }
                         Err(msg) => {
-                            let _ = job.resp.send(WorkOutcome::Panicked(msg));
+                            job.respond(WorkOutcome::Panicked(msg));
                         }
                     }
                 }

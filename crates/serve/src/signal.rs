@@ -5,7 +5,7 @@
 //! and runs the ordinary graceful-shutdown path — queued work drains,
 //! workers join, the process exits 0.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use taor_model::sync::{AtomicBool, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 

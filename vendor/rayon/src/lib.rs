@@ -520,6 +520,18 @@ pub mod prelude {
 mod tests {
     use crate::prelude::*;
 
+    /// Item counts scaled for the interpreter: under Miri every load
+    /// and store is checked, so the at-scale tests run on a small N
+    /// (still enough to split across chunks) and natively on the full
+    /// one.
+    fn scale(n: usize) -> usize {
+        if cfg!(miri) {
+            n.min(512)
+        } else {
+            n
+        }
+    }
+
     #[test]
     fn adapters_behave_like_std() {
         let v = vec![1u32, 2, 3, 4];
@@ -535,22 +547,24 @@ mod tests {
 
     #[test]
     fn ordered_collect_preserves_input_order_at_scale() {
-        let n = 100_000usize;
+        let n = scale(100_000usize);
         let out: Vec<usize> = (0..n).into_par_iter().map(|i| i * 3).collect();
         assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
         let squares: Vec<u64> =
             (0..n).collect::<Vec<_>>().par_iter().map(|&i| (i as u64) * (i as u64)).collect();
-        assert_eq!(squares[777], 777 * 777);
+        let probe = n - 1;
+        assert_eq!(squares[probe], (probe as u64) * (probe as u64));
     }
 
     #[test]
     fn flat_map_and_filters_flatten_in_order() {
-        let v: Vec<usize> = (0..1000).collect();
+        let n = scale(1000);
+        let v: Vec<usize> = (0..n).collect();
         let flat: Vec<usize> = v.par_iter().flat_map(|&x| vec![x, x]).collect();
-        assert_eq!(flat.len(), 2000);
+        assert_eq!(flat.len(), 2 * n);
         assert_eq!(&flat[..4], &[0, 0, 1, 1]);
         let even: Vec<usize> = v.clone().into_par_iter().filter(|x| x % 2 == 0).collect();
-        assert_eq!(even.len(), 500);
+        assert_eq!(even.len(), n / 2);
         assert_eq!(&even[..3], &[0, 2, 4]);
         let halves: Vec<usize> =
             v.into_par_iter().filter_map(|x| if x % 2 == 0 { Some(x / 2) } else { None }).collect();
@@ -571,16 +585,17 @@ mod tests {
 
     #[test]
     fn par_iter_mut_writes_every_item() {
-        let mut v = vec![0usize; 10_000];
+        let mut v = vec![0usize; scale(10_000)];
         v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
         assert!(v.iter().enumerate().all(|(i, &x)| x == i));
     }
 
     #[test]
     fn panics_propagate_to_the_caller() {
+        let n = scale(1000usize);
         let caught = std::panic::catch_unwind(|| {
-            (0..1000usize).into_par_iter().for_each(|i| {
-                if i == 617 {
+            (0..n).into_par_iter().for_each(|i| {
+                if i == n - 383 {
                     panic!("boom at {i}");
                 }
             });

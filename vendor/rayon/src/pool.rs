@@ -14,8 +14,8 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use taor_model::proto::on_shim::ChunkLatch;
 
 /// Actual pool width: the number of threads that execute parallel
 /// regions (workers + the participating caller). This is what
@@ -41,19 +41,18 @@ struct Shared {
 }
 
 /// One parallel region: a type-erased `f(start, end)` over `0..len`,
-/// chunks handed out by `fetch_add` on `next`. `ctx` borrows the
-/// caller's stack; this is sound because the caller blocks until
-/// `finished == len`, and no thread dereferences `ctx` after its
-/// `fetch_add` lands at or past `len`.
+/// chunks handed out by the model-checked [`ChunkLatch`] (see
+/// `crates/model/src/proto.rs` — `claim` is the `Relaxed` chunk
+/// allocator, `complete` the `AcqRel` hand-off edge). `ctx` borrows the
+/// caller's stack; this is sound because the caller blocks until the
+/// latch completes, and no thread dereferences `ctx` after its claim
+/// returns `None`.
 struct Task {
     ctx: *const (),
     // SAFETY: callers must pass the trampoline monomorphised for the
     // exact closure type `ctx` points at, with `start..end` in bounds.
     run: unsafe fn(*const (), usize, usize),
-    len: usize,
-    chunk: usize,
-    next: AtomicUsize,
-    finished: AtomicUsize,
+    latch: ChunkLatch,
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     done: Mutex<bool>,
     done_cv: Condvar,
@@ -71,21 +70,12 @@ impl Task {
     /// Panics from `run` are captured (first wins) so the chunk still
     /// counts as finished and the caller's latch always releases.
     fn drain(&self) {
-        loop {
-            // Ordering::Relaxed — `next` is a pure chunk-index allocator:
-            // fetch_add's read-modify-write atomicity alone guarantees
-            // disjoint chunks, and no other memory is published through
-            // it (completion is signalled by `finished`, not `next`).
-            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
-            if start >= self.len {
-                return;
-            }
-            let end = (start + self.chunk).min(self.len);
+        while let Some((start, end)) = self.latch.claim() {
             let res = catch_unwind(AssertUnwindSafe(|| {
                 // SAFETY: `run` is the trampoline for the closure `ctx`
                 // points at, which outlives the region because the owning
-                // caller blocks in `run_chunked` until `finished == len`;
-                // `start..end` is a claimed in-bounds chunk.
+                // caller blocks in `run_chunked` until the latch
+                // completes; `start..end` is a claimed in-bounds chunk.
                 unsafe { (self.run)(self.ctx, start, end) }
             }));
             if let Err(payload) = res {
@@ -97,12 +87,7 @@ impl Task {
                     *slot = Some(payload);
                 }
             }
-            // Ordering::AcqRel — the hand-off edge. Release publishes
-            // this chunk's writes to whichever thread observes the
-            // counter reach `len`; Acquire makes that observer see every
-            // earlier chunk's writes before it reports completion.
-            let finished = self.finished.fetch_add(end - start, Ordering::AcqRel) + (end - start);
-            if finished >= self.len {
+            if self.latch.complete(end - start) {
                 let mut g = lock(&self.done);
                 *g = true;
                 self.done_cv.notify_all();
@@ -111,10 +96,7 @@ impl Task {
     }
 
     fn exhausted(&self) -> bool {
-        // Ordering::Relaxed — an advisory read used only to garbage-
-        // collect drained tasks from the queue; a stale value merely
-        // delays the pop, correctness rests on `drain`'s own fetch_add.
-        self.next.load(Ordering::Relaxed) >= self.len
+        self.latch.is_exhausted()
     }
 }
 
@@ -196,10 +178,7 @@ pub(crate) fn run_chunked<F: Fn(usize, usize) + Sync>(len: usize, min_chunk: usi
     let task = Arc::new(Task {
         ctx: &f as *const F as *const (),
         run: trampoline::<F>,
-        len,
-        chunk,
-        next: AtomicUsize::new(0),
-        finished: AtomicUsize::new(0),
+        latch: ChunkLatch::new(len, chunk),
         panic: Mutex::new(None),
         done: Mutex::new(false),
         done_cv: Condvar::new(),
